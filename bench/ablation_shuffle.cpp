@@ -1,0 +1,58 @@
+// Ablation A2 (Sec 3.3.1): the shuffle unit vs data reordering through the
+// RC connection matrix ("possible through the RCs connection matrix, but it
+// is highly inefficient in terms of performance and energy").
+//
+// Measured side: the 512-point FFT's shuffle activity. Modeled side: the
+// same interleave permutation executed by the RCs -- each output word needs
+// a VWR read, up to 3 neighbour hops (per-hop ALU op + result-register
+// write), and a VWR write-back, at 128 words per shuffled row but only 4
+// words moved per cycle.
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace vwr2a;
+  using namespace vwr2a::bench;
+  using energy::Event;
+  Rng rng(10);
+  Rig rig;
+  kernels::FftKernels fft(rig.host);
+  fft.prepare(0);
+  const unsigned n = 512;
+  const unsigned in = kernels::FftKernels::table_words();
+  const unsigned out = in + 2 * n + 2;
+  place_complex_input(rig, n, in, rng);
+  const auto stats = fft.cfft(n, in, out, out + 2 * n + 2);
+  const auto& m = rig.acc.meter();
+
+  const double shuffles = static_cast<double>(m.count(Event::kShuffleOp));
+  const double shuffle_cycles = shuffles;  // one cycle each
+  const double shuffle_uj =
+      (m.event_pj(Event::kShuffleOp) +
+       shuffles * energy::energy_pj(Event::kVwrRowWrite)) *
+      1e-6;
+
+  // RC-matrix emulation: 128 words/shuffle, 4 RCs in parallel, avg 2
+  // neighbour hops -> 32 * (1 read + 2 hops + 1 write) cycles per shuffle.
+  const double rc_cycles_per_shuffle = 32.0 * 4.0;
+  const double rc_pj_per_word =
+      energy::energy_pj(Event::kVwrWordRead) +
+      2.0 * (energy::energy_pj(Event::kAluOp) + energy::energy_pj(Event::kRcRfWrite)) +
+      energy::energy_pj(Event::kVwrWordWrite);
+  const double rc_cycles = shuffles * rc_cycles_per_shuffle;
+  const double rc_uj = shuffles * 128.0 * rc_pj_per_word * 1e-6;
+
+  header("Ablation: shuffle unit vs RC-matrix reordering (512-pt FFT)");
+  std::printf("  shuffle ops executed: %.0f\n", shuffles);
+  std::printf("  %-22s | %10s | %10s\n", "reordering path", "cycles", "uJ");
+  std::printf("  %-22s | %10.0f | %10.3f\n", "shuffle unit", shuffle_cycles,
+              shuffle_uj);
+  std::printf("  %-22s | %10.0f | %10.3f\n", "RC connection matrix", rc_cycles,
+              rc_uj);
+  std::printf("  -> %.0fx cycles, %.1fx energy in favour of the shuffle unit; "
+              "whole-kernel impact: +%.0f%% FFT cycles without it.\n",
+              rc_cycles / shuffle_cycles, rc_uj / shuffle_uj,
+              100.0 * (rc_cycles - shuffle_cycles) /
+                  static_cast<double>(stats.cycles));
+  return 0;
+}

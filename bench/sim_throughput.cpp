@@ -1,0 +1,58 @@
+// Simulator micro-benchmarks (google-benchmark): how fast the cycle-level
+// model itself runs. Useful when sweeping parameters or fuzzing kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace vwr2a;
+using namespace vwr2a::bench;
+
+void BM_Cfft512(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    Rig rig;
+    kernels::FftKernels fft(rig.host);
+    fft.prepare(0);
+    const unsigned in = kernels::FftKernels::table_words();
+    place_complex_input(rig, 512, in, rng);
+    const auto stats = fft.cfft(512, in, in + 1026, in + 2052);
+    benchmark::DoNotOptimize(stats.cycles);
+    state.counters["sim_cycles"] = static_cast<double>(stats.cycles);
+  }
+}
+BENCHMARK(BM_Cfft512)->Unit(benchmark::kMillisecond);
+
+void BM_Fir1024(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    Rig rig;
+    kernels::FirKernels fir(rig.host);
+    fir.prepare(0);
+    for (unsigned i = 0; i < 1024; ++i) {
+      rig.sram.poke(64 + i, static_cast<Word>(fx::to_q16_15(rng.next_range(-0.8, 0.8))));
+    }
+    const auto stats = fir.fir11(1024, dsp::fir11_lowpass_q15(), 64, 64 + 1024);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+}
+BENCHMARK(BM_Fir1024)->Unit(benchmark::kMillisecond);
+
+void BM_AppWindowVwr2a(benchmark::State& state) {
+  Rng rng(3);
+  const auto x = dsp::respiration(app::kWindow, dsp::RespirationParams{}, rng);
+  for (auto _ : state) {
+    soc::Platform p;
+    app::MBioTracker a(p);
+    a.init();
+    const auto r = a.run(app::Target::kCpuVwr2a, x);
+    benchmark::DoNotOptimize(r.total.cycles);
+  }
+}
+BENCHMARK(BM_AppWindowVwr2a)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table 5: biosignal application performance and energy comparison --
+// per-step cycles and energy for CPU, CPU + FFT ACCEL, and CPU + VWR2A,
+// with savings relative to the CPU column.
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+void print_step(const char* name, double paper_cpu, double paper_accel_sav,
+                double paper_vwr_sav, vwr2a::app::StepCost cpu,
+                vwr2a::app::StepCost accel, vwr2a::app::StepCost vwr,
+                bool energy) {
+  auto val = [energy](const vwr2a::app::StepCost& s) {
+    return energy ? s.uj : static_cast<double>(s.cycles);
+  };
+  const double c = val(cpu), a = val(accel), v = val(vwr);
+  std::printf("  %-16s | %10.2f | %10.2f %6.1f%% | %10.2f %6.1f%%\n", name, c,
+              a, 100.0 * (1.0 - a / c), v, 100.0 * (1.0 - v / c));
+  std::printf("    paper          | %10.2f | %10s %6.1f%% | %10s %6.1f%%\n",
+              paper_cpu, "", paper_accel_sav, "", paper_vwr_sav);
+}
+
+} // namespace
+
+int main() {
+  using namespace vwr2a;
+  using namespace vwr2a::bench;
+  Rng rng(6);
+  dsp::RespirationParams params;
+  const auto x = dsp::respiration(app::kWindow, params, rng);
+
+  soc::Platform p_cpu, p_accel, p_vwr;
+  app::MBioTracker a_cpu(p_cpu), a_accel(p_accel), a_vwr(p_vwr);
+  a_cpu.init();
+  a_accel.init();
+  a_vwr.init();
+  const auto r_cpu = a_cpu.run(app::Target::kCpu, x);
+  const auto r_accel = a_accel.run(app::Target::kCpuFftAccel, x);
+  const auto r_vwr = a_vwr.run(app::Target::kCpuVwr2a, x);
+
+  header("Table 5: biosignal application, cycles");
+  std::printf("  %-16s | %10s | %10s %7s | %10s %7s\n", "step", "CPU",
+              "CPU+ACCEL", "savings", "CPU+VWR2A", "savings");
+  print_step("Preprocessing", 49760, 0.0, 92.4, r_cpu.preprocessing,
+             r_accel.preprocessing, r_vwr.preprocessing, false);
+  print_step("Delineation", 46268, 0.0, 94.1, r_cpu.delineation,
+             r_accel.delineation, r_vwr.delineation, false);
+  print_step("Feat. extraction", 70639, 23.2, 87.8, r_cpu.features,
+             r_accel.features, r_vwr.features, false);
+  print_step("Total", 166667, 9.8, 90.9, r_cpu.total, r_accel.total,
+             r_vwr.total, false);
+
+  header("Table 5: biosignal application, energy (uJ)");
+  print_step("Preprocessing", 0.74, 0.0, 64.7, r_cpu.preprocessing,
+             r_accel.preprocessing, r_vwr.preprocessing, true);
+  print_step("Delineation", 0.74, 0.0, 82.9, r_cpu.delineation,
+             r_accel.delineation, r_vwr.delineation, true);
+  print_step("Feat. extraction", 1.1, 9.3, 56.0, r_cpu.features,
+             r_accel.features, r_vwr.features, true);
+  print_step("Total", 2.6, 3.9, 66.3, r_cpu.total, r_accel.total, r_vwr.total,
+             true);
+
+  std::printf("\n  class: cpu=%+d accel=%+d vwr2a=%+d (must agree); extrema "
+              "cpu=%u vwr2a=%u\n",
+              r_cpu.svm_class, r_accel.svm_class, r_vwr.svm_class,
+              r_cpu.extrema, r_vwr.extrema);
+  return 0;
+}

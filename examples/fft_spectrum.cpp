@@ -1,0 +1,59 @@
+// Spectrum analysis on VWR2A: run the 512-point real FFT kernel on a
+// synthetic multi-tone signal and locate the spectral peaks -- the
+// frequency-feature path of the paper's biosignal application.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/fixed_point.hpp"
+#include "energy/meter.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/host.hpp"
+#include "mem/sram.hpp"
+
+using namespace vwr2a;
+
+int main() {
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram(sys_meter);
+  bus::AhbBus ahb(sram, sys_meter);
+  cgra::Vwr2a acc(ahb);
+  kernels::Host host(acc, sram, nullptr);
+  kernels::FftKernels fft(host);
+  fft.prepare(0);
+
+  const unsigned n = 512;
+  const unsigned in = kernels::FftKernels::table_words();
+  const unsigned out = in + n + 4;
+  const unsigned scratch = out + 2 * n + 8;
+
+  // Two tones at bins 13 and 47 plus a DC offset.
+  for (unsigned i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / n;
+    const double v = 0.10 + 0.40 * std::sin(2 * M_PI * 13 * t) +
+                     0.25 * std::sin(2 * M_PI * 47 * t);
+    sram.poke(in + i, static_cast<Word>(fx::to_q16_15(v)));
+  }
+
+  const auto stats = fft.rfft(n, in, out, scratch);
+  std::printf("512-point real FFT on VWR2A: %llu cycles (%.1f us @ 80 MHz), "
+              "%u kernel launches, %.3f uJ\n",
+              static_cast<unsigned long long>(stats.cycles),
+              static_cast<double>(stats.cycles) / 80.0,
+              stats.launches, acc.meter().total_uj());
+
+  // Peak picking over the copied-back half spectrum.
+  std::printf("%6s %12s\n", "bin", "|X|");
+  for (unsigned k = 1; k < n / 2; ++k) {
+    const auto re = static_cast<std::int32_t>(sram.peek(out + 2 * k));
+    const auto im = static_cast<std::int32_t>(sram.peek(out + 2 * k + 1));
+    const double mag = std::hypot(fx::from_q16_15(re), fx::from_q16_15(im));
+    if (mag > 20.0) {
+      std::printf("%6u %12.1f  <- tone\n", k, mag);
+    }
+  }
+  return 0;
+}

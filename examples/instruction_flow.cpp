@@ -1,0 +1,67 @@
+// Reproduces the paper's Table 1: the instruction flow of the specialized
+// slots and RCs for an FFT-stage-like loop, printed as a per-cycle trace of
+// the textual assembly -- demonstrating the shared-PC VLIW execution model
+// and the textual kernel format (print/parse round trip).
+
+#include <cstdio>
+
+#include "bus/ahb.hpp"
+#include "casm/builder.hpp"
+#include "casm/factories.hpp"
+#include "casm/text.hpp"
+#include "cgra/vwr2a.hpp"
+#include "energy/meter.hpp"
+#include "mem/sram.hpp"
+
+using namespace vwr2a;
+using namespace vwr2a::casm;
+
+int main() {
+  // A Table-1-like flow: load A and B, loop "VWRC = VWRA + VWRB" with the
+  // MXCU walking k and the LCU running the loop, store, exit.
+  ProgramBuilder pb;
+  pb.line().lsu(lsu_ld_vwr(VwrSel::A, 3)).mxcu(mxcu_set_idx(0)).emit();
+  pb.line().lsu(lsu_ld_vwr(VwrSel::B, 4)).lcu(lcu_set(0, 32)).emit();
+  Label loop = pb.make_label();
+  pb.bind(loop);
+  pb.line()
+      .rc_all(rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB))
+      .mxcu(mxcu_add_idx(1))
+      .lcu(lcu_dbnz(0), loop)
+      .emit();
+  pb.line().lsu(lsu_st_vwr(VwrSel::C, 5)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  const isa::ColumnProgram prog = pb.build();
+
+  // Textual round trip (the parser accepts everything the printer emits).
+  const std::string text = to_text(prog);
+  std::printf("program (Table-1 style, one line per cycle):\n%s\n", text.c_str());
+  const isa::ColumnProgram reparsed = parse_program(text);
+  std::printf("print -> parse round trip: %s\n\n",
+              reparsed == prog ? "identical" : "MISMATCH");
+
+  // Execute with a per-cycle PC trace.
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram(sys_meter);
+  bus::AhbBus ahb(sram, sys_meter);
+  cgra::Vwr2a acc(ahb);
+  for (unsigned i = 0; i < 256; ++i) acc.spm().poke(3 * 128 + i, i + 1);
+  const unsigned kid = acc.register_kernel(make_kernel("table1_flow", 0, prog));
+  acc.start_kernel(kid);
+  std::printf("PC trace: ");
+  unsigned steps = 0;
+  while (acc.busy() && steps < 48) {
+    std::printf("%u ", acc.column(0).pc());
+    acc.step();
+    ++steps;
+  }
+  while (acc.busy()) {
+    acc.step();
+    ++steps;
+  }
+  std::printf("... (%u cycles total)\n", steps);
+  std::printf("C[0]=%d C[31]=%d (A+B elementwise)\n",
+              static_cast<int>(acc.spm().peek(5 * 128)),
+              static_cast<int>(acc.spm().peek(5 * 128 + 31)));
+  return 0;
+}

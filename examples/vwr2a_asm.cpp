@@ -1,0 +1,107 @@
+// vwr2a_asm: a small assembler/disassembler CLI for the textual kernel
+// format.
+//
+//   vwr2a_asm asm  <file.vasm>   assemble; print encoded words per slot
+//   vwr2a_asm dis  <file.vasm>   assemble then disassemble (normalizes)
+//   vwr2a_asm run  <file.vasm>   assemble and execute on a fresh VWR2A
+//                                (column 0), print cycles + energy
+//
+// With no arguments, runs a built-in demo listing.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bus/ahb.hpp"
+#include "casm/builder.hpp"
+#include "casm/text.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/status.hpp"
+#include "energy/meter.hpp"
+#include "isa/instr.hpp"
+#include "mem/sram.hpp"
+
+using namespace vwr2a;
+
+namespace {
+
+const char* kDemo =
+    "; demo: accumulate 32 slice words of SPM row 0 into R1 of every RC\n"
+    "lcu: seti r0, #32 | lsu: ld.vwr A, [0] | mxcu: seti #0\n"
+    "rc*: sadd r1, r1, vwra | mxcu: addi #1 | lcu: dbnz r0, @1\n"
+    "rc*: mv vwrc, r1\n"
+    "lsu: st.vwr C, [1]\n"
+    "lcu: exit\n";
+
+std::string slurp(const char* path) {
+  std::ifstream f(path);
+  if (!f) throw HostError(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+int do_asm(const std::string& text) {
+  const isa::ColumnProgram prog = casm::parse_program(text);
+  for (unsigned pc = 0; pc < prog.length(); ++pc) {
+    std::printf("@%02u:", pc);
+    for (unsigned s = 0; s < arch::kSlotsPerColumn; ++s) {
+      std::printf(" %08X", prog.word(static_cast<Slot>(s), pc));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int do_dis(const std::string& text) {
+  const isa::ColumnProgram prog = casm::parse_program(text);
+  std::printf("%s", casm::to_text(prog).c_str());
+  return 0;
+}
+
+int do_run(const std::string& text) {
+  const isa::ColumnProgram prog = casm::parse_program(text);
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram(sys_meter);
+  bus::AhbBus ahb(sram, sys_meter);
+  cgra::Vwr2a acc(ahb);
+  for (unsigned i = 0; i < 128; ++i) acc.spm().poke(i, i);  // demo input
+  const unsigned id = acc.register_kernel(casm::make_kernel("cli", 0, prog));
+  const Cycle cycles = acc.run_kernel(id);
+  std::printf("executed in %llu cycles, %.4f uJ\n",
+              static_cast<unsigned long long>(cycles), acc.meter().total_uj());
+  std::printf("SRF:");
+  for (unsigned i = 0; i < arch::kSrfEntries; ++i) {
+    std::printf(" %d", static_cast<int>(acc.column(0).srf().peek(i)));
+  }
+  std::printf("\nRC R1:");
+  for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
+    std::printf(" %d", static_cast<int>(acc.column(0).rc_state(r).rf[1]));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::printf("demo listing:\n%s\n-- assembled --\n", kDemo);
+      do_asm(kDemo);
+      std::printf("-- executed --\n");
+      return do_run(kDemo);
+    }
+    const std::string mode = argv[1];
+    const std::string text = argc > 2 ? slurp(argv[2]) : kDemo;
+    if (mode == "asm") return do_asm(text);
+    if (mode == "dis") return do_dis(text);
+    if (mode == "run") return do_run(text);
+    std::fprintf(stderr, "usage: vwr2a_asm [asm|dis|run] [file.vasm]\n");
+    return 2;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

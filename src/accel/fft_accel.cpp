@@ -1,0 +1,191 @@
+#include "accel/fft_accel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace vwr2a::accel {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr std::int64_t kMax18 = (1 << (kAccelBits - 1)) - 1;
+
+/// 18-bit twiddle ROM entry (the engine stores weights in internal ROMs).
+struct RomTwiddle {
+  std::int64_t re;
+  std::int64_t im;
+};
+
+RomTwiddle rom_twiddle(unsigned n, unsigned k) {
+  const double ang = -2.0 * kPi * k / static_cast<double>(n);
+  const double s = static_cast<double>(1 << (kAccelBits - 2));  // q2.16-ish
+  return {static_cast<std::int64_t>(std::lround(std::cos(ang) * s)),
+          static_cast<std::int64_t>(std::lround(std::sin(ang) * s))};
+}
+
+/// Truncating rescale after an 18-bit x 18-bit twiddle product.
+std::int64_t tw_scale(std::int64_t v) { return v >> (kAccelBits - 2); }
+
+} // namespace
+
+unsigned FftAccel::butterfly_slots(unsigned n) {
+  unsigned logn = ilog2(n);
+  unsigned slots = 0;
+  while (logn >= 2) {
+    slots += n / 4;  // one radix-4 stage
+    logn -= 2;
+  }
+  if (logn == 1) slots += n / 2;  // trailing radix-2 stage
+  return slots;
+}
+
+void FftAccel::cfft_core(std::vector<std::int64_t>& re,
+                         std::vector<std::int64_t>& im, int& scale_exp) {
+  const unsigned n = static_cast<unsigned>(re.size());
+  const unsigned logn = ilog2(n);
+  // Bit-reversal reorder (the dual-port memory allows conflict-free
+  // read/write; charged as memory accesses).
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned j = bit_reverse(i, logn);
+    if (j > i) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  meter_->add(energy::Event::kAccelMemAccess, 2 * n);
+
+  for (unsigned len = 2; len <= n; len <<= 1) {
+    // Dynamic scaling: if the block is about to outgrow 18 bits, shift
+    // right by one and bump the exponent (block floating point).
+    std::int64_t mx = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      mx = std::max({mx, std::abs(re[i]), std::abs(im[i])});
+    }
+    if (mx > kMax18 / 2) {
+      for (unsigned i = 0; i < n; ++i) {
+        re[i] >>= 1;
+        im[i] >>= 1;
+      }
+      ++scale_exp;
+      meter_->add(energy::Event::kAccelMemAccess, 2 * n);
+    }
+    const unsigned step = n / len;
+    for (unsigned i = 0; i < n; i += len) {
+      for (unsigned j = 0; j < len / 2; ++j) {
+        const RomTwiddle w = rom_twiddle(n, j * step);
+        meter_->add(energy::Event::kAccelRomRead);
+        const std::int64_t ur = re[i + j];
+        const std::int64_t ui = im[i + j];
+        const std::int64_t vr0 = re[i + j + len / 2];
+        const std::int64_t vi0 = im[i + j + len / 2];
+        const std::int64_t vr = tw_scale(vr0 * w.re - vi0 * w.im);
+        const std::int64_t vi = tw_scale(vr0 * w.im + vi0 * w.re);
+        re[i + j] = saturate(ur + vr, kAccelBits + 8);
+        im[i + j] = saturate(ui + vi, kAccelBits + 8);
+        re[i + j + len / 2] = saturate(ur - vr, kAccelBits + 8);
+        im[i + j + len / 2] = saturate(ui - vi, kAccelBits + 8);
+        meter_->add(energy::Event::kAccelMemAccess, 8);
+      }
+    }
+  }
+}
+
+FftAccelResult FftAccel::cfft(const std::vector<cpu::CplxQ15>& x) {
+  const unsigned n = static_cast<unsigned>(x.size());
+  if (!is_pow2(n) || n < 4 || n > kMaxPoints) {
+    throw HostError("FftAccel::cfft: size must be a power of two in [4, 4096]");
+  }
+  gated_ = false;
+
+  std::vector<std::int64_t> re(n), im(n);
+  for (unsigned i = 0; i < n; ++i) {
+    re[i] = x[i].re;
+    im[i] = x[i].im;
+  }
+  int scale_exp = 0;
+  cfft_core(re, im, scale_exp);
+
+  FftAccelResult out;
+  out.re.resize(n);
+  out.im.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    out.re[i] = static_cast<std::int32_t>(saturate(re[i], kAccelBits));
+    out.im[i] = static_cast<std::int32_t>(saturate(im[i], kAccelBits));
+  }
+  out.scale_exp = scale_exp;
+
+  const unsigned slots = butterfly_slots(n);
+  out.cycles = timing_.setup_cycles +
+               static_cast<Cycle>(timing_.io_cycles_per_point * n) +
+               static_cast<Cycle>(timing_.cycles_per_bfly * slots);
+  meter_->add(energy::Event::kAccelBfly, slots);
+  meter_->add(energy::Event::kAccelIoWord, 4ull * n);  // 2N words in, 2N out
+  meter_->add(energy::Event::kAccelDmaBeat, 4ull * n);
+  meter_->add(energy::Event::kAccelCtrlCycle, out.cycles);
+  meter_->add(energy::Event::kAccelLeakCycle, out.cycles);
+  meter_->add(energy::Event::kIrq);
+  return out;
+}
+
+FftAccelResult FftAccel::rfft(const std::vector<fx::q15_t>& x) {
+  const unsigned n = static_cast<unsigned>(x.size());
+  if (!is_pow2(n) || n < 8 || n > kMaxPoints) {
+    throw HostError("FftAccel::rfft: size must be a power of two in [8, 4096]");
+  }
+  gated_ = false;
+  const unsigned h = n / 2;
+
+  // Optimized real flow: N/2-point complex FFT of packed even/odd samples,
+  // then the split stage (paper Sec 3.4 describes the same trick for VWR2A).
+  std::vector<std::int64_t> re(h), im(h);
+  for (unsigned k = 0; k < h; ++k) {
+    re[k] = x[2 * k];
+    im[k] = x[2 * k + 1];
+  }
+  int scale_exp = 0;
+  cfft_core(re, im, scale_exp);
+
+  FftAccelResult out;
+  out.re.resize(h + 1);
+  out.im.resize(h + 1);
+  for (unsigned k = 0; k <= h; ++k) {
+    const std::int64_t zkr = (k == h) ? re[0] : re[k];
+    const std::int64_t zki = (k == h) ? im[0] : im[k];
+    const std::int64_t zmr = re[(h - k) % h];
+    const std::int64_t zmi = im[(h - k) % h];
+    const std::int64_t er = (zkr + zmr) >> 1;
+    const std::int64_t ei = (zki - zmi) >> 1;
+    const std::int64_t orr = (zki + zmi) >> 1;
+    const std::int64_t oi = (zmr - zkr) >> 1;
+    const RomTwiddle w = rom_twiddle(n, k);
+    meter_->add(energy::Event::kAccelRomRead);
+    const std::int64_t xr = er + tw_scale(orr * w.re - oi * w.im);
+    const std::int64_t xi = ei + tw_scale(orr * w.im + oi * w.re);
+    out.re[k] = static_cast<std::int32_t>(saturate(xr, kAccelBits));
+    out.im[k] = static_cast<std::int32_t>(saturate(xi, kAccelBits));
+    meter_->add(energy::Event::kAccelMemAccess, 5);
+  }
+  out.scale_exp = scale_exp;
+
+  const unsigned slots = butterfly_slots(h);
+  // The real flow moves half the complex I/O volume (n real words in,
+  // n/2+1 bins out), so the per-point I/O term applies to h, not n.
+  out.cycles = timing_.setup_cycles +
+               static_cast<Cycle>(timing_.io_cycles_per_point * h) +
+               static_cast<Cycle>(timing_.cycles_per_bfly * slots) +
+               static_cast<Cycle>(timing_.split_cycles_per_point * h);
+  meter_->add(energy::Event::kAccelBfly, slots);
+  meter_->add(energy::Event::kAccelIoWord, 2ull * n);
+  meter_->add(energy::Event::kAccelDmaBeat, 2ull * n);
+  meter_->add(energy::Event::kAccelCtrlCycle, out.cycles);
+  meter_->add(energy::Event::kAccelLeakCycle, out.cycles);
+  meter_->add(energy::Event::kIrq);
+  return out;
+}
+
+} // namespace vwr2a::accel

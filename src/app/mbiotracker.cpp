@@ -1,0 +1,285 @@
+#include "app/mbiotracker.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "dsp/signal.hpp"
+
+namespace vwr2a::app {
+
+namespace {
+
+using cpu::M4Meter;
+using cpu::Op;
+using fx::q15_t;
+
+// SPM row map for the 512-sample window (see DESIGN.md):
+//   0..3   filtered window  (= FFT buffer-0 real plane)
+//   4..7   delineation flags, later zeroed as the FFT imaginary plane
+//   8..15  FFT buffer 1 (the spectrum lands here: re 8..11, im 12..15)
+//   16..19 twiddle planes
+//   28..39 resident band masks (resp / hf / total, 4 rows each)
+//   50     feature vector (slice 0)
+//   51..53 delineation records / SVM weights / FIR taps
+//   54..63 per-column kernel scratch
+constexpr unsigned kMaskResp = 28, kMaskHf = 32, kMaskTot = 36;
+constexpr unsigned kFeatRow = 50;
+
+/// Window bin of spectrum-plane position p (bit-reversed resident layout).
+unsigned bin_of_position(unsigned p) { return bit_reverse(p, 9); }
+
+bool in_band(unsigned k, unsigned lo, unsigned hi) {
+  // Band [lo, hi) plus the conjugate mirror bins of the real signal.
+  if (k >= lo && k < hi) return true;
+  const unsigned m = (kWindow - k) % kWindow;
+  return m >= lo && m < hi;
+}
+
+} // namespace
+
+MBioTracker::MBioTracker(soc::Platform& platform)
+    : plat_(&platform),
+      host_(platform.vwr2a(), platform.sram(), &platform.cpu()),
+      fir_(host_),
+      fft_(host_),
+      delin_(host_),
+      reduce_(host_) {}
+
+void MBioTracker::init() {
+  sys_tw_ = 0;
+  sys_zeros_ = kernels::FftKernels::table_words();
+  sys_masks_ = sys_zeros_ + 32;
+  sys_weights_ = sys_masks_ + 3 * kWindow;
+  sys_io_ = sys_weights_ + 8;
+  sys_scratch_ = sys_io_ + 2 * kWindow + 16;
+  fft_.prepare(sys_tw_);
+  fir_.prepare(sys_zeros_);
+
+  // Band masks in bit-reversed spectrum order (weight 1 = 2^-16: keeps the
+  // squared 16.15 bins inside 32 bits; ratios are scale-free).
+  auto build_mask = [this](unsigned base, unsigned lo, unsigned hi) {
+    for (unsigned p = 0; p < kWindow; ++p) {
+      const unsigned k = bin_of_position(p);
+      plat_->sram().poke(base + p, in_band(k, lo, hi) ? 1u : 0u);
+    }
+  };
+  build_mask(sys_masks_, kRespLo, kRespHi);
+  build_mask(sys_masks_ + kWindow, kHfLo, kHfHi);
+  build_mask(sys_masks_ + 2 * kWindow, kTotLo, kTotHi);
+  host_.dma({dma::Dir::kSysToSpm, sys_masks_, kMaskResp * 128, kWindow, 1, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_masks_ + kWindow, kMaskHf * 128, kWindow, 1, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_masks_ + 2 * kWindow, kMaskTot * 128,
+             kWindow, 1, 1});
+
+  // Quantized SVM weights (q.16 coefficients).
+  for (unsigned i = 0; i < model_.weights.size(); ++i) {
+    plat_->sram().poke(sys_weights_ + i, static_cast<Word>(
+                                             fx::to_coeff(model_.weights[i])));
+  }
+  inited_ = true;
+}
+
+int MBioTracker::svm_class_from(const Features& f) const {
+  double acc = model_.bias;
+  const auto fv = f.as_vector();
+  for (std::size_t i = 0; i < fv.size(); ++i) acc += model_.weights[i] * fv[i];
+  return acc >= 0 ? 1 : -1;
+}
+
+AppResult MBioTracker::run(Target target, const std::vector<double>& x) {
+  if (!inited_) throw HostError("MBioTracker: init() not called");
+  if (x.size() != kWindow) throw HostError("MBioTracker: window must be 512");
+  switch (target) {
+    case Target::kCpu:
+      return run_cpu(x, false);
+    case Target::kCpuFftAccel:
+      return run_cpu(x, true);
+    case Target::kCpuVwr2a:
+      return run_vwr2a(x);
+  }
+  throw HostError("MBioTracker: bad target");
+}
+
+// ---------------------------------------------------------------------------
+// CPU (and CPU + FFT accelerator) pipeline, CMSIS-style q15.
+// ---------------------------------------------------------------------------
+AppResult MBioTracker::run_cpu(const std::vector<double>& x, bool use_accel) {
+  M4Meter& m4 = plat_->cpu();
+  AppResult out;
+
+  // Quantize input (the ADC/front-end provides q15 samples; not charged).
+  std::vector<q15_t> xq(kWindow);
+  for (unsigned i = 0; i < kWindow; ++i) xq[i] = fx::to_q15(x[i]);
+  std::vector<q15_t> taps(kernels::kFirTaps);
+  {
+    const auto coeff = dsp::fir11_lowpass_q15();
+    for (unsigned i = 0; i < taps.size(); ++i) {
+      taps[i] = fx::to_q15(fx::from_coeff(coeff[i]));
+    }
+  }
+
+  // --- preprocessing --------------------------------------------------------
+  auto s0 = plat_->snapshot();
+  const auto y = cpu::fir_q15(m4, xq, taps);
+  auto s1 = plat_->snapshot();
+
+  // --- delineation ----------------------------------------------------------
+  const q15_t thr = fx::to_q15(kThreshold);
+  const auto ext = cpu::delineate_q15(m4, y, thr);
+  auto s2 = plat_->snapshot();
+
+  // --- features + prediction ------------------------------------------------
+  Features f;
+  f.mean = fx::from_q15(cpu::mean_q15(m4, y));
+  f.rms = fx::from_q15(cpu::rms_q15(m4, y));
+  f.median = fx::from_q15(cpu::median_q15(m4, y));
+  unsigned maxima = 0;
+  for (const auto& e : ext) {
+    m4.op(Op::kLoad);
+    m4.op(Op::kBranch);
+    if (e.is_max) ++maxima;
+  }
+  f.breath_rate = static_cast<double>(maxima) / 8.0;
+
+  std::int64_t p_resp = 0, p_hf = 0, p_tot = 0;
+  if (use_accel) {
+    plat_->charge_host_control();
+    const auto spec = plat_->fft_accel().rfft(y);
+    plat_->add_accel_cycles(spec.cycles);
+    auto band = [&spec, &m4](unsigned lo, unsigned hi) {
+      std::int64_t acc = 0;
+      for (unsigned k = lo; k < hi; ++k) {
+        acc += static_cast<std::int64_t>(spec.re[k]) * spec.re[k] +
+               static_cast<std::int64_t>(spec.im[k]) * spec.im[k];
+        m4.op(Op::kLoad);
+        m4.op(Op::kMac, 2);
+        m4.op(Op::kBranch);
+      }
+      return acc;
+    };
+    p_resp = band(kRespLo, kRespHi);
+    p_hf = band(kHfLo, kHfHi);
+    p_tot = band(kTotLo, kTotHi);
+  } else {
+    const auto spec = cpu::rfft_q15(m4, y);
+    p_resp = cpu::band_power_q15(m4, spec, kRespLo, kRespHi - 1);
+    p_hf = cpu::band_power_q15(m4, spec, kHfLo, kHfHi - 1);
+    p_tot = cpu::band_power_q15(m4, spec, kTotLo, kTotHi - 1);
+  }
+  m4.op(Op::kDiv, 2);
+  m4.op(Op::kAlu, 12);
+  f.resp_ratio = p_tot > 0 ? static_cast<double>(p_resp) / static_cast<double>(p_tot) : 0.0;
+  f.hf_ratio = p_tot > 0 ? static_cast<double>(p_hf) / static_cast<double>(p_tot) : 0.0;
+
+  // q15 SVM: features/4 and weights/2 keep everything inside q15.
+  std::vector<q15_t> fq, wq;
+  for (double v : f.as_vector()) fq.push_back(fx::to_q15(v / 4.0));
+  for (double w : model_.weights) wq.push_back(fx::to_q15(w / 2.0));
+  out.svm_class = cpu::svm_q15(m4, fq, wq, fx::to_q15(model_.bias / 8.0));
+  auto s3 = plat_->snapshot();
+
+  out.feat = f;
+  out.extrema = static_cast<unsigned>(ext.size());
+  auto cost = [](const soc::Platform::Snapshot& a, const soc::Platform::Snapshot& b) {
+    const auto d = soc::Platform::delta(a, b);
+    return StepCost{d.total_cycles(), d.total_uj()};
+  };
+  out.preprocessing = cost(s0, s1);
+  out.delineation = cost(s1, s2);
+  out.features = cost(s2, s3);
+  out.total = cost(s0, s3);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CPU + VWR2A pipeline: the CPU only programs kernels and reads results
+// (paper Sec 5.2: "the processor only manages the high-level control").
+// ---------------------------------------------------------------------------
+AppResult MBioTracker::run_vwr2a(const std::vector<double>& x) {
+  M4Meter& m4 = plat_->cpu();
+  AppResult out;
+
+  std::vector<std::int32_t> xq(kWindow);
+  for (unsigned i = 0; i < kWindow; ++i) xq[i] = fx::to_q16_15(x[i]);
+  host_.to_sram(sys_io_, xq);
+
+  // --- preprocessing: FIR on VWR2A, result resident in SPM rows 0..3 --------
+  auto s0 = plat_->snapshot();
+  fir_.fir11(kWindow, dsp::fir11_lowpass_q15(), sys_io_, sys_io_ + kWindow);
+  host_.dma({dma::Dir::kSysToSpm, sys_io_ + kWindow, 0, kWindow, 1, 1});
+  auto s1 = plat_->snapshot();
+
+  // --- delineation -----------------------------------------------------------
+  const std::int32_t thr = fx::to_q16_15(kThreshold);
+  const std::int32_t x0 =
+      static_cast<std::int32_t>(plat_->sram().peek(sys_io_ + kWindow));
+  const auto ext = delin_.run(kWindow, 0, thr, x0, sys_scratch_);
+  unsigned maxima = 0;
+  for (const auto& e : ext) {
+    m4.op(Op::kLoad);
+    m4.op(Op::kBranch);
+    if (e.is_max) ++maxima;
+  }
+  auto s2 = plat_->snapshot();
+
+  // --- features: reductions + resident FFT + masked band powers --------------
+  Features f;
+  const std::int32_t sum = reduce_.sum_rows(0, 4);
+  const std::int32_t sumsq = reduce_.sumsq_rows(0, 4);
+  const std::int32_t med = reduce_.median_rows(0, 4);
+  m4.op(Op::kDiv, 2);
+  m4.op(Op::kAlu, 10);
+  f.mean = static_cast<double>(sum) / kWindow / 32768.0;
+  f.rms = std::sqrt(static_cast<double>(sumsq) / kWindow / 16384.0);
+  f.median = fx::from_q16_15(med);
+  f.breath_rate = static_cast<double>(maxima) / 8.0;
+
+  // Resident FFT: real plane is the filtered window; clear the flags rows to
+  // zero the imaginary plane, then run the constant-geometry stages. The
+  // spectrum stays in the SPM in bit-reversed order; the masks are stored in
+  // the same order, so no reordering or copy-out is needed (paper Sec 5.2.3).
+  reduce_.zero_rows(4, 4);
+  kernels::FftRunStats fstats;
+  const unsigned buf = fft_.run_stages(kWindow, fstats);
+  const unsigned xre = kernels::FftKernels::plane_row(kWindow, buf, 0);
+  const unsigned xim = kernels::FftKernels::plane_row(kWindow, buf, 1);
+  auto band = [this, xre, xim](unsigned mask_row) {
+    return static_cast<std::int64_t>(reduce_.masked_power(xre, mask_row, 4)) +
+           static_cast<std::int64_t>(reduce_.masked_power(xim, mask_row, 4));
+  };
+  const std::int64_t p_resp = band(kMaskResp);
+  const std::int64_t p_hf = band(kMaskHf);
+  const std::int64_t p_tot = band(kMaskTot);
+  m4.op(Op::kDiv, 2);
+  m4.op(Op::kAlu, 12);
+  f.resp_ratio = p_tot > 0 ? static_cast<double>(p_resp) / static_cast<double>(p_tot) : 0.0;
+  f.hf_ratio = p_tot > 0 ? static_cast<double>(p_hf) / static_cast<double>(p_tot) : 0.0;
+
+  // SVM on the array: quantized features into the feature row, dot product
+  // through RC0, bias and sign on the host.
+  std::vector<std::int32_t> fq;
+  for (double v : f.as_vector()) fq.push_back(fx::to_q16_15(v));
+  host_.to_sram(sys_scratch_ + 16, fq);
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch_ + 16, kFeatRow * 128,
+             static_cast<std::uint32_t>(fq.size()), 1, 1});
+  const std::int32_t dot = reduce_.dot(kFeatRow, sys_weights_,
+                                       static_cast<unsigned>(fq.size()));
+  m4.op(Op::kAlu, 4);
+  out.svm_class = (dot + fx::to_q16_15(model_.bias)) >= 0 ? 1 : -1;
+  auto s3 = plat_->snapshot();
+
+  out.feat = f;
+  out.extrema = static_cast<unsigned>(ext.size());
+  auto cost = [](const soc::Platform::Snapshot& a, const soc::Platform::Snapshot& b) {
+    const auto d = soc::Platform::delta(a, b);
+    return StepCost{d.total_cycles(), d.total_uj()};
+  };
+  out.preprocessing = cost(s0, s1);
+  out.delineation = cost(s1, s2);
+  out.features = cost(s2, s3);
+  out.total = cost(s0, s3);
+  return out;
+}
+
+} // namespace vwr2a::app

@@ -1,0 +1,121 @@
+#pragma once
+// MBioTracker-like cognitive-workload application (paper Sec 4.4.2): FIR
+// preprocessing of a respiration signal, min/max delineation, time- and
+// frequency-feature extraction, and an SVM prediction. Runnable on three
+// platform configurations, matching Table 5's columns:
+//   * CPU only            (Cortex-M4-like model, CMSIS-style q15 kernels)
+//   * CPU + FFT ACCEL     (the fixed-function engine computes the FFT)
+//   * CPU + VWR2A         (the whole pipeline on the reconfigurable array;
+//                          the CPU only orchestrates, paper Sec 5.2)
+//
+// The recordings behind the paper are not public; the synthetic respiration
+// generator (dsp/signal.hpp) produces slow/deep ("relaxed") vs fast/shallow
+// ("loaded") breathing, and a fixed linear SVM separates the two classes.
+// All three platforms must agree on the class output.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/reference.hpp"
+#include "kernels/delineation.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/fir.hpp"
+#include "kernels/reduce.hpp"
+#include "soc/platform.hpp"
+
+namespace vwr2a::app {
+
+/// Samples per processing window (paper Sec 5.2: a 512-sample FFT window).
+inline constexpr unsigned kWindow = 512;
+
+/// Delineation hysteresis threshold (normalized units).
+inline constexpr double kThreshold = 0.08;
+
+/// Frequency bands (bins of the 512-point transform, DC excluded).
+inline constexpr unsigned kRespLo = 1, kRespHi = 8;   // ~0.06..0.44 Hz @32 Hz
+inline constexpr unsigned kHfLo = 16, kHfHi = 64;     // ~1..4 Hz
+inline constexpr unsigned kTotLo = 1, kTotHi = 255;
+
+/// Normalized feature vector (platform-independent semantics).
+struct Features {
+  double mean = 0.0;        ///< mean of the filtered window
+  double rms = 0.0;         ///< RMS of the filtered window
+  double median = 0.0;      ///< median of the filtered window
+  double breath_rate = 0.0; ///< detected maxima per window / 8
+  double resp_ratio = 0.0;  ///< respiration-band power fraction
+  double hf_ratio = 0.0;    ///< high-band power fraction
+
+  std::vector<double> as_vector() const {
+    return {mean, rms, median, breath_rate, resp_ratio, hf_ratio};
+  }
+};
+
+/// Fixed SVM (weights in natural units; each platform quantizes them).
+struct SvmModel {
+  std::vector<double> weights = {0.1, 0.2, 0.1, 2.0, 0.5, -0.5};
+  double bias = -2.0;
+};
+
+/// Per-step and total cost of one window (cycles on the active engines and
+/// energy over all meters), mirroring Table 5's rows.
+struct StepCost {
+  Cycle cycles = 0;
+  double uj = 0.0;
+};
+
+struct AppResult {
+  int svm_class = 0;  ///< +1 = high workload, -1 = low
+  Features feat;
+  StepCost preprocessing;
+  StepCost delineation;
+  StepCost features;  ///< feature extraction + SVM prediction
+  StepCost total;
+  unsigned extrema = 0;
+};
+
+/// Which engine accelerates the pipeline.
+enum class Target {
+  kCpu,          ///< everything on the M4 model
+  kCpuFftAccel,  ///< FFT on the fixed-function engine, rest on the CPU
+  kCpuVwr2a,     ///< everything on VWR2A (CPU orchestrates)
+};
+
+/// The application. Owns the VWR2A kernel families (registered once, like a
+/// firmware image) but not the platform.
+class MBioTracker {
+ public:
+  explicit MBioTracker(soc::Platform& platform);
+
+  /// One-time setup: twiddle/zero tables and band masks in system memory,
+  /// resident mask rows in the SPM. Charged separately from the windows.
+  void init();
+
+  /// Processes one window of kWindow samples (natural units in [-1, 1])
+  /// on the selected target.
+  AppResult run(Target target, const std::vector<double>& x);
+
+ private:
+  AppResult run_cpu(const std::vector<double>& x, bool use_accel);
+  AppResult run_vwr2a(const std::vector<double>& x);
+  int svm_class_from(const Features& f) const;
+
+  soc::Platform* plat_;
+  kernels::Host host_;
+  kernels::FirKernels fir_;
+  kernels::FftKernels fft_;
+  kernels::DelineationKernels delin_;
+  kernels::ReduceKernels reduce_;
+  SvmModel model_;
+  bool inited_ = false;
+
+  // System-memory map (word addresses).
+  unsigned sys_tw_ = 0;       ///< FFT twiddle tables
+  unsigned sys_zeros_ = 0;    ///< FIR zero block + taps
+  unsigned sys_masks_ = 0;    ///< band masks (3 x 512 words, bitrev order)
+  unsigned sys_weights_ = 0;  ///< quantized SVM weights
+  unsigned sys_io_ = 0;       ///< window input/output staging
+  unsigned sys_scratch_ = 0;  ///< driver scratch
+};
+
+} // namespace vwr2a::app

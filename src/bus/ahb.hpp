@@ -1,0 +1,60 @@
+#pragma once
+// AMBA-AHB-like transaction-level bus model. The paper's SoC connects the
+// CPU, SRAM, DMA and accelerators through an AMBA-AHB interface (Sec 4.1);
+// VWR2A gets one master port (its DMA) and one slave port (control). This
+// model routes word transactions to the system SRAM, charges bus energy per
+// beat, and exposes AHB-ish timing parameters (single-cycle data beats,
+// 2-cycle arbitration/address phase, INCR16 bursts).
+
+#include <cstdint>
+
+#include "bus/sys_port.hpp"
+#include "energy/meter.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::bus {
+
+/// Timing knobs of the bus model.
+struct AhbConfig {
+  unsigned beat_cycles = 1;        ///< data phase per beat
+  unsigned burst_setup_cycles = 2; ///< arbitration + address phase
+  unsigned burst_beats = 16;       ///< INCR16
+};
+
+/// The system interconnect: one address space backed by the system SRAM.
+class AhbBus final : public SysPort {
+ public:
+  AhbBus(mem::SystemSram& sram, energy::EnergyMeter& meter,
+         AhbConfig cfg = AhbConfig{})
+      : sram_(&sram), meter_(&meter), cfg_(cfg) {}
+
+  Word read(std::uint32_t word_addr) override {
+    meter_->add(energy::Event::kBusBeat);
+    ++beats_;
+    return sram_->read(word_addr);
+  }
+
+  void write(std::uint32_t word_addr, Word v) override {
+    meter_->add(energy::Event::kBusBeat);
+    ++beats_;
+    sram_->write(word_addr, v);
+  }
+
+  unsigned beat_cycles() const override { return cfg_.beat_cycles; }
+  unsigned burst_setup_cycles() const override { return cfg_.burst_setup_cycles; }
+  unsigned burst_beats() const override { return cfg_.burst_beats; }
+
+  /// Charges one burst-setup worth of arbitration energy.
+  void charge_setup() { meter_->add(energy::Event::kBusSetup); }
+
+  /// Total data beats observed (tests).
+  std::uint64_t beats() const { return beats_; }
+
+ private:
+  mem::SystemSram* sram_;
+  energy::EnergyMeter* meter_;
+  AhbConfig cfg_;
+  std::uint64_t beats_ = 0;
+};
+
+} // namespace vwr2a::bus

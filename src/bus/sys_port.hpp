@@ -1,0 +1,32 @@
+#pragma once
+// Abstract system-memory port: what a bus master (the VWR2A DMA, the FFT
+// accelerator, the CPU load/store unit) sees of the SoC interconnect.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace vwr2a::bus {
+
+/// One word-granular master port into the system interconnect.
+class SysPort {
+ public:
+  virtual ~SysPort() = default;
+
+  /// Reads the word at `word_addr` (word-addressed system memory map).
+  virtual Word read(std::uint32_t word_addr) = 0;
+
+  /// Writes the word at `word_addr`.
+  virtual void write(std::uint32_t word_addr, Word v) = 0;
+
+  /// Cycles per data beat once a burst is established.
+  virtual unsigned beat_cycles() const = 0;
+
+  /// Cycles of arbitration + address phase when a burst starts.
+  virtual unsigned burst_setup_cycles() const = 0;
+
+  /// Maximum beats per burst (INCR16-style bursts).
+  virtual unsigned burst_beats() const = 0;
+};
+
+} // namespace vwr2a::bus

@@ -1,0 +1,68 @@
+#include "casm/builder.hpp"
+
+namespace vwr2a::casm {
+
+ProgramBuilder& ProgramBuilder::LineBuilder::emit() {
+  ProgramBuilder::PendingLine pl;
+  pl.lcu = lcu_;
+  pl.lsu = lsu_;
+  pl.mxcu = mxcu_;
+  pl.rc = rc_;
+  if (label_) {
+    pb_->check_label(*label_);
+    pl.label_id = label_->id_;
+  }
+  pb_->lines_.push_back(pl);
+  return *pb_;
+}
+
+isa::ColumnProgram ProgramBuilder::build() const {
+  if (lines_.size() > arch::kProgramWords) {
+    throw AsmError("ProgramBuilder: program exceeds 64-word program memory (" +
+                   std::to_string(lines_.size()) + " lines)");
+  }
+  isa::ColumnProgram prog;
+  for (const PendingLine& pl : lines_) {
+    isa::LcuInstr lcu = pl.lcu;
+    if (pl.label_id) {
+      const unsigned addr = labels_[*pl.label_id];
+      if (addr == kUnbound) throw AsmError("ProgramBuilder: unbound label");
+      lcu.target = static_cast<std::uint8_t>(addr);
+    }
+    std::array<std::uint32_t, arch::kSlotsPerColumn> line{};
+    line[slot_index(Slot::LCU)] = isa::encode(lcu);
+    line[slot_index(Slot::LSU)] = isa::encode(pl.lsu);
+    line[slot_index(Slot::MXCU)] = isa::encode(pl.mxcu);
+    for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
+      line[slot_index(rc_slot(r))] = isa::encode(pl.rc[r]);
+    }
+    prog.append_line(line);
+  }
+  return prog;
+}
+
+isa::KernelImage make_kernel(std::string name, unsigned column,
+                             const isa::ColumnProgram& prog) {
+  if (column >= arch::kNumColumns) throw AsmError("make_kernel: bad column");
+  isa::KernelImage img;
+  img.name = std::move(name);
+  img.columns = column == 0 ? isa::ColumnSet::kCol0 : isa::ColumnSet::kCol1;
+  img.program[column] = prog;
+  return img;
+}
+
+isa::KernelImage make_kernel2(std::string name, const isa::ColumnProgram& col0,
+                              const isa::ColumnProgram& col1) {
+  if (col0.length() != col1.length()) {
+    throw AsmError("make_kernel2: column programs must have equal length "
+                   "(shared synchronized PC)");
+  }
+  isa::KernelImage img;
+  img.name = std::move(name);
+  img.columns = isa::ColumnSet::kBoth;
+  img.program[0] = col0;
+  img.program[1] = col1;
+  return img;
+}
+
+} // namespace vwr2a::casm

@@ -1,0 +1,142 @@
+#pragma once
+// Programmatic kernel assembler. The paper maps kernels manually (Sec 2:
+// "We have currently mapped the code manually on VWR2A"); this builder is
+// the reproduction's equivalent of that manual mapping: kernel generators
+// emit one VLIW line per cycle (7 slots) with labels for the LCU branches,
+// and the builder resolves targets and enforces the 64-word program memory.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+#include "isa/program.hpp"
+
+namespace vwr2a::casm {
+
+/// A forward-referenceable program location.
+class Label {
+ public:
+  Label() = default;
+
+ private:
+  friend class ProgramBuilder;
+  explicit Label(unsigned id) : id_(id) {}
+  unsigned id_ = ~0u;
+};
+
+/// Builds one column's program line by line.
+///
+///   ProgramBuilder pb;
+///   Label loop = pb.make_label();
+///   pb.bind(loop);
+///   pb.line().rc_all(rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB))
+///            .mxcu(mxcu_add_idx(1))
+///            .lcu(lcu_blt(0, 1, loop))
+///            .emit();
+///   pb.line().lcu(lcu_exit()).emit();
+///   isa::ColumnProgram prog = pb.build();
+class ProgramBuilder {
+ public:
+  /// Fluent one-line (one-cycle) builder. Unset slots stay NOP.
+  class LineBuilder {
+   public:
+    LineBuilder& lcu(const isa::LcuInstr& i) {
+      lcu_ = i;
+      return *this;
+    }
+    /// LCU branch whose target is a label (resolved at build()).
+    LineBuilder& lcu(const isa::LcuInstr& i, Label target) {
+      lcu_ = i;
+      label_ = target;
+      return *this;
+    }
+    LineBuilder& lsu(const isa::LsuInstr& i) {
+      lsu_ = i;
+      return *this;
+    }
+    LineBuilder& mxcu(const isa::MxcuInstr& i) {
+      mxcu_ = i;
+      return *this;
+    }
+    LineBuilder& rc(unsigned r, const isa::RcInstr& i) {
+      if (r >= arch::kRcsPerColumn) throw AsmError("LineBuilder: bad RC row");
+      rc_[r] = i;
+      return *this;
+    }
+    /// Broadcasts the same instruction to all four RCs.
+    LineBuilder& rc_all(const isa::RcInstr& i) {
+      rc_.fill(i);
+      return *this;
+    }
+    /// Commits the line to the program.
+    ProgramBuilder& emit();
+
+   private:
+    friend class ProgramBuilder;
+    explicit LineBuilder(ProgramBuilder& pb) : pb_(&pb) {}
+    ProgramBuilder* pb_;
+    isa::LcuInstr lcu_{};
+    isa::LsuInstr lsu_{};
+    isa::MxcuInstr mxcu_{};
+    std::array<isa::RcInstr, arch::kRcsPerColumn> rc_{};
+    std::optional<Label> label_;
+  };
+
+  /// Starts a new line.
+  LineBuilder line() { return LineBuilder(*this); }
+
+  /// Creates an unbound label.
+  Label make_label() {
+    labels_.push_back(kUnbound);
+    return Label(static_cast<unsigned>(labels_.size() - 1));
+  }
+
+  /// Binds a label to the *next* emitted line.
+  void bind(Label l) {
+    check_label(l);
+    if (labels_[l.id_] != kUnbound) throw AsmError("Label bound twice");
+    labels_[l.id_] = static_cast<unsigned>(lines_.size());
+  }
+
+  /// Lines emitted so far.
+  unsigned size() const { return static_cast<unsigned>(lines_.size()); }
+
+  /// Resolves labels, encodes, and returns the program. Throws AsmError on
+  /// unbound labels or programs longer than the 64-word program memory.
+  isa::ColumnProgram build() const;
+
+ private:
+  friend class LineBuilder;
+  static constexpr unsigned kUnbound = ~0u;
+
+  struct PendingLine {
+    isa::LcuInstr lcu;
+    isa::LsuInstr lsu;
+    isa::MxcuInstr mxcu;
+    std::array<isa::RcInstr, arch::kRcsPerColumn> rc;
+    std::optional<unsigned> label_id;
+  };
+
+  void check_label(Label l) const {
+    if (l.id_ >= labels_.size()) throw AsmError("Unknown label");
+  }
+
+  std::vector<PendingLine> lines_;
+  std::vector<unsigned> labels_;
+};
+
+/// Wraps one program as a single-column kernel image.
+isa::KernelImage make_kernel(std::string name, unsigned column,
+                             const isa::ColumnProgram& prog);
+
+/// Wraps per-column programs as a synchronized two-column kernel image.
+/// The two programs must have equal length (shared PC).
+isa::KernelImage make_kernel2(std::string name, const isa::ColumnProgram& col0,
+                              const isa::ColumnProgram& col1);
+
+} // namespace vwr2a::casm

@@ -1,0 +1,338 @@
+#pragma once
+// Readable factory helpers for decoded instructions, used by the kernel
+// generators. Each returns a validated instruction struct; encoding happens
+// in ProgramBuilder::build().
+
+#include "isa/instr.hpp"
+
+namespace vwr2a::casm {
+
+using isa::LcuInstr;
+using isa::LcuOp;
+using isa::LsuInstr;
+using isa::LsuOp;
+using isa::MxcuInstr;
+using isa::MxcuOp;
+using isa::RcDst;
+using isa::RcInstr;
+using isa::RcOp;
+using isa::RcSrc;
+using isa::ShufMode;
+
+// --- RC ----------------------------------------------------------------------
+
+/// Generic binary RC operation.
+inline RcInstr rc_op(RcOp op, RcDst dst, RcSrc a, RcSrc b, std::uint8_t srf = 0,
+                     std::int8_t imm = 0) {
+  RcInstr i;
+  i.op = op;
+  i.dst = dst;
+  i.src_a = a;
+  i.src_b = b;
+  i.srf = srf;
+  i.imm = imm;
+  return i;
+}
+
+inline RcInstr rc_nop() { return RcInstr{}; }
+
+inline RcInstr rc_add(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0,
+                      std::int8_t imm = 0) {
+  return rc_op(RcOp::kSadd, d, a, b, srf, imm);
+}
+inline RcInstr rc_sub(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0,
+                      std::int8_t imm = 0) {
+  return rc_op(RcOp::kSsub, d, a, b, srf, imm);
+}
+inline RcInstr rc_mul(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0,
+                      std::int8_t imm = 0) {
+  return rc_op(RcOp::kSmul, d, a, b, srf, imm);
+}
+/// Fixed-point 16.15 multiply (paper Sec 3.1).
+inline RcInstr rc_fxpmul(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0,
+                         std::int8_t imm = 0) {
+  return rc_op(RcOp::kFxpMul, d, a, b, srf, imm);
+}
+inline RcInstr rc_mv(RcDst d, RcSrc a, std::uint8_t srf = 0, std::int8_t imm = 0) {
+  return rc_op(RcOp::kMv, d, a, RcSrc::kZero, srf, imm);
+}
+inline RcInstr rc_max(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0) {
+  return rc_op(RcOp::kMax, d, a, b, srf);
+}
+inline RcInstr rc_min(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0) {
+  return rc_op(RcOp::kMin, d, a, b, srf);
+}
+inline RcInstr rc_cmplt(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0,
+                        std::int8_t imm = 0) {
+  return rc_op(RcOp::kCmpLt, d, a, b, srf, imm);
+}
+inline RcInstr rc_sra(RcDst d, RcSrc a, RcSrc b, std::uint8_t srf = 0,
+                      std::int8_t imm = 0) {
+  return rc_op(RcOp::kSra, d, a, b, srf, imm);
+}
+
+// --- LSU ----------------------------------------------------------------------
+
+inline LsuInstr lsu_nop() { return LsuInstr{}; }
+
+/// VWR[v] = SPM.row[row].
+inline LsuInstr lsu_ld_vwr(VwrSel v, unsigned row) {
+  LsuInstr i;
+  i.op = LsuOp::kLdVwr;
+  i.vwr = v;
+  i.imm = static_cast<std::uint16_t>(row);
+  return i;
+}
+/// VWR[v] = SPM.row[SRF[base] + offset].
+inline LsuInstr lsu_ld_vwr_srf(VwrSel v, std::uint8_t base, int offset = 0) {
+  LsuInstr i;
+  i.op = LsuOp::kLdVwr;
+  i.vwr = v;
+  i.amode = isa::LsuAddrMode::kSrfImm;
+  i.srf_base = base;
+  i.imm = static_cast<std::int16_t>(offset);
+  return i;
+}
+/// SPM.row[row] = VWR[v].
+inline LsuInstr lsu_st_vwr(VwrSel v, unsigned row) {
+  LsuInstr i;
+  i.op = LsuOp::kStVwr;
+  i.vwr = v;
+  i.imm = static_cast<std::uint16_t>(row);
+  return i;
+}
+/// SPM.row[SRF[base] + offset] = VWR[v].
+inline LsuInstr lsu_st_vwr_srf(VwrSel v, std::uint8_t base, int offset = 0) {
+  LsuInstr i;
+  i.op = LsuOp::kStVwr;
+  i.vwr = v;
+  i.amode = isa::LsuAddrMode::kSrfImm;
+  i.srf_base = base;
+  i.imm = static_cast<std::int16_t>(offset);
+  return i;
+}
+/// SRF[data] = SPM.word[word].
+inline LsuInstr lsu_ld_srf(std::uint8_t data, unsigned word) {
+  LsuInstr i;
+  i.op = LsuOp::kLdSrf;
+  i.srf_data = data;
+  i.imm = static_cast<std::int16_t>(word);
+  return i;
+}
+/// SRF[data] = SPM.word[SRF[base] + offset].
+inline LsuInstr lsu_ld_srf_srf(std::uint8_t data, std::uint8_t base,
+                               int offset = 0) {
+  LsuInstr i;
+  i.op = LsuOp::kLdSrf;
+  i.srf_data = data;
+  i.amode = isa::LsuAddrMode::kSrfImm;
+  i.srf_base = base;
+  i.imm = static_cast<std::int16_t>(offset);
+  return i;
+}
+/// SPM.word[word] = SRF[data].
+inline LsuInstr lsu_st_srf(std::uint8_t data, unsigned word) {
+  LsuInstr i;
+  i.op = LsuOp::kStSrf;
+  i.srf_data = data;
+  i.imm = static_cast<std::int16_t>(word);
+  return i;
+}
+/// SRF[data] = SPM.word[Pp], with post-increment by stride.
+inline LsuInstr lsu_ld_srf_ptr(std::uint8_t data, unsigned p, int stride) {
+  LsuInstr i;
+  i.op = LsuOp::kLdSrf;
+  i.srf_data = data;
+  i.amode = p == 0 ? isa::LsuAddrMode::kPtr0Post : isa::LsuAddrMode::kPtr1Post;
+  i.imm = static_cast<std::int16_t>(stride);
+  return i;
+}
+/// SPM.word[Pp] = SRF[data], with post-increment by stride.
+inline LsuInstr lsu_st_srf_ptr(std::uint8_t data, unsigned p, int stride) {
+  LsuInstr i;
+  i.op = LsuOp::kStSrf;
+  i.srf_data = data;
+  i.amode = p == 0 ? isa::LsuAddrMode::kPtr0Post : isa::LsuAddrMode::kPtr1Post;
+  i.imm = static_cast<std::int16_t>(stride);
+  return i;
+}
+/// Pp = SRF[base] + offset.
+inline LsuInstr lsu_setptr(unsigned p, std::uint8_t base, int offset = 0) {
+  LsuInstr i;
+  i.op = LsuOp::kSetPtr;
+  i.vwr = p == 0 ? VwrSel::A : VwrSel::B;
+  i.srf_base = base;
+  i.imm = static_cast<std::int16_t>(offset);
+  return i;
+}
+/// VWR C = shuffle(VWR A, VWR B, mode).
+inline LsuInstr lsu_shuf(ShufMode mode) {
+  LsuInstr i;
+  i.op = LsuOp::kShuf;
+  i.mode = mode;
+  return i;
+}
+
+// --- MXCU ----------------------------------------------------------------------
+
+inline MxcuInstr mxcu_nop() { return MxcuInstr{}; }
+
+inline MxcuInstr mxcu_set_idx(int idx) {
+  MxcuInstr i;
+  i.op = MxcuOp::kSetIdx;
+  i.imm = static_cast<std::int16_t>(idx);
+  return i;
+}
+inline MxcuInstr mxcu_add_idx(int delta) {
+  MxcuInstr i;
+  i.op = MxcuOp::kAddIdx;
+  i.imm = static_cast<std::int16_t>(delta);
+  return i;
+}
+inline MxcuInstr mxcu_set_idx_srf(std::uint8_t srf) {
+  MxcuInstr i;
+  i.op = MxcuOp::kSetIdxSrf;
+  i.srf = srf;
+  return i;
+}
+inline MxcuInstr mxcu_and_idx_srf(std::uint8_t srf) {
+  MxcuInstr i;
+  i.op = MxcuOp::kAndIdxSrf;
+  i.srf = srf;
+  return i;
+}
+
+// --- LCU ----------------------------------------------------------------------
+
+inline LcuInstr lcu_nop() { return LcuInstr{}; }
+
+inline LcuInstr lcu_set(std::uint8_t rd, int imm) {
+  LcuInstr i;
+  i.op = LcuOp::kSetI;
+  i.rd = rd;
+  i.imm = static_cast<std::int16_t>(imm);
+  return i;
+}
+inline LcuInstr lcu_add(std::uint8_t rd, int imm) {
+  LcuInstr i;
+  i.op = LcuOp::kAddI;
+  i.rd = rd;
+  i.imm = static_cast<std::int16_t>(imm);
+  return i;
+}
+inline LcuInstr lcu_mvr(std::uint8_t rd, std::uint8_t ra) {
+  LcuInstr i;
+  i.op = LcuOp::kMvR;
+  i.rd = rd;
+  i.ra = ra;
+  return i;
+}
+inline LcuInstr lcu_addr(std::uint8_t rd, std::uint8_t ra) {
+  LcuInstr i;
+  i.op = LcuOp::kAddR;
+  i.rd = rd;
+  i.ra = ra;
+  return i;
+}
+inline LcuInstr lcu_subr(std::uint8_t rd, std::uint8_t ra) {
+  LcuInstr i;
+  i.op = LcuOp::kSubR;
+  i.rd = rd;
+  i.ra = ra;
+  return i;
+}
+inline LcuInstr lcu_mv_srf(std::uint8_t rd, std::uint8_t srf) {
+  LcuInstr i;
+  i.op = LcuOp::kMvSrf;
+  i.rd = rd;
+  i.srf = srf;
+  return i;
+}
+inline LcuInstr lcu_st_srf(std::uint8_t srf, std::uint8_t ra) {
+  LcuInstr i;
+  i.op = LcuOp::kStSrf;
+  i.srf = srf;
+  i.ra = ra;
+  return i;
+}
+/// Unconditional branch (target patched from a label).
+inline LcuInstr lcu_b() {
+  LcuInstr i;
+  i.op = LcuOp::kB;
+  return i;
+}
+inline LcuInstr lcu_blt(std::uint8_t ra, std::uint8_t rb) {
+  LcuInstr i;
+  i.op = LcuOp::kBlt;
+  i.ra = ra;
+  i.rb = rb;
+  return i;
+}
+inline LcuInstr lcu_bge(std::uint8_t ra, std::uint8_t rb) {
+  LcuInstr i;
+  i.op = LcuOp::kBge;
+  i.ra = ra;
+  i.rb = rb;
+  return i;
+}
+inline LcuInstr lcu_bne(std::uint8_t ra, std::uint8_t rb) {
+  LcuInstr i;
+  i.op = LcuOp::kBne;
+  i.ra = ra;
+  i.rb = rb;
+  return i;
+}
+inline LcuInstr lcu_beq_imm(std::uint8_t ra, int imm) {
+  LcuInstr i;
+  i.op = LcuOp::kBeqI;
+  i.ra = ra;
+  i.imm = static_cast<std::int16_t>(imm);
+  return i;
+}
+inline LcuInstr lcu_blt_imm(std::uint8_t ra, int imm) {
+  LcuInstr i;
+  i.op = LcuOp::kBltI;
+  i.ra = ra;
+  i.imm = static_cast<std::int16_t>(imm);
+  return i;
+}
+inline LcuInstr lcu_bne_imm(std::uint8_t ra, int imm) {
+  LcuInstr i;
+  i.op = LcuOp::kBneI;
+  i.ra = ra;
+  i.imm = static_cast<std::int16_t>(imm);
+  return i;
+}
+inline LcuInstr lcu_bge_imm(std::uint8_t ra, int imm) {
+  LcuInstr i;
+  i.op = LcuOp::kBgeI;
+  i.ra = ra;
+  i.imm = static_cast<std::int16_t>(imm);
+  return i;
+}
+inline LcuInstr lcu_bsrfz(std::uint8_t srf) {
+  LcuInstr i;
+  i.op = LcuOp::kBsrfZ;
+  i.srf = srf;
+  return i;
+}
+inline LcuInstr lcu_bsrfnz(std::uint8_t srf) {
+  LcuInstr i;
+  i.op = LcuOp::kBsrfNz;
+  i.srf = srf;
+  return i;
+}
+/// Hardware loop: rd -= 1; branch to the label while rd != 0.
+inline LcuInstr lcu_dbnz(std::uint8_t rd) {
+  LcuInstr i;
+  i.op = LcuOp::kDbnz;
+  i.rd = rd;
+  return i;
+}
+inline LcuInstr lcu_exit() {
+  LcuInstr i;
+  i.op = LcuOp::kExit;
+  return i;
+}
+
+} // namespace vwr2a::casm

@@ -1,0 +1,466 @@
+#include <array>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casm/text.hpp"
+#include "common/status.hpp"
+#include "isa/instr.hpp"
+
+namespace vwr2a::casm {
+
+namespace {
+
+using isa::LcuInstr;
+using isa::LcuOp;
+using isa::LsuInstr;
+using isa::LsuOp;
+using isa::MxcuInstr;
+using isa::MxcuOp;
+using isa::RcDst;
+using isa::RcInstr;
+using isa::RcOp;
+using isa::RcSrc;
+using isa::ShufMode;
+
+[[noreturn]] void fail(unsigned line_no, const std::string& msg) {
+  throw AsmError("asm parse: line " + std::to_string(line_no) + ": " + msg);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(trim(cur));
+  return out;
+}
+
+/// Splits "op arg1, arg2" into op token and comma-separated args.
+std::pair<std::string, std::vector<std::string>> op_args(const std::string& s,
+                                                         unsigned line_no) {
+  const std::string t = trim(s);
+  if (t.empty()) fail(line_no, "empty instruction");
+  const std::size_t sp = t.find_first_of(" \t");
+  if (sp == std::string::npos) return {t, {}};
+  const std::string op = t.substr(0, sp);
+  auto args = split(t.substr(sp + 1), ',');
+  if (args.size() == 1 && args[0].empty()) args.clear();
+  return {op, args};
+}
+
+int parse_int(const std::string& s, unsigned line_no) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos, 0);
+    if (pos != s.size()) fail(line_no, "bad integer '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    fail(line_no, "bad integer '" + s + "'");
+  }
+}
+
+int parse_imm(const std::string& s, unsigned line_no) {
+  if (s.empty() || s[0] != '#') fail(line_no, "expected #imm, got '" + s + "'");
+  return parse_int(s.substr(1), line_no);
+}
+
+bool parse_srf(const std::string& s, std::uint8_t& idx) {
+  if (s.size() == 4 && s.compare(0, 3, "srf") == 0 && std::isdigit(s[3])) {
+    idx = static_cast<std::uint8_t>(s[3] - '0');
+    return true;
+  }
+  return false;
+}
+
+unsigned parse_target(const std::string& s, unsigned line_no) {
+  if (s.empty() || s[0] != '@') fail(line_no, "expected @target, got '" + s + "'");
+  return static_cast<unsigned>(parse_int(s.substr(1), line_no));
+}
+
+std::uint8_t parse_lcu_reg(const std::string& s, unsigned line_no) {
+  if (s.size() == 2 && s[0] == 'r' && std::isdigit(s[1])) {
+    return static_cast<std::uint8_t>(s[1] - '0');
+  }
+  fail(line_no, "expected LCU register, got '" + s + "'");
+}
+
+// ---------------------------------------------------------------------------
+// RC
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, RcOp>& rc_ops() {
+  static const std::map<std::string, RcOp> m = {
+      {"nop", RcOp::kNop},     {"sadd", RcOp::kSadd},  {"ssub", RcOp::kSsub},
+      {"smul", RcOp::kSmul},   {"fxpmul", RcOp::kFxpMul}, {"sll", RcOp::kSll},
+      {"srl", RcOp::kSrl},     {"sra", RcOp::kSra},    {"land", RcOp::kLand},
+      {"lor", RcOp::kLor},     {"lxor", RcOp::kLxor},  {"lnot", RcOp::kLnot},
+      {"mv", RcOp::kMv},       {"cmpeq", RcOp::kCmpEq}, {"cmplt", RcOp::kCmpLt},
+      {"cmple", RcOp::kCmpLe}, {"max", RcOp::kMax},    {"min", RcOp::kMin},
+      {"abs", RcOp::kAbs},
+  };
+  return m;
+}
+
+bool rc_unary(RcOp op) {
+  return op == RcOp::kLnot || op == RcOp::kMv || op == RcOp::kAbs;
+}
+
+RcSrc parse_rc_src(const std::string& s, RcInstr& instr, bool& srf_set,
+                   unsigned line_no) {
+  static const std::map<std::string, RcSrc> plain = {
+      {"zero", RcSrc::kZero}, {"one", RcSrc::kOne},   {"r0", RcSrc::kR0},
+      {"r1", RcSrc::kR1},     {"vwra", RcSrc::kVwrA}, {"vwrb", RcSrc::kVwrB},
+      {"vwrc", RcSrc::kVwrC}, {"rcu", RcSrc::kRcUp},  {"rcd", RcSrc::kRcDown},
+      {"rcx", RcSrc::kRcCross},
+  };
+  if (auto it = plain.find(s); it != plain.end()) return it->second;
+  std::uint8_t srf = 0;
+  if (parse_srf(s, srf)) {
+    if (srf_set && instr.srf != srf) {
+      fail(line_no, "RC instruction uses two different SRF entries");
+    }
+    instr.srf = srf;
+    srf_set = true;
+    return RcSrc::kSrf;
+  }
+  if (!s.empty() && s[0] == '#') {
+    instr.imm = static_cast<std::int8_t>(parse_imm(s, line_no));
+    return RcSrc::kImm;
+  }
+  fail(line_no, "bad RC source '" + s + "'");
+}
+
+RcDst parse_rc_dst(const std::string& s, RcInstr& instr, bool& srf_set,
+                   unsigned line_no) {
+  static const std::map<std::string, RcDst> plain = {
+      {"none", RcDst::kNone}, {"r0", RcDst::kR0},     {"r1", RcDst::kR1},
+      {"vwra", RcDst::kVwrA}, {"vwrb", RcDst::kVwrB}, {"vwrc", RcDst::kVwrC},
+  };
+  if (auto it = plain.find(s); it != plain.end()) return it->second;
+  std::uint8_t srf = 0;
+  if (parse_srf(s, srf)) {
+    if (srf_set && instr.srf != srf) {
+      fail(line_no, "RC instruction uses two different SRF entries");
+    }
+    instr.srf = srf;
+    srf_set = true;
+    return RcDst::kSrf;
+  }
+  fail(line_no, "bad RC destination '" + s + "'");
+}
+
+RcInstr parse_rc(const std::string& text, unsigned line_no) {
+  auto [op, args] = op_args(text, line_no);
+  RcInstr instr;
+  auto it = rc_ops().find(op);
+  if (it == rc_ops().end()) fail(line_no, "unknown RC op '" + op + "'");
+  instr.op = it->second;
+  if (instr.op == RcOp::kNop) return instr;
+  const unsigned want = rc_unary(instr.op) ? 2 : 3;
+  if (args.size() != want) {
+    fail(line_no, "RC op '" + op + "' expects " + std::to_string(want) +
+                      " operands");
+  }
+  bool srf_set = false;
+  instr.dst = parse_rc_dst(args[0], instr, srf_set, line_no);
+  instr.src_a = parse_rc_src(args[1], instr, srf_set, line_no);
+  if (!rc_unary(instr.op)) {
+    instr.src_b = parse_rc_src(args[2], instr, srf_set, line_no);
+  }
+  return instr;
+}
+
+// ---------------------------------------------------------------------------
+// LSU
+// ---------------------------------------------------------------------------
+
+/// Parses "[12]", "[srf3+4]", or "[p0+=2]" into the LSU address fields.
+void parse_lsu_addr(const std::string& s, LsuInstr& instr, unsigned line_no) {
+  if (s.size() < 3 || s.front() != '[' || s.back() != ']') {
+    fail(line_no, "expected [addr], got '" + s + "'");
+  }
+  const std::string body = trim(s.substr(1, s.size() - 2));
+  std::uint8_t srf = 0;
+  if (body.size() >= 5 && body[0] == 'p' && (body[1] == '0' || body[1] == '1') &&
+      body.compare(2, 2, "+=") == 0) {
+    instr.amode = body[1] == '0' ? isa::LsuAddrMode::kPtr0Post
+                                 : isa::LsuAddrMode::kPtr1Post;
+    instr.imm = static_cast<std::int16_t>(parse_int(trim(body.substr(4)), line_no));
+    return;
+  }
+  const std::size_t plus = body.find('+');
+  if (plus != std::string::npos && parse_srf(trim(body.substr(0, plus)), srf)) {
+    instr.amode = isa::LsuAddrMode::kSrfImm;
+    instr.srf_base = srf;
+    instr.imm = static_cast<std::int16_t>(parse_int(trim(body.substr(plus + 1)),
+                                                    line_no));
+  } else if (parse_srf(body, srf)) {
+    instr.amode = isa::LsuAddrMode::kSrfImm;
+    instr.srf_base = srf;
+    instr.imm = 0;
+  } else {
+    instr.imm = static_cast<std::int16_t>(parse_int(body, line_no));
+  }
+}
+
+const std::map<std::string, ShufMode>& shuf_modes() {
+  static const std::map<std::string, ShufMode> m = {
+      {"il.lo", ShufMode::kInterleaveLo}, {"il.hi", ShufMode::kInterleaveHi},
+      {"even", ShufMode::kEvenPrune},     {"odd", ShufMode::kOddPrune},
+      {"brev.lo", ShufMode::kBitRevLo},   {"brev.hi", ShufMode::kBitRevHi},
+      {"cshift.lo", ShufMode::kCircShiftLo},
+      {"cshift.hi", ShufMode::kCircShiftHi},
+  };
+  return m;
+}
+
+LsuInstr parse_lsu(const std::string& text, unsigned line_no) {
+  auto [op, args] = op_args(text, line_no);
+  LsuInstr instr;
+  if (op == "nop") return instr;
+  if (op == "ld.vwr" || op == "st.vwr") {
+    instr.op = op == "ld.vwr" ? LsuOp::kLdVwr : LsuOp::kStVwr;
+    if (args.size() != 2) fail(line_no, "'" + op + "' expects VWR, [addr]");
+    if (args[0] == "A") instr.vwr = VwrSel::A;
+    else if (args[0] == "B") instr.vwr = VwrSel::B;
+    else if (args[0] == "C") instr.vwr = VwrSel::C;
+    else fail(line_no, "bad VWR select '" + args[0] + "'");
+    parse_lsu_addr(args[1], instr, line_no);
+    return instr;
+  }
+  if (op == "ld.srf" || op == "st.srf") {
+    instr.op = op == "ld.srf" ? LsuOp::kLdSrf : LsuOp::kStSrf;
+    if (args.size() != 2) fail(line_no, "'" + op + "' expects srfN, [addr]");
+    std::uint8_t srf = 0;
+    if (!parse_srf(args[0], srf)) fail(line_no, "bad SRF '" + args[0] + "'");
+    instr.srf_data = srf;
+    parse_lsu_addr(args[1], instr, line_no);
+    return instr;
+  }
+  if (op == "shuf") {
+    instr.op = LsuOp::kShuf;
+    if (args.size() != 1) fail(line_no, "'shuf' expects a mode");
+    auto it = shuf_modes().find(args[0]);
+    if (it == shuf_modes().end()) fail(line_no, "bad shuffle mode '" + args[0] + "'");
+    instr.mode = it->second;
+    return instr;
+  }
+  if (op == "setptr") {
+    instr.op = LsuOp::kSetPtr;
+    if (args.size() != 3) fail(line_no, "'setptr' expects pN, srfN, #imm");
+    if (args[0] == "p0") instr.vwr = VwrSel::A;
+    else if (args[0] == "p1") instr.vwr = VwrSel::B;
+    else fail(line_no, "bad pointer '" + args[0] + "'");
+    std::uint8_t srf = 0;
+    if (!parse_srf(args[1], srf)) fail(line_no, "bad SRF '" + args[1] + "'");
+    instr.srf_base = srf;
+    instr.imm = static_cast<std::int16_t>(parse_imm(args[2], line_no));
+    return instr;
+  }
+  fail(line_no, "unknown LSU op '" + op + "'");
+}
+
+// ---------------------------------------------------------------------------
+// MXCU
+// ---------------------------------------------------------------------------
+
+MxcuInstr parse_mxcu(const std::string& text, unsigned line_no) {
+  auto [op, args] = op_args(text, line_no);
+  MxcuInstr instr;
+  if (op == "nop") return instr;
+  static const std::map<std::string, MxcuOp> imm_ops = {
+      {"seti", MxcuOp::kSetIdx},
+      {"addi", MxcuOp::kAddIdx},
+      {"setaux", MxcuOp::kSetAux},
+      {"addaux", MxcuOp::kAddAux},
+  };
+  static const std::map<std::string, MxcuOp> srf_ops = {
+      {"seti.srf", MxcuOp::kSetIdxSrf},
+      {"addi.srf", MxcuOp::kAddIdxSrf},
+      {"andi.srf", MxcuOp::kAndIdxSrf},
+      {"st.srf", MxcuOp::kStIdxSrf},
+  };
+  if (auto it = imm_ops.find(op); it != imm_ops.end()) {
+    instr.op = it->second;
+    if (args.size() != 1) fail(line_no, "'" + op + "' expects #imm");
+    instr.imm = static_cast<std::int16_t>(parse_imm(args[0], line_no));
+    return instr;
+  }
+  if (auto it = srf_ops.find(op); it != srf_ops.end()) {
+    instr.op = it->second;
+    if (args.size() != 1) fail(line_no, "'" + op + "' expects srfN");
+    std::uint8_t srf = 0;
+    if (!parse_srf(args[0], srf)) fail(line_no, "bad SRF '" + args[0] + "'");
+    instr.srf = srf;
+    return instr;
+  }
+  if (op == "idx.aux") {
+    instr.op = MxcuOp::kIdxFromAux;
+    return instr;
+  }
+  fail(line_no, "unknown MXCU op '" + op + "'");
+}
+
+// ---------------------------------------------------------------------------
+// LCU
+// ---------------------------------------------------------------------------
+
+LcuInstr parse_lcu(const std::string& text, unsigned line_no) {
+  auto [op, args] = op_args(text, line_no);
+  LcuInstr instr;
+  if (op == "nop") return instr;
+  if (op == "exit") {
+    instr.op = LcuOp::kExit;
+    return instr;
+  }
+  if (op == "seti" || op == "addi") {
+    instr.op = op == "seti" ? LcuOp::kSetI : LcuOp::kAddI;
+    if (args.size() != 2) fail(line_no, "'" + op + "' expects rd, #imm");
+    instr.rd = parse_lcu_reg(args[0], line_no);
+    instr.imm = static_cast<std::int16_t>(parse_imm(args[1], line_no));
+    return instr;
+  }
+  if (op == "mvr" || op == "addr" || op == "subr") {
+    instr.op = op == "mvr" ? LcuOp::kMvR
+                           : (op == "addr" ? LcuOp::kAddR : LcuOp::kSubR);
+    if (args.size() != 2) fail(line_no, "'" + op + "' expects rd, ra");
+    instr.rd = parse_lcu_reg(args[0], line_no);
+    instr.ra = parse_lcu_reg(args[1], line_no);
+    return instr;
+  }
+  if (op == "mv.srf") {
+    instr.op = LcuOp::kMvSrf;
+    if (args.size() != 2) fail(line_no, "'mv.srf' expects rd, srfN");
+    instr.rd = parse_lcu_reg(args[0], line_no);
+    std::uint8_t srf = 0;
+    if (!parse_srf(args[1], srf)) fail(line_no, "bad SRF '" + args[1] + "'");
+    instr.srf = srf;
+    return instr;
+  }
+  if (op == "st.srf") {
+    instr.op = LcuOp::kStSrf;
+    if (args.size() != 2) fail(line_no, "'st.srf' expects srfN, ra");
+    std::uint8_t srf = 0;
+    if (!parse_srf(args[0], srf)) fail(line_no, "bad SRF '" + args[0] + "'");
+    instr.srf = srf;
+    instr.ra = parse_lcu_reg(args[1], line_no);
+    return instr;
+  }
+  if (op == "b") {
+    instr.op = LcuOp::kB;
+    if (args.size() != 1) fail(line_no, "'b' expects @target");
+    instr.target = static_cast<std::uint8_t>(parse_target(args[0], line_no));
+    return instr;
+  }
+  static const std::map<std::string, LcuOp> rr = {
+      {"beq", LcuOp::kBeq}, {"bne", LcuOp::kBne},
+      {"blt", LcuOp::kBlt}, {"bge", LcuOp::kBge}};
+  static const std::map<std::string, LcuOp> ri = {
+      {"beqi", LcuOp::kBeqI}, {"bnei", LcuOp::kBneI},
+      {"blti", LcuOp::kBltI}, {"bgei", LcuOp::kBgeI}};
+  if (auto it = rr.find(op); it != rr.end()) {
+    instr.op = it->second;
+    if (args.size() != 3) fail(line_no, "'" + op + "' expects ra, rb, @target");
+    instr.ra = parse_lcu_reg(args[0], line_no);
+    instr.rb = parse_lcu_reg(args[1], line_no);
+    instr.target = static_cast<std::uint8_t>(parse_target(args[2], line_no));
+    return instr;
+  }
+  if (auto it = ri.find(op); it != ri.end()) {
+    instr.op = it->second;
+    if (args.size() != 3) fail(line_no, "'" + op + "' expects ra, #imm, @target");
+    instr.ra = parse_lcu_reg(args[0], line_no);
+    instr.imm = static_cast<std::int16_t>(parse_imm(args[1], line_no));
+    instr.target = static_cast<std::uint8_t>(parse_target(args[2], line_no));
+    return instr;
+  }
+  if (op == "dbnz") {
+    instr.op = LcuOp::kDbnz;
+    if (args.size() != 2) fail(line_no, "'dbnz' expects rd, @target");
+    instr.rd = parse_lcu_reg(args[0], line_no);
+    instr.target = static_cast<std::uint8_t>(parse_target(args[1], line_no));
+    return instr;
+  }
+  if (op == "bsrfz" || op == "bsrfnz") {
+    instr.op = op == "bsrfz" ? LcuOp::kBsrfZ : LcuOp::kBsrfNz;
+    if (args.size() != 2) fail(line_no, "'" + op + "' expects srfN, @target");
+    std::uint8_t srf = 0;
+    if (!parse_srf(args[0], srf)) fail(line_no, "bad SRF '" + args[0] + "'");
+    instr.srf = srf;
+    instr.target = static_cast<std::uint8_t>(parse_target(args[1], line_no));
+    return instr;
+  }
+  fail(line_no, "unknown LCU op '" + op + "'");
+}
+
+} // namespace
+
+isa::ColumnProgram parse_program(const std::string& text) {
+  isa::ColumnProgram prog;
+  std::istringstream is(text);
+  std::string raw;
+  unsigned line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    // Strip comments.
+    const std::size_t semi = raw.find(';');
+    std::string line = trim(semi == std::string::npos ? raw : raw.substr(0, semi));
+    if (line.empty()) continue;
+    // Strip the optional "@N:" prefix.
+    if (line[0] == '@') {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) fail(line_no, "bad @pc prefix");
+      line = trim(line.substr(colon + 1));
+    }
+    std::array<std::uint32_t, arch::kSlotsPerColumn> words{};
+    words[slot_index(Slot::LCU)] = isa::encode(isa::LcuInstr{});
+    words[slot_index(Slot::LSU)] = isa::encode(isa::LsuInstr{});
+    words[slot_index(Slot::MXCU)] = isa::encode(isa::MxcuInstr{});
+    for (const std::string& part : split(line, '|')) {
+      if (part.empty()) continue;
+      const std::size_t colon = part.find(':');
+      if (colon == std::string::npos) fail(line_no, "missing 'slot:' in '" + part + "'");
+      const std::string slot = trim(part.substr(0, colon));
+      const std::string body = trim(part.substr(colon + 1));
+      if (slot == "lcu") {
+        words[slot_index(Slot::LCU)] = isa::encode(parse_lcu(body, line_no));
+      } else if (slot == "lsu") {
+        words[slot_index(Slot::LSU)] = isa::encode(parse_lsu(body, line_no));
+      } else if (slot == "mxcu") {
+        words[slot_index(Slot::MXCU)] = isa::encode(parse_mxcu(body, line_no));
+      } else if (slot == "rc*") {
+        const std::uint32_t w = isa::encode(parse_rc(body, line_no));
+        for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
+          words[slot_index(rc_slot(r))] = w;
+        }
+      } else if (slot.size() == 3 && slot.compare(0, 2, "rc") == 0 &&
+                 std::isdigit(slot[2])) {
+        const unsigned r = static_cast<unsigned>(slot[2] - '0');
+        if (r >= arch::kRcsPerColumn) fail(line_no, "bad RC slot '" + slot + "'");
+        words[slot_index(rc_slot(r))] = isa::encode(parse_rc(body, line_no));
+      } else {
+        fail(line_no, "unknown slot '" + slot + "'");
+      }
+    }
+    prog.append_line(words);
+  }
+  return prog;
+}
+
+} // namespace vwr2a::casm

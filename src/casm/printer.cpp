@@ -1,0 +1,24 @@
+#include <sstream>
+
+#include "casm/text.hpp"
+#include "isa/instr.hpp"
+
+namespace vwr2a::casm {
+
+std::string to_text(const isa::ColumnProgram& prog) {
+  std::ostringstream os;
+  for (unsigned pc = 0; pc < prog.length(); ++pc) {
+    os << "@" << pc << ": ";
+    os << "lcu: " << isa::to_asm(isa::decode_lcu(prog.word(Slot::LCU, pc)));
+    os << " | lsu: " << isa::to_asm(isa::decode_lsu(prog.word(Slot::LSU, pc)));
+    os << " | mxcu: " << isa::to_asm(isa::decode_mxcu(prog.word(Slot::MXCU, pc)));
+    for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
+      os << " | rc" << r << ": "
+         << isa::to_asm(isa::decode_rc(prog.word(rc_slot(r), pc)));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+} // namespace vwr2a::casm

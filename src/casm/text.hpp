@@ -1,0 +1,25 @@
+#pragma once
+// Textual kernel format: a human-readable listing with one line per cycle
+// and all seven slots, mirroring the paper's Table 1 presentation. The
+// printer and parser round-trip exactly (print -> parse -> identical encoded
+// program), which the test suite exercises on every generated kernel.
+//
+//   ; fft stage, column 0
+//   @0:  lcu: seti r0, #0 | lsu: ld.vwr A, [3] | mxcu: seti #0 | rc0: nop | ...
+//   @1:  lcu: blt r0, r1, @1 | lsu: nop | mxcu: addi #1 | rc0: sadd vwrc, vwra, vwrb | ...
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace vwr2a::casm {
+
+/// Renders a program as text, one line per cycle, all slots shown.
+std::string to_text(const isa::ColumnProgram& prog);
+
+/// Parses the textual format back into an encoded program. Slots omitted
+/// from a line default to NOP. Throws AsmError with a line number on any
+/// syntax error.
+isa::ColumnProgram parse_program(const std::string& text);
+
+} // namespace vwr2a::casm

@@ -1,0 +1,35 @@
+#pragma once
+// The RC ALU (paper Sec 3.1): 32-bit signed add/sub/multiply, bitwise logic,
+// logical/arithmetic shifts, all single cycle. The multiplier has a standard
+// mode (low 32 bits) and a fixed-point mode: the lower 16 bits of the 64-bit
+// product are discarded and the next 32 bits kept, giving single-cycle 16.15
+// fixed-point multiplication.
+//
+// Pure functions: the Rc unit model wraps them with operand routing, energy
+// accounting and operand isolation (idle operators do not toggle).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "energy/events.hpp"
+#include "isa/opcodes.hpp"
+
+namespace vwr2a::cgra {
+
+/// Evaluates one RC ALU operation on two 32-bit words.
+Word alu_eval(isa::RcOp op, Word a, Word b);
+
+/// The energy event class of an RC operation (operand isolation: kNop maps
+/// to no event; callers skip accounting for it).
+energy::Event alu_energy_event(isa::RcOp op);
+
+/// True if the operation ignores its second operand (unary).
+bool alu_is_unary(isa::RcOp op);
+
+/// Dual 16-bit SIMD evaluation used by the ablation study (paper Sec 5.1.1
+/// suggests "a 16-bit mode with two simultaneous 16-bit operations" as a
+/// datapath optimization). Packs two q15 lanes per word. Only defined for
+/// add/sub/mul-like ops; others fall back to 32-bit semantics.
+Word alu_eval_simd16(isa::RcOp op, Word a, Word b);
+
+} // namespace vwr2a::cgra

@@ -1,0 +1,121 @@
+#pragma once
+// One VWR2A column: four RCs plus the three specialized slots (LCU, LSU,
+// MXCU) advancing in lock-step behind a shared program counter (paper
+// Sec 3.1/3.3). The column owns its three VWRs, its SRF and its shuffle
+// unit; the SPM is shared across columns and passed in by the top level.
+//
+// Cycle semantics (reconstructed from the paper's Table 1 flow):
+//  * All register state (RC register files, RC result registers, LCU loop
+//    counters, the MXCU slice index, VWR contents, the PC) commits at end of
+//    cycle; every read during a cycle observes the pre-cycle state.
+//  * Neighbour operands (kRcUp/kRcDown/kRcCross) read the neighbouring RC's
+//    previous-cycle result register.
+//  * The LCU resolves branches combinationally: the next PC takes effect in
+//    the following cycle with no delay slot (zero-overhead loops, since the
+//    LCU occupies its own slot).
+//  * Structural hazards (SRF single port, VWR write port, SPM array port)
+//    throw StructuralHazard: kernels must be scheduled hazard-free, as on
+//    the real machine.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "energy/meter.hpp"
+#include "isa/instr.hpp"
+#include "isa/program.hpp"
+#include "mem/regfile.hpp"
+#include "mem/spm.hpp"
+#include "mem/srf.hpp"
+#include "mem/vwr.hpp"
+
+namespace vwr2a::cgra {
+
+/// Per-RC architectural state.
+struct RcState {
+  std::array<Word, arch::kRcRegs> rf{};  ///< R0, R1
+  Word out = 0;                          ///< previous-cycle ALU result
+};
+
+/// One column of the reconfigurable array.
+class Column {
+ public:
+  using RcOutputs = std::array<Word, arch::kRcsPerColumn>;
+
+  Column(unsigned id, mem::Spm& spm, energy::EnergyMeter& meter);
+
+  /// Copies (predecodes) a program into the unit program memories. Resets
+  /// the PC. Configuration-load cost is charged by the top level.
+  void load_program(const isa::ColumnProgram& prog);
+
+  /// Starts execution at PC 0.
+  void start();
+
+  /// True while the kernel has not executed EXIT.
+  bool running() const { return running_; }
+
+  /// Current program counter.
+  unsigned pc() const { return pc_; }
+
+  /// Executes one cycle. `cross` points at the other column's previous-cycle
+  /// RC results when both columns run synchronized; nullptr otherwise (using
+  /// a kRcCross operand then throws).
+  void step(const RcOutputs* cross);
+
+  /// Previous-cycle RC results (for the cross-column network).
+  const RcOutputs& rc_outputs() const { return rc_prev_; }
+
+  // --- state access for the host interface and tests ------------------------
+  mem::Srf& srf() { return srf_; }
+  const mem::Srf& srf() const { return srf_; }
+  mem::Vwr& vwr(VwrSel v) { return vwrs_[static_cast<unsigned>(v)]; }
+  const mem::Vwr& vwr(VwrSel v) const { return vwrs_[static_cast<unsigned>(v)]; }
+  const RcState& rc_state(unsigned r) const { return rcs_.at(r); }
+  unsigned mxcu_index() const { return idx_; }
+  SWord mxcu_aux() const { return aux_; }
+  Word lcu_reg(unsigned r) const { return lcu_rf_.at(r); }
+  std::uint32_t lsu_ptr(unsigned p) const { return lsu_ptr_.at(p); }
+  unsigned id() const { return id_; }
+
+  /// Cycles this column has executed since construction (excludes stalls and
+  /// configuration loads, which the top level accounts).
+  Cycle executed_cycles() const { return executed_; }
+
+  /// Disassembles the VLIW line at program address `pc` (tracing/debugging).
+  std::string line_asm(unsigned pc) const;
+
+ private:
+  struct DecodedLine {
+    isa::LcuInstr lcu;
+    isa::LsuInstr lsu;
+    isa::MxcuInstr mxcu;
+    std::array<isa::RcInstr, arch::kRcsPerColumn> rc;
+  };
+
+  Word read_rc_src(isa::RcSrc src, const isa::RcInstr& instr, unsigned r,
+                   const RcOutputs* cross);
+  unsigned lsu_address(const isa::LsuInstr& instr);
+
+  unsigned id_;
+  mem::Spm* spm_;
+  energy::EnergyMeter* meter_;
+
+  mem::Srf srf_;
+  std::array<mem::Vwr, arch::kVwrsPerColumn> vwrs_;
+  std::array<RcState, arch::kRcsPerColumn> rcs_{};
+  RcOutputs rc_prev_{};
+  std::array<Word, arch::kLcuRegs> lcu_rf_{};
+  std::array<std::uint32_t, 2> lsu_ptr_{};  ///< LSU pointer registers P0, P1
+  unsigned idx_ = 0;   ///< MXCU shared VWR slice index (mod kSliceWords)
+  SWord aux_ = 0;      ///< MXCU auxiliary register
+
+  std::vector<DecodedLine> prog_;
+  isa::ColumnProgram raw_prog_;  ///< encoded copy, kept for disassembly
+  unsigned pc_ = 0;
+  bool running_ = false;
+  Cycle executed_ = 0;
+};
+
+} // namespace vwr2a::cgra

@@ -1,0 +1,52 @@
+#include "cgra/shuffle.hpp"
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace vwr2a::cgra {
+
+namespace {
+constexpr unsigned kN = arch::kVwrWords;       // 128
+constexpr unsigned kConcat = 2 * kN;           // 256
+constexpr unsigned kConcatBits = 8;            // log2(256)
+constexpr unsigned kShift = arch::kSliceWords; // 32
+} // namespace
+
+unsigned shuffle_source_index(isa::ShufMode mode, unsigned i) {
+  using isa::ShufMode;
+  switch (mode) {
+    case ShufMode::kInterleaveLo:
+      // out256[2j] = A[j] = c[j]; out256[2j+1] = B[j] = c[128 + j].
+      return (i % 2 == 0) ? (i / 2) : (kN + i / 2);
+    case ShufMode::kInterleaveHi: {
+      const unsigned j = i + kN;
+      return (j % 2 == 0) ? (j / 2) : (kN + j / 2);
+    }
+    case ShufMode::kEvenPrune:
+      // evens of A then evens of B.
+      return (i < kN / 2) ? (2 * i) : (kN + 2 * (i - kN / 2));
+    case ShufMode::kOddPrune:
+      return (i < kN / 2) ? (2 * i + 1) : (kN + 2 * (i - kN / 2) + 1);
+    case ShufMode::kBitRevLo:
+      return bit_reverse(i, kConcatBits);
+    case ShufMode::kBitRevHi:
+      return bit_reverse(i + kN, kConcatBits);
+    case ShufMode::kCircShiftLo:
+      return (i + kShift) % kConcat;
+    case ShufMode::kCircShiftHi:
+      return (i + kN + kShift) % kConcat;
+    default:
+      throw DecodeError("shuffle: bad mode");
+  }
+}
+
+VwrRow shuffle_eval(isa::ShufMode mode, const VwrRow& a, const VwrRow& b) {
+  VwrRow out{};
+  for (unsigned i = 0; i < kN; ++i) {
+    const unsigned src = shuffle_source_index(mode, i);
+    out[i] = (src < kN) ? a[src] : b[src - kN];
+  }
+  return out;
+}
+
+} // namespace vwr2a::cgra

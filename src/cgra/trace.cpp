@@ -1,0 +1,30 @@
+#include "cgra/trace.hpp"
+
+#include <sstream>
+
+#include "cgra/column.hpp"
+
+namespace vwr2a::cgra {
+
+void TextTracer::on_cycle(Cycle cycle, const Column& col0, const Column& col1) {
+  std::ostringstream os;
+  for (const Column* c : {&col0, &col1}) {
+    if (!c->running()) continue;
+    os.str("");
+    os << "c" << cycle << " col" << c->id() << " pc=" << c->pc()
+       << " idx=" << c->mxcu_index() << "  " << c->line_asm(c->pc());
+    lines_.push_back(os.str());
+    if (lines_.size() > depth_) lines_.pop_front();
+  }
+}
+
+std::string TextTracer::str() const {
+  std::string out;
+  for (const auto& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+} // namespace vwr2a::cgra

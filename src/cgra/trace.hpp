@@ -1,0 +1,41 @@
+#pragma once
+// Execution tracing: an optional per-cycle observer on the VWR2A top level.
+// The TextTracer renders a Table-1-style listing of what each slot executed
+// every cycle -- the tool used to debug the kernel mappings in this repo.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vwr2a::cgra {
+
+class Column;
+
+/// Observer interface; attach with Vwr2a::set_tracer().
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  /// Called once per executed cycle, before the columns step.
+  virtual void on_cycle(Cycle cycle, const Column& col0, const Column& col1) = 0;
+};
+
+/// Keeps the last `depth` cycles as disassembled text lines.
+class TextTracer final : public Tracer {
+ public:
+  explicit TextTracer(std::size_t depth = 64) : depth_(depth) {}
+
+  void on_cycle(Cycle cycle, const Column& col0, const Column& col1) override;
+
+  /// The captured window, one line per cycle per running column.
+  std::string str() const;
+
+  void clear() { lines_.clear(); }
+
+ private:
+  std::size_t depth_;
+  std::deque<std::string> lines_;
+};
+
+} // namespace vwr2a::cgra

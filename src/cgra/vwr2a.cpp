@@ -1,0 +1,96 @@
+#include "cgra/vwr2a.hpp"
+
+#include "common/status.hpp"
+
+namespace vwr2a::cgra {
+
+using energy::Event;
+
+Vwr2a::Vwr2a(bus::SysPort& sys)
+    : spm_(meter_),
+      config_(meter_),
+      dma_(spm_, sys, meter_),
+      col0_(0, spm_, meter_),
+      col1_(1, spm_, meter_) {}
+
+Column& Vwr2a::column(unsigned c) {
+  if (c >= arch::kNumColumns) throw RangeError("Vwr2a: bad column id");
+  return c == 0 ? col0_ : col1_;
+}
+
+const Column& Vwr2a::column(unsigned c) const {
+  if (c >= arch::kNumColumns) throw RangeError("Vwr2a: bad column id");
+  return c == 0 ? col0_ : col1_;
+}
+
+void Vwr2a::advance(Cycle n) {
+  cycles_ += n;
+  meter_.add(Event::kLeakCycle, n);
+}
+
+void Vwr2a::host_write_srf(unsigned col, unsigned idx, Word v) {
+  column(col).srf().poke(idx, v);
+  meter_.add(Event::kSrfWrite);
+  advance(kSlavePortWriteCycles);
+}
+
+Word Vwr2a::host_read_srf(unsigned col, unsigned idx) {
+  meter_.add(Event::kSrfRead);
+  advance(kSlavePortWriteCycles);
+  return column(col).srf().peek(idx);
+}
+
+Cycle Vwr2a::dma_transfer(const dma::Descriptor& d) {
+  const Cycle setup = kSlavePortWriteCycles * 4;  // descriptor registers
+  const Cycle t = dma_.transfer(d);
+  advance(setup + t);
+  meter_.add(Event::kIrq);
+  return setup + t;
+}
+
+void Vwr2a::start_kernel(unsigned kernel_id) {
+  const isa::KernelImage& img = config_.kernel(kernel_id);
+  bool reload = false;
+  for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+    if (isa::contains(img.columns, c) && loaded_[c] != kernel_id) reload = true;
+  }
+  if (reload) {
+    advance(config_.charge_load(kernel_id));
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      if (isa::contains(img.columns, c)) {
+        column(c).load_program(img.program[c]);
+        loaded_[c] = kernel_id;
+      }
+    }
+  }
+  advance(kLaunchCycles);
+  for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+    if (isa::contains(img.columns, c)) column(c).start();
+  }
+}
+
+bool Vwr2a::busy() const { return col0_.running() || col1_.running(); }
+
+void Vwr2a::step() {
+  if (tracer_ != nullptr) tracer_->on_cycle(cycles_, col0_, col1_);
+  const bool synced = col0_.running() && col1_.running();
+  // Snapshot both columns' previous-cycle results before either commits, so
+  // cross-column operands observe a consistent pre-cycle state.
+  const Column::RcOutputs outs0 = col0_.rc_outputs();
+  const Column::RcOutputs outs1 = col1_.rc_outputs();
+  spm_.begin_cycle();
+  if (col0_.running()) col0_.step(synced ? &outs1 : nullptr);
+  if (col1_.running()) col1_.step(synced ? &outs0 : nullptr);
+  advance(1);
+}
+
+Cycle Vwr2a::run_kernel(unsigned kernel_id) {
+  const Cycle t0 = cycles_;
+  start_kernel(kernel_id);
+  while (busy()) step();
+  meter_.add(Event::kIrq);
+  advance(kIrqCycles);
+  return cycles_ - t0;
+}
+
+} // namespace vwr2a::cgra

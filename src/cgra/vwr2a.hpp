@@ -1,0 +1,101 @@
+#pragma once
+// The VWR2A top level (paper Fig. 1): two columns, the shared SPM, the
+// configuration memory, the DMA master, and the synchronizer that launches
+// kernels, keeps multi-column PCs in step, and raises the completion
+// interrupt.
+//
+// The block keeps its own cycle counter ("local time"). Host-side costs
+// (CPU polling, bus writes to the slave port) are charged by the SoC layer;
+// the slave-port register-write latency seen *inside* the block is modeled
+// here so that standalone (non-SoC) measurements still include the kernel
+// programming overhead the paper mentions in Sec 5.1.1.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "bus/sys_port.hpp"
+#include "cgra/column.hpp"
+#include "cgra/trace.hpp"
+#include "common/types.hpp"
+#include "dma/dma.hpp"
+#include "energy/meter.hpp"
+#include "isa/program.hpp"
+#include "mem/config_mem.hpp"
+#include "mem/spm.hpp"
+
+namespace vwr2a::cgra {
+
+/// Cycle cost of one host register write into the VWR2A slave port.
+inline constexpr unsigned kSlavePortWriteCycles = 2;
+
+/// Cycle cost of the synchronizer's kernel-launch sequence.
+inline constexpr unsigned kLaunchCycles = 4;
+
+/// Cycle cost of raising the completion interrupt line.
+inline constexpr unsigned kIrqCycles = 2;
+
+/// The VWR2A accelerator block.
+class Vwr2a {
+ public:
+  /// Builds the block with its master port attached to the system bus.
+  explicit Vwr2a(bus::SysPort& sys);
+
+  // --- resources ------------------------------------------------------------
+  energy::EnergyMeter& meter() { return meter_; }
+  const energy::EnergyMeter& meter() const { return meter_; }
+  mem::Spm& spm() { return spm_; }
+  mem::ConfigMem& config_mem() { return config_; }
+  dma::Dma& dma() { return dma_; }
+  Column& column(unsigned c);
+  const Column& column(unsigned c) const;
+
+  /// Local cycle counter (advances during DMA, configuration, execution).
+  Cycle cycles() const { return cycles_; }
+
+  // --- host interface (slave port) -------------------------------------------
+  /// Registers a kernel image in the configuration memory; returns its id.
+  unsigned register_kernel(isa::KernelImage image) {
+    return config_.add_kernel(std::move(image));
+  }
+
+  /// Host write of one kernel parameter into a column's SRF (slave port).
+  void host_write_srf(unsigned col, unsigned idx, Word v);
+
+  /// Host read of one result from a column's SRF (slave port).
+  Word host_read_srf(unsigned col, unsigned idx);
+
+  /// Programs and executes one DMA descriptor; the block is busy for the
+  /// returned number of cycles (the host driver model is synchronous).
+  Cycle dma_transfer(const dma::Descriptor& d);
+
+  /// Loads (if not already resident) and runs a kernel to completion.
+  /// Returns the cycles consumed, including configuration load, launch
+  /// overhead, and the completion interrupt.
+  Cycle run_kernel(unsigned kernel_id);
+
+  /// Steps the occupied columns of a *started* kernel by one cycle. Exposed
+  /// for tests that want to observe intermediate state; run_kernel is the
+  /// normal path.
+  void start_kernel(unsigned kernel_id);
+  bool busy() const;
+  void step();
+
+  /// Attaches a per-cycle execution tracer (nullptr detaches).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  void advance(Cycle n);
+  Tracer* tracer_ = nullptr;
+
+  energy::EnergyMeter meter_;
+  mem::Spm spm_;
+  mem::ConfigMem config_;
+  dma::Dma dma_;
+  std::array<std::optional<unsigned>, arch::kNumColumns> loaded_{};
+  Column col0_;
+  Column col1_;
+  Cycle cycles_ = 0;
+};
+
+} // namespace vwr2a::cgra

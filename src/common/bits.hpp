@@ -1,0 +1,58 @@
+#pragma once
+// Small bit-manipulation helpers used by the ISA encoders, the shuffle unit
+// and the FFT kernels.
+
+#include <cstdint>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace vwr2a {
+
+/// Extracts bits [lo, lo+width) of w.
+constexpr std::uint32_t bits(std::uint32_t w, unsigned lo, unsigned width) {
+  return (w >> lo) & ((width >= 32) ? 0xFFFFFFFFu : ((1u << width) - 1u));
+}
+
+/// Inserts the low `width` bits of v into bits [lo, lo+width) of w.
+constexpr std::uint32_t set_bits(std::uint32_t w, unsigned lo, unsigned width,
+                                 std::uint32_t v) {
+  const std::uint32_t mask =
+      ((width >= 32) ? 0xFFFFFFFFu : ((1u << width) - 1u)) << lo;
+  return (w & ~mask) | ((v << lo) & mask);
+}
+
+/// Sign-extends the low `width` bits of v to 32 bits.
+constexpr std::int32_t sign_extend(std::uint32_t v, unsigned width) {
+  const std::uint32_t m = 1u << (width - 1);
+  const std::uint32_t x = v & ((width >= 32) ? 0xFFFFFFFFu : ((1u << width) - 1u));
+  return static_cast<std::int32_t>((x ^ m) - m);
+}
+
+/// True if v is a power of two (v != 0).
+constexpr bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v >= 1.
+constexpr unsigned ilog2(std::uint32_t v) {
+  unsigned r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// Reverses the low `nbits` bits of v (the FFT bit-reversal permutation).
+constexpr std::uint32_t bit_reverse(std::uint32_t v, unsigned nbits) {
+  std::uint32_t r = 0;
+  for (unsigned i = 0; i < nbits; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+/// Saturates a 64-bit value into `bits`-wide two's complement.
+constexpr std::int64_t saturate(std::int64_t v, unsigned nbits) {
+  const std::int64_t hi = (std::int64_t{1} << (nbits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (nbits - 1));
+  return v > hi ? hi : (v < lo ? lo : v);
+}
+
+} // namespace vwr2a

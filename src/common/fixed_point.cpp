@@ -1,0 +1,33 @@
+#include "common/fixed_point.hpp"
+
+namespace vwr2a::fx {
+
+std::vector<q15_t> vector_to_q15(const std::vector<double>& v, double scale) {
+  std::vector<q15_t> out;
+  out.reserve(v.size());
+  for (double x : v) out.push_back(to_q15(x / scale));
+  return out;
+}
+
+std::vector<double> vector_from_q15(const std::vector<q15_t>& v, double scale) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (q15_t x : v) out.push_back(from_q15(x) * scale);
+  return out;
+}
+
+std::vector<std::int32_t> vector_to_q16_15(const std::vector<double>& v) {
+  std::vector<std::int32_t> out;
+  out.reserve(v.size());
+  for (double x : v) out.push_back(to_q16_15(x));
+  return out;
+}
+
+std::vector<double> vector_from_q16_15(const std::vector<std::int32_t>& v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (std::int32_t x : v) out.push_back(from_q16_15(x));
+  return out;
+}
+
+} // namespace vwr2a::fx

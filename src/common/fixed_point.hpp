@@ -1,0 +1,95 @@
+#pragma once
+// Fixed-point arithmetic helpers.
+//
+// Three formats appear in the reproduction:
+//  * q1.15 ("q15")  -- the CMSIS-DSP CPU baseline data format (paper Sec 5.1).
+//  * q16.15         -- the VWR2A fixed-point multiplier mode: "the lower 16
+//                      bits are discarded, and the next 32 bits are kept",
+//                      i.e. (a*b) >> 15 truncated to 32 bits... The paper
+//                      says 16.15 format: 16 integer bits, 15 fractional.
+//  * q17.1-like 18b -- the FFT accelerator internal format with dynamic
+//                      scaling (block floating point).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace vwr2a::fx {
+
+/// Fractional bits of the VWR2A fixed-point multiplier mode (16.15 format).
+inline constexpr unsigned kQ15Frac = 15;
+
+/// VWR2A fixed-point multiply: full 64-bit product of two signed 32-bit
+/// values; drop the lower 16 bits and keep the next 32 (paper Sec 3.1).
+/// For operands in 16.15 this returns the 16.15 product (truncating).
+constexpr std::int32_t fxp_mul(std::int32_t a, std::int32_t b) {
+  const std::int64_t p = static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+  return static_cast<std::int32_t>(p >> 16);
+}
+
+/// Converts a double to 16.15 fixed point (truncating, no saturation checks;
+/// callers validate the dynamic range).
+constexpr std::int32_t to_q16_15(double v) {
+  return static_cast<std::int32_t>(v * 32768.0);
+}
+
+/// Converts 16.15 fixed point back to double.
+constexpr double from_q16_15(std::int32_t v) { return static_cast<double>(v) / 32768.0; }
+
+/// Coefficient format for the VWR2A fixed-point multiplier: since fxp_mul
+/// discards the *16* low product bits (paper Sec 3.1), a coefficient stored
+/// with 16 fractional bits keeps 16.15 data in format across a multiply:
+///   (x * 2^15) * (c * 2^16) >> 16  ==  (x*c) * 2^15.
+/// Twiddle factors, filter taps and SVM weights use this representation.
+constexpr std::int32_t to_coeff(double v) {
+  return static_cast<std::int32_t>(v * 65536.0);
+}
+
+/// Coefficient back to double.
+constexpr double from_coeff(std::int32_t v) { return static_cast<double>(v) / 65536.0; }
+
+/// q1.15 value (16-bit). CMSIS-DSP style.
+using q15_t = std::int16_t;
+
+/// q1.31 value (32-bit).
+using q31_t = std::int32_t;
+
+/// Saturating conversion double -> q15 (clamps to [-1, 1-2^-15]).
+constexpr q15_t to_q15(double v) {
+  const std::int64_t s = static_cast<std::int64_t>(v * 32768.0);
+  return static_cast<q15_t>(saturate(s, 16));
+}
+
+/// q15 -> double.
+constexpr double from_q15(q15_t v) { return static_cast<double>(v) / 32768.0; }
+
+/// Saturating q15 addition (CMSIS __QADD16 semantics per lane).
+constexpr q15_t add_q15(q15_t a, q15_t b) {
+  return static_cast<q15_t>(saturate(std::int64_t{a} + b, 16));
+}
+
+/// Saturating q15 subtraction.
+constexpr q15_t sub_q15(q15_t a, q15_t b) {
+  return static_cast<q15_t>(saturate(std::int64_t{a} - b, 16));
+}
+
+/// q15 multiply with rounding and saturation: (a*b + 2^14) >> 15.
+constexpr q15_t mul_q15(q15_t a, q15_t b) {
+  const std::int32_t p = static_cast<std::int32_t>(a) * b;
+  return static_cast<q15_t>(saturate((p + (1 << 14)) >> 15, 16));
+}
+
+/// Converts a real vector to q15 with the given scale (value/scale -> q15).
+std::vector<q15_t> vector_to_q15(const std::vector<double>& v, double scale);
+
+/// Converts a q15 vector to doubles with the given scale.
+std::vector<double> vector_from_q15(const std::vector<q15_t>& v, double scale);
+
+/// Converts a real vector to 16.15 words.
+std::vector<std::int32_t> vector_to_q16_15(const std::vector<double>& v);
+
+/// Converts 16.15 words to a real vector.
+std::vector<double> vector_from_q16_15(const std::vector<std::int32_t>& v);
+
+} // namespace vwr2a::fx

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace vwr2a::log {
+namespace {
+Level g_threshold = Level::kError;
+
+const char* prefix(Level lvl) {
+  switch (lvl) {
+    case Level::kError: return "[error] ";
+    case Level::kWarn: return "[warn ] ";
+    case Level::kInfo: return "[info ] ";
+    case Level::kTrace: return "[trace] ";
+    default: return "";
+  }
+}
+} // namespace
+
+Level threshold() { return g_threshold; }
+
+Level set_threshold(Level lvl) {
+  const Level prev = g_threshold;
+  g_threshold = lvl;
+  return prev;
+}
+
+void emit(Level lvl, const std::string& msg) {
+  if (static_cast<int>(lvl) <= static_cast<int>(g_threshold) && lvl != Level::kOff) {
+    std::fprintf(stderr, "%s%s\n", prefix(lvl), msg.c_str());
+  }
+}
+
+} // namespace vwr2a::log

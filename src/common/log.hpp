@@ -1,0 +1,38 @@
+#pragma once
+// Minimal leveled logging. The simulator is silent by default; tests and
+// debugging sessions raise the level. Not thread-safe by design: the
+// simulator is single-threaded (a cycle-accurate model has a global order).
+
+#include <sstream>
+#include <string>
+
+namespace vwr2a::log {
+
+enum class Level { kOff = 0, kError, kWarn, kInfo, kTrace };
+
+/// Global log threshold; messages above it are discarded.
+Level threshold();
+
+/// Sets the global threshold; returns the previous value.
+Level set_threshold(Level lvl);
+
+/// Emits one line to stderr if lvl <= threshold().
+void emit(Level lvl, const std::string& msg);
+
+/// Stream-style helper: LOG(kWarn) << "spm row " << r;
+class Line {
+ public:
+  explicit Line(Level lvl) : lvl_(lvl) {}
+  ~Line() { emit(lvl_, ss_.str()); }
+  template <typename T>
+  Line& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream ss_;
+};
+
+} // namespace vwr2a::log

@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic xoshiro-style PRNG for tests, benches and the signal
+// generator. We avoid <random> engines in library code so results are
+// bit-identical across standard libraries.
+
+#include <cstdint>
+
+namespace vwr2a {
+
+/// SplitMix64-seeded xorshift128+ generator. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 to spread the seed over both lanes.
+    auto mix = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    s0_ = mix();
+    s1_ = mix();
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint32_t next_below(std::uint32_t n) { return next_u32() % n; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Approximately normal sample (sum of 12 uniforms, mean 0, sigma 1).
+  double next_gauss() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += next_double();
+    return s - 6.0;
+  }
+
+ private:
+  std::uint64_t s0_ = 0;
+  std::uint64_t s1_ = 0;
+};
+
+} // namespace vwr2a

@@ -1,0 +1,64 @@
+#pragma once
+// CMSIS-DSP-style q15 kernels for the CPU baseline (paper Sec 4.4/5.1: the
+// processor uses the CMSIS-DSP library with 16-bit data in q15 format).
+// Functionally bit-exact q15 arithmetic; every routine takes an M4Meter and
+// records the instruction mix an optimized-but-scalar M4 build executes.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "cpu/m4.hpp"
+#include "dsp/reference.hpp"
+
+namespace vwr2a::cpu {
+
+using fx::q15_t;
+
+/// A q15 complex sample packed as {re, im} (CMSIS interleaved layout).
+struct CplxQ15 {
+  q15_t re = 0;
+  q15_t im = 0;
+  bool operator==(const CplxQ15&) const = default;
+};
+
+/// Direct-form FIR (arm_fir_q15-like, scalar form): y[n] = sum h[t] x[n-t]
+/// with a 64-bit accumulator truncated to q15 with saturation.
+std::vector<q15_t> fir_q15(M4Meter& m, const std::vector<q15_t>& x,
+                           const std::vector<q15_t>& h);
+
+/// In-place radix-2 complex FFT with per-stage >>1 scaling (CMSIS
+/// arm_cfft_q15-style). Returns the scaled spectrum in natural order; the
+/// total scaling is 1/N.
+std::vector<CplxQ15> cfft_q15(M4Meter& m, const std::vector<CplxQ15>& x);
+
+/// Real FFT via the N/2 complex trick + split (arm_rfft_q15-style). Input N
+/// reals, output N/2+1 bins, total scaling 1/N.
+std::vector<CplxQ15> rfft_q15(M4Meter& m, const std::vector<q15_t>& x);
+
+/// Mean with truncating division.
+q15_t mean_q15(M4Meter& m, const std::vector<q15_t>& x);
+
+/// RMS: sqrt of the mean square (integer Newton iterations, as CMSIS
+/// arm_rms_q15 does via arm_sqrt_q15).
+q15_t rms_q15(M4Meter& m, const std::vector<q15_t>& x);
+
+/// Median by in-place shell sort of a scratch copy (a typical embedded
+/// implementation; heap allocation is excluded from the cost model).
+q15_t median_q15(M4Meter& m, const std::vector<q15_t>& x);
+
+/// Threshold-hysteresis delineation, identical semantics to
+/// dsp::delineate() but in q15 and with per-sample branch costs.
+std::vector<dsp::Extremum> delineate_q15(M4Meter& m, const std::vector<q15_t>& x,
+                                         q15_t threshold);
+
+/// Linear SVM decision: sign(w . f + b) with a q15 dot product.
+std::int32_t svm_q15(M4Meter& m, const std::vector<q15_t>& features,
+                     const std::vector<q15_t>& weights, q15_t bias);
+
+/// Sum of |X_k|^2 over a bin range of an rfft_q15 spectrum (band power for
+/// the frequency features).
+std::int64_t band_power_q15(M4Meter& m, const std::vector<CplxQ15>& spectrum,
+                            unsigned lo_bin, unsigned hi_bin);
+
+} // namespace vwr2a::cpu

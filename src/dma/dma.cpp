@@ -1,0 +1,36 @@
+#include "dma/dma.hpp"
+
+namespace vwr2a::dma {
+
+Cycle Dma::transfer(const Descriptor& d) {
+  if (d.count == 0) throw HostError("DMA: empty descriptor");
+  meter_->add(energy::Event::kDmaSetup);
+
+  std::int64_t sys = d.sys_word;
+  std::int64_t spm = d.spm_word;
+  for (std::uint32_t i = 0; i < d.count; ++i) {
+    if (sys < 0) throw RangeError("DMA: negative system address");
+    if (spm < 0) throw RangeError("DMA: negative SPM address");
+    const auto sys_addr = static_cast<std::uint32_t>(sys);
+    const auto spm_addr = static_cast<std::uint32_t>(spm);
+    if (d.dir == Dir::kSysToSpm) {
+      spm_->write_word_system(spm_addr, sys_->read(sys_addr));
+    } else {
+      sys_->write(sys_addr, spm_->read_word_system(spm_addr));
+    }
+    meter_->add(energy::Event::kDmaBeat);
+    sys += d.sys_stride;
+    spm += d.spm_stride;
+  }
+  beats_ += d.count;
+
+  const unsigned bursts =
+      (d.count + sys_->burst_beats() - 1) / sys_->burst_beats();
+  const Cycle cycles = kDmaSetupCycles +
+                       static_cast<Cycle>(bursts) * sys_->burst_setup_cycles() +
+                       static_cast<Cycle>(d.count) * sys_->beat_cycles();
+  cycles_ += cycles;
+  return cycles;
+}
+
+} // namespace vwr2a::dma

@@ -1,0 +1,68 @@
+#pragma once
+// The VWR2A DMA engine (paper Sec 3.2/4.2): the block's master port, moving
+// data between the shared SPM (system-side word interface) and the system
+// memory over the AHB bus. Descriptor-based with signed strides on both
+// sides; strided descriptors implement the data-layout staging ("careful
+// data placement", Sec 3.3.2) and the bit-reversal copy-out used by the FFT
+// kernels.
+//
+// Timing is transaction-level: a transfer consumes
+//   setup + ceil(count / burst) * burst_setup + count * beat
+// cycles; data moves functionally at submission. The host driver model is
+// synchronous (program DMA, wait for the interrupt), matching how the
+// paper's CPU uses the accelerators.
+
+#include <cstdint>
+
+#include "bus/sys_port.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "energy/meter.hpp"
+#include "mem/spm.hpp"
+
+namespace vwr2a::dma {
+
+/// Transfer direction.
+enum class Dir : std::uint8_t {
+  kSysToSpm,  ///< system memory -> SPM (input staging)
+  kSpmToSys,  ///< SPM -> system memory (result copy-back)
+};
+
+/// One DMA descriptor. Addresses are word-granular; strides are in words and
+/// may be negative (reversed copies) or zero (broadcast/fill patterns).
+struct Descriptor {
+  Dir dir = Dir::kSysToSpm;
+  std::uint32_t sys_word = 0;
+  std::uint32_t spm_word = 0;
+  std::uint32_t count = 0;
+  std::int32_t sys_stride = 1;
+  std::int32_t spm_stride = 1;
+};
+
+/// Fixed descriptor-programming latency (slave-port register writes).
+inline constexpr unsigned kDmaSetupCycles = 8;
+
+/// The DMA engine.
+class Dma {
+ public:
+  Dma(mem::Spm& spm, bus::SysPort& sys, energy::EnergyMeter& meter)
+      : spm_(&spm), sys_(&sys), meter_(&meter) {}
+
+  /// Executes one descriptor; returns the cycles it occupies the engine.
+  Cycle transfer(const Descriptor& d);
+
+  /// Cumulative beats moved (tests / reports).
+  std::uint64_t total_beats() const { return beats_; }
+
+  /// Cumulative cycles spent transferring.
+  Cycle total_cycles() const { return cycles_; }
+
+ private:
+  mem::Spm* spm_;
+  bus::SysPort* sys_;
+  energy::EnergyMeter* meter_;
+  std::uint64_t beats_ = 0;
+  Cycle cycles_ = 0;
+};
+
+} // namespace vwr2a::dma

@@ -1,0 +1,87 @@
+#include "dsp/signal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/fixed_point.hpp"
+
+namespace vwr2a::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+std::vector<double> respiration(unsigned n, RespirationParams p, Rng& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  double phase = rng.next_range(0.0, 2.0 * kPi);
+  double freq = p.breath_hz;
+  unsigned next_jitter = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (i >= next_jitter) {
+      // Re-draw the instantaneous breathing rate once per cycle.
+      freq = p.breath_hz * (1.0 + p.breath_jitter * rng.next_gauss() * 0.5);
+      if (freq < 0.05) freq = 0.05;
+      next_jitter = i + static_cast<unsigned>(p.sample_hz / freq);
+    }
+    phase += 2.0 * kPi * freq / p.sample_hz;
+    const double t = static_cast<double>(i) / p.sample_hz;
+    double v = p.amplitude * std::sin(phase);
+    v += p.amplitude * p.harmonic2 * std::sin(2.0 * phase + 0.7);
+    v += p.amplitude * p.harmonic3 * std::sin(3.0 * phase + 1.9);
+    v += p.baseline * std::sin(2.0 * kPi * p.baseline_hz * t);
+    v += p.noise * rng.next_gauss();
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> respiration_q16_15(unsigned n, RespirationParams p,
+                                             Rng& rng) {
+  const std::vector<double> d = respiration(n, p, rng);
+  std::vector<std::int32_t> out;
+  out.reserve(n);
+  for (double v : d) out.push_back(fx::to_q16_15(v));
+  return out;
+}
+
+std::vector<double> multitone(unsigned n, unsigned tones, Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  for (unsigned t = 0; t < tones; ++t) {
+    const double f = rng.next_range(1.0, static_cast<double>(n) / 2.0 - 1.0);
+    const double a = rng.next_range(0.05, 0.8 / static_cast<double>(tones));
+    const double ph = rng.next_range(0.0, 2.0 * kPi);
+    for (unsigned i = 0; i < n; ++i) {
+      out[i] += a * std::sin(2.0 * kPi * f * static_cast<double>(i) /
+                                 static_cast<double>(n) +
+                             ph);
+    }
+  }
+  return out;
+}
+
+std::vector<std::int32_t> fir11_lowpass_q15() {
+  // Hamming-windowed sinc, fc = 0.1 * fs, 11 taps, normalized to unit DC
+  // gain, in q15 (16.15-compatible: the multiplier sees q15 coefficients).
+  static const std::vector<std::int32_t> taps = [] {
+    std::vector<double> h(11);
+    double sum = 0.0;
+    for (int i = 0; i < 11; ++i) {
+      const double m = static_cast<double>(i) - 5.0;
+      const double fc = 0.1;
+      const double sinc = (m == 0.0) ? 2.0 * fc
+                                     : std::sin(2.0 * kPi * fc * m) / (kPi * m);
+      const double w = 0.54 - 0.46 * std::cos(2.0 * kPi * i / 10.0);
+      h[static_cast<std::size_t>(i)] = sinc * w;
+      sum += h[static_cast<std::size_t>(i)];
+    }
+    std::vector<std::int32_t> q(11);
+    for (int i = 0; i < 11; ++i) {
+      q[static_cast<std::size_t>(i)] = fx::to_coeff(h[static_cast<std::size_t>(i)] / sum);
+    }
+    return q;
+  }();
+  return taps;
+}
+
+} // namespace vwr2a::dsp

@@ -1,0 +1,45 @@
+#pragma once
+// Synthetic biosignal generation. The paper evaluates on the MBioTracker
+// cognitive-workload application fed by a respiration belt (Sec 4.4.2); the
+// recordings are not public, so the reproduction generates a respiration-
+// like waveform: a slow breathing fundamental with harmonics, baseline
+// wander, and measurement noise. The waveform exercises the same code paths
+// (FIR preprocessing, extrema delineation, time/frequency features, SVM).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vwr2a::dsp {
+
+/// Parameters of the synthetic respiration generator.
+struct RespirationParams {
+  double sample_hz = 32.0;        ///< respiration-belt sampling rate
+  double breath_hz = 0.25;        ///< ~15 breaths/minute fundamental
+  double amplitude = 0.45;        ///< fundamental amplitude (full scale 1.0)
+  double harmonic2 = 0.18;        ///< 2nd-harmonic fraction
+  double harmonic3 = 0.07;        ///< 3rd-harmonic fraction
+  double baseline_hz = 0.03;      ///< baseline-wander frequency
+  double baseline = 0.10;         ///< baseline-wander amplitude
+  double noise = 0.02;            ///< white-noise sigma
+  double breath_jitter = 0.08;    ///< cycle-to-cycle period jitter fraction
+};
+
+/// Generates n samples as doubles in roughly [-1, 1].
+std::vector<double> respiration(unsigned n, RespirationParams p, Rng& rng);
+
+/// Generates n samples in 16.15 fixed point.
+std::vector<std::int32_t> respiration_q16_15(unsigned n, RespirationParams p,
+                                             Rng& rng);
+
+/// A deterministic multi-tone test vector (doubles in [-1, 1]): sum of
+/// `tones` sinusoids at incommensurate frequencies. Used by FFT tests.
+std::vector<double> multitone(unsigned n, unsigned tones, Rng& rng);
+
+/// 11-tap symmetric low-pass FIR used as the preprocessing filter (q15
+/// coefficients summing to ~1.0). A Hamming-windowed sinc at 0.1 of the
+/// sample rate -- a typical respiration-band smoother.
+std::vector<std::int32_t> fir11_lowpass_q15();
+
+} // namespace vwr2a::dsp

@@ -1,0 +1,88 @@
+#pragma once
+// Architectural energy events. The reproduction cannot run PrimePower on
+// post-synthesis netlists (paper Sec 4.3), so energy is accounted per
+// architectural event: every time a component does observable work, the
+// simulator adds one event to an EnergyMeter. Per-event energies live in
+// calibration.hpp; the mapping event -> Table-3 category lives in table.cpp.
+
+#include <cstdint>
+
+namespace vwr2a::energy {
+
+/// Every energy-bearing architectural event in the model.
+enum class Event : std::uint8_t {
+  // --- VWR2A scratchpad (array-wide 4096-bit side / word-wide system side)
+  kSpmRowRead = 0,  ///< 4096-bit row read (LSU load, shuffle source refill)
+  kSpmRowWrite,     ///< 4096-bit row write (LSU store)
+  kSpmWordRead,     ///< 32-bit system-side read (DMA out of SPM)
+  kSpmWordWrite,    ///< 32-bit system-side write (DMA into SPM)
+  // --- Very-wide registers
+  kVwrRowWrite,     ///< whole-row VWR update (LSU load or shuffle result)
+  kVwrWordRead,     ///< one word through the RC mux network (the mux output
+                    ///< switching is what costs energy, paper Sec 2)
+  kVwrWordWrite,    ///< one word written back by an RC into its slice
+  // --- Scalar register file and RC register files
+  kSrfRead,
+  kSrfWrite,
+  kRcRfRead,
+  kRcRfWrite,
+  // --- RC datapath
+  kAluOp,           ///< add/sub/logic/shift/compare (operand-isolated)
+  kAluMul,          ///< standard 32-bit multiply
+  kAluFxpMul,       ///< fixed-point 16.15 multiply
+  // --- Shuffle unit
+  kShuffleOp,       ///< one 256-word shuffle operation
+  // --- Control (fetch is a program-memory register read; no decode stage)
+  kInstrFetchRc,
+  kInstrFetchCtrl,  ///< LCU/LSU/MXCU fetch
+  kPcUpdate,
+  kConfigWord,      ///< one configuration word copied into a program memory
+  kLeakCycle,       ///< VWR2A leakage per active (non-gated) cycle
+  // --- VWR2A DMA
+  kDmaSetup,        ///< descriptor programming
+  kDmaBeat,         ///< one 32-bit beat moved by the DMA
+  // --- System bus (AMBA-AHB-like)
+  kBusSetup,        ///< arbitration + address phase of a burst
+  kBusBeat,         ///< one data beat on the bus
+  // --- System SRAM (the 192 KiB six-bank host memory)
+  kSramRead,
+  kSramWrite,
+  // --- Host CPU (Cortex-M4-like model)
+  kCpuCycle,        ///< core energy per executed cycle
+  kCpuFlashFetch,   ///< reserved; program assumed in SRAM/cache, unused
+  // --- Fixed-function FFT accelerator
+  kAccelBfly,       ///< one radix-4 (or 2x radix-2) butterfly group, 18-bit
+  kAccelMemAccess,  ///< one 18-bit access to the accelerator dual-port RAM
+  kAccelRomRead,    ///< one twiddle ROM read
+  kAccelCtrlCycle,  ///< accelerator sequencer energy per active cycle
+  kAccelLeakCycle,  ///< accelerator leakage per non-gated cycle
+  kAccelIoWord,     ///< one word through the accelerator bus interface
+  kAccelDmaBeat,    ///< accelerator-side DMA beat
+  // --- Misc
+  kIrq,
+  kCount,
+};
+
+/// Power-breakdown category, matching the rows of the paper's Table 3.
+enum class Category : std::uint8_t {
+  kDma = 0,
+  kMemories,
+  kControl,
+  kDatapath,
+  kOther,   ///< bus / host-side events outside the accelerator breakdown
+  kCount,
+};
+
+/// Human-readable event name.
+const char* to_string(Event e);
+
+/// Human-readable category name.
+const char* to_string(Category c);
+
+/// The Table-3 category an event belongs to.
+Category category(Event e);
+
+/// Calibrated energy of one occurrence, in picojoules.
+double energy_pj(Event e);
+
+} // namespace vwr2a::energy

@@ -1,0 +1,148 @@
+#include "energy/meter.hpp"
+
+#include <sstream>
+#include <iomanip>
+
+#include "energy/calibration.hpp"
+
+namespace vwr2a::energy {
+
+namespace {
+
+struct EventInfo {
+  const char* name;
+  Category cat;
+  double pj;
+};
+
+constexpr unsigned kNumEvents = static_cast<unsigned>(Event::kCount);
+
+const std::array<EventInfo, kNumEvents>& table() {
+  using namespace cal;
+  static const std::array<EventInfo, kNumEvents> t = {{
+      {"spm_row_read", Category::kMemories, kSpmRowReadPj},
+      {"spm_row_write", Category::kMemories, kSpmRowWritePj},
+      {"spm_word_read", Category::kMemories, kSpmWordReadPj},
+      {"spm_word_write", Category::kMemories, kSpmWordWritePj},
+      {"vwr_row_write", Category::kMemories, kVwrRowWritePj},
+      {"vwr_word_read", Category::kMemories, kVwrWordReadPj},
+      {"vwr_word_write", Category::kMemories, kVwrWordWritePj},
+      {"srf_read", Category::kMemories, kSrfReadPj},
+      {"srf_write", Category::kMemories, kSrfWritePj},
+      {"rc_rf_read", Category::kDatapath, kRcRfReadPj},
+      {"rc_rf_write", Category::kDatapath, kRcRfWritePj},
+      {"alu_op", Category::kDatapath, kAluOpPj},
+      {"alu_mul", Category::kDatapath, kAluMulPj},
+      {"alu_fxpmul", Category::kDatapath, kAluFxpMulPj},
+      {"shuffle_op", Category::kDatapath, kShuffleOpPj},
+      {"instr_fetch_rc", Category::kControl, kInstrFetchRcPj},
+      {"instr_fetch_ctrl", Category::kControl, kInstrFetchCtrlPj},
+      {"pc_update", Category::kControl, kPcUpdatePj},
+      {"config_word", Category::kControl, kConfigWordPj},
+      {"leak_cycle", Category::kMemories, kLeakCyclePj},
+      {"dma_setup", Category::kDma, kDmaSetupPj},
+      {"dma_beat", Category::kDma, kDmaBeatPj},
+      {"bus_setup", Category::kOther, kBusSetupPj},
+      {"bus_beat", Category::kOther, kBusBeatPj},
+      {"sram_read", Category::kOther, kSramReadPj},
+      {"sram_write", Category::kOther, kSramWritePj},
+      {"cpu_cycle", Category::kOther, kCpuCyclePj},
+      {"cpu_flash_fetch", Category::kOther, kCpuFlashFetchPj},
+      {"accel_bfly", Category::kDatapath, kAccelBflyPj},
+      {"accel_mem_access", Category::kMemories, kAccelMemAccessPj},
+      {"accel_rom_read", Category::kMemories, kAccelRomReadPj},
+      {"accel_ctrl_cycle", Category::kControl, kAccelCtrlCyclePj},
+      {"accel_leak_cycle", Category::kMemories, kAccelLeakCyclePj},
+      {"accel_io_word", Category::kDma, kAccelIoWordPj},
+      {"accel_dma_beat", Category::kDma, kAccelDmaBeatPj},
+      {"irq", Category::kControl, kIrqPj},
+  }};
+  return t;
+}
+
+} // namespace
+
+const char* to_string(Event e) { return table()[static_cast<unsigned>(e)].name; }
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kDma: return "DMA";
+    case Category::kMemories: return "Memories";
+    case Category::kControl: return "Control";
+    case Category::kDatapath: return "Datapath";
+    case Category::kOther: return "Other";
+    default: return "?";
+  }
+}
+
+Category category(Event e) { return table()[static_cast<unsigned>(e)].cat; }
+
+double energy_pj(Event e) { return table()[static_cast<unsigned>(e)].pj; }
+
+double EnergyMeter::total_pj() const {
+  double sum = 0.0;
+  for (unsigned i = 0; i < kNumEvents; ++i) {
+    sum += static_cast<double>(counts_[i]) * table()[i].pj;
+  }
+  return sum;
+}
+
+double EnergyMeter::category_pj(Category c) const {
+  double sum = 0.0;
+  for (unsigned i = 0; i < kNumEvents; ++i) {
+    if (table()[i].cat == c) sum += static_cast<double>(counts_[i]) * table()[i].pj;
+  }
+  return sum;
+}
+
+EnergyMeter& EnergyMeter::operator+=(const EnergyMeter& other) {
+  for (unsigned i = 0; i < kNumEvents; ++i) counts_[i] += other.counts_[i];
+  return *this;
+}
+
+PowerReport make_power_report(const EnergyMeter& meter, Cycle cycles) {
+  PowerReport r;
+  r.seconds = static_cast<double>(cycles) / arch::kClockHz;
+  r.total_uj = meter.total_uj();
+  if (r.seconds > 0) {
+    r.total_mw = (meter.total_pj() * 1e-12) / r.seconds * 1e3;
+    for (unsigned c = 0; c < static_cast<unsigned>(Category::kCount); ++c) {
+      r.category_mw[c] =
+          (meter.category_pj(static_cast<Category>(c)) * 1e-12) / r.seconds * 1e3;
+    }
+  }
+  return r;
+}
+
+std::string format_power_report(const PowerReport& report, const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << "  " << std::left << std::setw(10) << "Instance" << std::right
+     << std::setw(14) << "Power (mW)" << std::setw(8) << "%" << "\n";
+  for (unsigned c = 0; c < static_cast<unsigned>(Category::kCount); ++c) {
+    const auto cat = static_cast<Category>(c);
+    if (cat == Category::kOther && report.category_mw[c] == 0.0) continue;
+    os << "  " << std::left << std::setw(10) << to_string(cat) << std::right
+       << std::setw(14) << std::scientific << std::setprecision(2)
+       << report.category_mw[c] << std::setw(7) << std::fixed
+       << std::setprecision(0) << 100.0 * report.category_fraction(cat) << "%\n";
+  }
+  os << "  " << std::left << std::setw(10) << "Total" << std::right
+     << std::setw(14) << std::scientific << std::setprecision(2) << report.total_mw
+     << std::setw(8) << "100%" << "\n";
+  return os.str();
+}
+
+std::string format_event_counts(const EnergyMeter& meter) {
+  std::ostringstream os;
+  for (unsigned i = 0; i < kNumEvents; ++i) {
+    const auto e = static_cast<Event>(i);
+    if (meter.count(e) == 0) continue;
+    os << "  " << std::left << std::setw(18) << to_string(e) << std::right
+       << std::setw(12) << meter.count(e) << std::setw(14) << std::fixed
+       << std::setprecision(1) << meter.event_pj(e) << " pJ\n";
+  }
+  return os.str();
+}
+
+} // namespace vwr2a::energy

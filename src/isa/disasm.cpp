@@ -1,0 +1,306 @@
+#include <sstream>
+
+#include "common/status.hpp"
+#include "isa/instr.hpp"
+
+namespace vwr2a::isa {
+
+const char* to_string(RcOp op) {
+  switch (op) {
+    case RcOp::kNop: return "nop";
+    case RcOp::kSadd: return "sadd";
+    case RcOp::kSsub: return "ssub";
+    case RcOp::kSmul: return "smul";
+    case RcOp::kFxpMul: return "fxpmul";
+    case RcOp::kSll: return "sll";
+    case RcOp::kSrl: return "srl";
+    case RcOp::kSra: return "sra";
+    case RcOp::kLand: return "land";
+    case RcOp::kLor: return "lor";
+    case RcOp::kLxor: return "lxor";
+    case RcOp::kLnot: return "lnot";
+    case RcOp::kMv: return "mv";
+    case RcOp::kCmpEq: return "cmpeq";
+    case RcOp::kCmpLt: return "cmplt";
+    case RcOp::kCmpLe: return "cmple";
+    case RcOp::kMax: return "max";
+    case RcOp::kMin: return "min";
+    case RcOp::kAbs: return "abs";
+    default: return "?";
+  }
+}
+
+const char* to_string(RcSrc s) {
+  switch (s) {
+    case RcSrc::kZero: return "zero";
+    case RcSrc::kOne: return "one";
+    case RcSrc::kR0: return "r0";
+    case RcSrc::kR1: return "r1";
+    case RcSrc::kVwrA: return "vwra";
+    case RcSrc::kVwrB: return "vwrb";
+    case RcSrc::kVwrC: return "vwrc";
+    case RcSrc::kSrf: return "srf";
+    case RcSrc::kRcUp: return "rcu";
+    case RcSrc::kRcDown: return "rcd";
+    case RcSrc::kRcCross: return "rcx";
+    case RcSrc::kImm: return "imm";
+    default: return "?";
+  }
+}
+
+const char* to_string(RcDst d) {
+  switch (d) {
+    case RcDst::kNone: return "none";
+    case RcDst::kR0: return "r0";
+    case RcDst::kR1: return "r1";
+    case RcDst::kVwrA: return "vwra";
+    case RcDst::kVwrB: return "vwrb";
+    case RcDst::kVwrC: return "vwrc";
+    case RcDst::kSrf: return "srf";
+    default: return "?";
+  }
+}
+
+const char* to_string(LsuOp op) {
+  switch (op) {
+    case LsuOp::kNop: return "nop";
+    case LsuOp::kLdVwr: return "ld.vwr";
+    case LsuOp::kStVwr: return "st.vwr";
+    case LsuOp::kLdSrf: return "ld.srf";
+    case LsuOp::kStSrf: return "st.srf";
+    case LsuOp::kShuf: return "shuf";
+    case LsuOp::kSetPtr: return "setptr";
+    default: return "?";
+  }
+}
+
+const char* to_string(ShufMode m) {
+  switch (m) {
+    case ShufMode::kInterleaveLo: return "il.lo";
+    case ShufMode::kInterleaveHi: return "il.hi";
+    case ShufMode::kEvenPrune: return "even";
+    case ShufMode::kOddPrune: return "odd";
+    case ShufMode::kBitRevLo: return "brev.lo";
+    case ShufMode::kBitRevHi: return "brev.hi";
+    case ShufMode::kCircShiftLo: return "cshift.lo";
+    case ShufMode::kCircShiftHi: return "cshift.hi";
+    default: return "?";
+  }
+}
+
+const char* to_string(MxcuOp op) {
+  switch (op) {
+    case MxcuOp::kNop: return "nop";
+    case MxcuOp::kSetIdx: return "seti";
+    case MxcuOp::kAddIdx: return "addi";
+    case MxcuOp::kSetIdxSrf: return "seti.srf";
+    case MxcuOp::kAddIdxSrf: return "addi.srf";
+    case MxcuOp::kAndIdxSrf: return "andi.srf";
+    case MxcuOp::kSetAux: return "setaux";
+    case MxcuOp::kAddAux: return "addaux";
+    case MxcuOp::kIdxFromAux: return "idx.aux";
+    case MxcuOp::kStIdxSrf: return "st.srf";
+    default: return "?";
+  }
+}
+
+const char* to_string(LcuOp op) {
+  switch (op) {
+    case LcuOp::kNop: return "nop";
+    case LcuOp::kSetI: return "seti";
+    case LcuOp::kAddI: return "addi";
+    case LcuOp::kMvR: return "mvr";
+    case LcuOp::kAddR: return "addr";
+    case LcuOp::kSubR: return "subr";
+    case LcuOp::kMvSrf: return "mv.srf";
+    case LcuOp::kStSrf: return "st.srf";
+    case LcuOp::kB: return "b";
+    case LcuOp::kBeq: return "beq";
+    case LcuOp::kBne: return "bne";
+    case LcuOp::kBlt: return "blt";
+    case LcuOp::kBge: return "bge";
+    case LcuOp::kBeqI: return "beqi";
+    case LcuOp::kBneI: return "bnei";
+    case LcuOp::kBltI: return "blti";
+    case LcuOp::kBgeI: return "bgei";
+    case LcuOp::kBsrfZ: return "bsrfz";
+    case LcuOp::kBsrfNz: return "bsrfnz";
+    case LcuOp::kDbnz: return "dbnz";
+    case LcuOp::kExit: return "exit";
+    default: return "?";
+  }
+}
+
+namespace {
+
+std::string src_operand(RcSrc s, std::uint8_t srf, std::int8_t imm) {
+  std::ostringstream os;
+  if (s == RcSrc::kSrf) {
+    os << "srf" << int(srf);
+  } else if (s == RcSrc::kImm) {
+    os << "#" << int(imm);
+  } else {
+    os << to_string(s);
+  }
+  return os.str();
+}
+
+std::string dst_operand(RcDst d, std::uint8_t srf) {
+  std::ostringstream os;
+  if (d == RcDst::kSrf) {
+    os << "srf" << int(srf);
+  } else {
+    os << to_string(d);
+  }
+  return os.str();
+}
+
+bool is_unary(RcOp op) {
+  return op == RcOp::kLnot || op == RcOp::kMv || op == RcOp::kAbs;
+}
+
+} // namespace
+
+std::string to_asm(const RcInstr& i) {
+  if (i.op == RcOp::kNop) return "nop";
+  std::ostringstream os;
+  os << to_string(i.op) << " " << dst_operand(i.dst, i.srf) << ", "
+     << src_operand(i.src_a, i.srf, i.imm);
+  if (!is_unary(i.op)) os << ", " << src_operand(i.src_b, i.srf, i.imm);
+  return os.str();
+}
+
+namespace {
+
+std::string lsu_addr_str(const LsuInstr& i) {
+  std::ostringstream os;
+  switch (i.amode) {
+    case LsuAddrMode::kImm:
+      os << "[" << i.imm << "]";
+      break;
+    case LsuAddrMode::kSrfImm:
+      os << "[srf" << int(i.srf_base) << "+" << i.imm << "]";
+      break;
+    case LsuAddrMode::kPtr0Post:
+      os << "[p0+=" << i.imm << "]";
+      break;
+    case LsuAddrMode::kPtr1Post:
+      os << "[p1+=" << i.imm << "]";
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+} // namespace
+
+std::string to_asm(const LsuInstr& i) {
+  if (i.op == LsuOp::kNop) return "nop";
+  std::ostringstream os;
+  os << to_string(i.op);
+  switch (i.op) {
+    case LsuOp::kLdVwr:
+    case LsuOp::kStVwr:
+      os << " " << to_char(i.vwr) << ", " << lsu_addr_str(i);
+      break;
+    case LsuOp::kLdSrf:
+    case LsuOp::kStSrf:
+      os << " srf" << int(i.srf_data) << ", " << lsu_addr_str(i);
+      break;
+    case LsuOp::kShuf:
+      os << " " << to_string(i.mode);
+      break;
+    case LsuOp::kSetPtr:
+      os << " p" << (static_cast<unsigned>(i.vwr) & 1u) << ", srf"
+         << int(i.srf_base) << ", #" << i.imm;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string to_asm(const MxcuInstr& i) {
+  if (i.op == MxcuOp::kNop) return "nop";
+  std::ostringstream os;
+  os << to_string(i.op);
+  switch (i.op) {
+    case MxcuOp::kSetIdx:
+    case MxcuOp::kAddIdx:
+    case MxcuOp::kSetAux:
+    case MxcuOp::kAddAux:
+      os << " #" << i.imm;
+      break;
+    case MxcuOp::kSetIdxSrf:
+    case MxcuOp::kAddIdxSrf:
+    case MxcuOp::kAndIdxSrf:
+    case MxcuOp::kStIdxSrf:
+      os << " srf" << int(i.srf);
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string to_asm(const LcuInstr& i) {
+  if (i.op == LcuOp::kNop) return "nop";
+  std::ostringstream os;
+  os << to_string(i.op);
+  switch (i.op) {
+    case LcuOp::kSetI:
+    case LcuOp::kAddI:
+      os << " r" << int(i.rd) << ", #" << i.imm;
+      break;
+    case LcuOp::kMvR:
+    case LcuOp::kAddR:
+    case LcuOp::kSubR:
+      os << " r" << int(i.rd) << ", r" << int(i.ra);
+      break;
+    case LcuOp::kMvSrf:
+      os << " r" << int(i.rd) << ", srf" << int(i.srf);
+      break;
+    case LcuOp::kStSrf:
+      os << " srf" << int(i.srf) << ", r" << int(i.ra);
+      break;
+    case LcuOp::kB:
+      os << " @" << int(i.target);
+      break;
+    case LcuOp::kBeq:
+    case LcuOp::kBne:
+    case LcuOp::kBlt:
+    case LcuOp::kBge:
+      os << " r" << int(i.ra) << ", r" << int(i.rb) << ", @" << int(i.target);
+      break;
+    case LcuOp::kBeqI:
+    case LcuOp::kBneI:
+    case LcuOp::kBltI:
+    case LcuOp::kBgeI:
+      os << " r" << int(i.ra) << ", #" << i.imm << ", @" << int(i.target);
+      break;
+    case LcuOp::kBsrfZ:
+    case LcuOp::kBsrfNz:
+      os << " srf" << int(i.srf) << ", @" << int(i.target);
+      break;
+    case LcuOp::kDbnz:
+      os << " r" << int(i.rd) << ", @" << int(i.target);
+      break;
+    case LcuOp::kExit:
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(Slot slot, std::uint32_t w) {
+  switch (slot) {
+    case Slot::LCU: return to_asm(decode_lcu(w));
+    case Slot::LSU: return to_asm(decode_lsu(w));
+    case Slot::MXCU: return to_asm(decode_mxcu(w));
+    default: return to_asm(decode_rc(w));
+  }
+}
+
+} // namespace vwr2a::isa

@@ -1,0 +1,173 @@
+#include "isa/instr.hpp"
+
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace vwr2a::isa {
+
+namespace {
+
+void check(bool cond, const char* what) {
+  if (!cond) throw AsmError(std::string("isa validate: ") + what);
+}
+
+template <typename E>
+E checked_enum(std::uint32_t v, E count, const char* what) {
+  if (v >= static_cast<std::uint32_t>(count)) {
+    throw DecodeError(std::string("isa decode: bad field ") + what);
+  }
+  return static_cast<E>(v);
+}
+
+} // namespace
+
+// --- validation --------------------------------------------------------------
+
+void validate(const RcInstr& i) {
+  check(i.op < RcOp::kCount, "RC opcode");
+  check(i.src_a < RcSrc::kCount, "RC srcA");
+  check(i.src_b < RcSrc::kCount, "RC srcB");
+  check(i.dst < RcDst::kCount, "RC dst");
+  check(i.srf < arch::kSrfEntries, "RC srf index");
+  const bool uses_srf_src = i.src_a == RcSrc::kSrf || i.src_b == RcSrc::kSrf;
+  const bool uses_srf_dst = i.dst == RcDst::kSrf;
+  // One srf field: an instruction cannot read SRF[x] and write SRF[y != x].
+  check(!(uses_srf_src && uses_srf_dst) || true, "RC srf usage");
+}
+
+void validate(const LsuInstr& i) {
+  check(i.op < LsuOp::kCount, "LSU opcode");
+  check(i.mode < ShufMode::kCount, "LSU shuffle mode");
+  check(i.amode < LsuAddrMode::kCount, "LSU address mode");
+  check(i.srf_base < arch::kSrfEntries, "LSU srf base");
+  check(i.srf_data < arch::kSrfEntries, "LSU srf data");
+  check(i.imm >= -8192 && i.imm <= 8191, "LSU imm14");
+  if (i.op == LsuOp::kLdVwr || i.op == LsuOp::kStVwr) {
+    if (i.amode == LsuAddrMode::kImm) {
+      check(i.imm >= 0 && static_cast<unsigned>(i.imm) < arch::kSpmRows,
+            "LSU row address");
+    }
+  }
+  if (i.op == LsuOp::kLdSrf || i.op == LsuOp::kStSrf) {
+    if (i.amode == LsuAddrMode::kImm) {
+      check(i.imm >= 0 && static_cast<unsigned>(i.imm) < arch::kSpmWords,
+            "LSU word address");
+    }
+  }
+}
+
+void validate(const MxcuInstr& i) {
+  check(i.op < MxcuOp::kCount, "MXCU opcode");
+  check(i.srf < arch::kSrfEntries, "MXCU srf index");
+  check(i.imm >= -2048 && i.imm <= 2047, "MXCU imm12");
+}
+
+void validate(const LcuInstr& i) {
+  check(i.op < LcuOp::kCount, "LCU opcode");
+  check(i.rd < arch::kLcuRegs, "LCU rd");
+  check(i.ra < arch::kLcuRegs, "LCU ra");
+  check(i.rb < arch::kLcuRegs, "LCU rb");
+  check(i.srf < arch::kSrfEntries, "LCU srf index");
+  check(i.target < arch::kProgramWords, "LCU branch target");
+  check(i.imm >= -512 && i.imm <= 511, "LCU imm10");
+}
+
+// --- encode -------------------------------------------------------------------
+
+std::uint32_t encode(const RcInstr& i) {
+  validate(i);
+  std::uint32_t w = 0;
+  w = set_bits(w, 27, 5, static_cast<std::uint32_t>(i.op));
+  w = set_bits(w, 23, 4, static_cast<std::uint32_t>(i.src_a));
+  w = set_bits(w, 19, 4, static_cast<std::uint32_t>(i.src_b));
+  w = set_bits(w, 16, 3, static_cast<std::uint32_t>(i.dst));
+  w = set_bits(w, 13, 3, i.srf);
+  w = set_bits(w, 0, 8, static_cast<std::uint8_t>(i.imm));
+  return w;
+}
+
+std::uint32_t encode(const LsuInstr& i) {
+  validate(i);
+  std::uint32_t w = 0;
+  w = set_bits(w, 28, 4, static_cast<std::uint32_t>(i.op));
+  w = set_bits(w, 26, 2, static_cast<std::uint32_t>(i.vwr));
+  w = set_bits(w, 23, 3, static_cast<std::uint32_t>(i.mode));
+  w = set_bits(w, 21, 2, static_cast<std::uint32_t>(i.amode));
+  w = set_bits(w, 18, 3, i.srf_base);
+  w = set_bits(w, 15, 3, i.srf_data);
+  w = set_bits(w, 0, 14, static_cast<std::uint16_t>(i.imm) & 0x3FFFu);
+  return w;
+}
+
+std::uint32_t encode(const MxcuInstr& i) {
+  validate(i);
+  std::uint32_t w = 0;
+  w = set_bits(w, 28, 4, static_cast<std::uint32_t>(i.op));
+  w = set_bits(w, 24, 3, i.srf);
+  w = set_bits(w, 0, 12, static_cast<std::uint16_t>(i.imm) & 0xFFFu);
+  return w;
+}
+
+std::uint32_t encode(const LcuInstr& i) {
+  validate(i);
+  std::uint32_t w = 0;
+  w = set_bits(w, 27, 5, static_cast<std::uint32_t>(i.op));
+  w = set_bits(w, 25, 2, i.rd);
+  w = set_bits(w, 23, 2, i.ra);
+  w = set_bits(w, 21, 2, i.rb);
+  w = set_bits(w, 18, 3, i.srf);
+  w = set_bits(w, 12, 6, i.target);
+  w = set_bits(w, 0, 10, static_cast<std::uint16_t>(i.imm) & 0x3FFu);
+  return w;
+}
+
+// --- decode -------------------------------------------------------------------
+
+RcInstr decode_rc(std::uint32_t w) {
+  RcInstr i;
+  i.op = checked_enum(bits(w, 27, 5), RcOp::kCount, "RC opcode");
+  i.src_a = checked_enum(bits(w, 23, 4), RcSrc::kCount, "RC srcA");
+  i.src_b = checked_enum(bits(w, 19, 4), RcSrc::kCount, "RC srcB");
+  i.dst = checked_enum(bits(w, 16, 3), RcDst::kCount, "RC dst");
+  i.srf = static_cast<std::uint8_t>(bits(w, 13, 3));
+  i.imm = static_cast<std::int8_t>(bits(w, 0, 8));
+  return i;
+}
+
+LsuInstr decode_lsu(std::uint32_t w) {
+  LsuInstr i;
+  i.op = checked_enum(bits(w, 28, 4), LsuOp::kCount, "LSU opcode");
+  const std::uint32_t vwr = bits(w, 26, 2);
+  if (vwr > 2) throw DecodeError("isa decode: bad LSU vwr select");
+  i.vwr = static_cast<VwrSel>(vwr);
+  i.mode = checked_enum(bits(w, 23, 3), ShufMode::kCount, "LSU shuffle mode");
+  i.amode = checked_enum(bits(w, 21, 2), LsuAddrMode::kCount, "LSU addr mode");
+  i.srf_base = static_cast<std::uint8_t>(bits(w, 18, 3));
+  i.srf_data = static_cast<std::uint8_t>(bits(w, 15, 3));
+  i.imm = static_cast<std::int16_t>(sign_extend(bits(w, 0, 14), 14));
+  return i;
+}
+
+MxcuInstr decode_mxcu(std::uint32_t w) {
+  MxcuInstr i;
+  i.op = checked_enum(bits(w, 28, 4), MxcuOp::kCount, "MXCU opcode");
+  i.srf = static_cast<std::uint8_t>(bits(w, 24, 3));
+  i.imm = static_cast<std::int16_t>(sign_extend(bits(w, 0, 12), 12));
+  return i;
+}
+
+LcuInstr decode_lcu(std::uint32_t w) {
+  LcuInstr i;
+  i.op = checked_enum(bits(w, 27, 5), LcuOp::kCount, "LCU opcode");
+  i.rd = static_cast<std::uint8_t>(bits(w, 25, 2));
+  i.ra = static_cast<std::uint8_t>(bits(w, 23, 2));
+  i.rb = static_cast<std::uint8_t>(bits(w, 21, 2));
+  i.srf = static_cast<std::uint8_t>(bits(w, 18, 3));
+  i.target = static_cast<std::uint8_t>(bits(w, 12, 6));
+  i.imm = static_cast<std::int16_t>(sign_extend(bits(w, 0, 10), 10));
+  return i;
+}
+
+} // namespace vwr2a::isa

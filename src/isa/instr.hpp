@@ -1,0 +1,93 @@
+#pragma once
+// Decoded instruction structs for the four slot types, plus encode/decode
+// between the structs and 32-bit configuration words. The structs are the
+// working representation used by the assembler and the simulator; the encoded
+// words are what the configuration memory stores and what the energy model
+// charges fetches for.
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace vwr2a::isa {
+
+/// A decoded RC (reconfigurable-cell) instruction.
+struct RcInstr {
+  RcOp op = RcOp::kNop;
+  RcSrc src_a = RcSrc::kZero;
+  RcSrc src_b = RcSrc::kZero;
+  RcDst dst = RcDst::kNone;
+  std::uint8_t srf = 0;    ///< SRF entry used by kSrf source or kSrf dst
+  std::int8_t imm = 0;     ///< value of the kImm source
+
+  bool operator==(const RcInstr&) const = default;
+};
+
+/// A decoded LSU instruction.
+struct LsuInstr {
+  LsuOp op = LsuOp::kNop;
+  VwrSel vwr = VwrSel::A;       ///< target VWR for kLdVwr/kStVwr; for
+                                ///< kSetPtr, bit 0 selects P0/P1
+  ShufMode mode = ShufMode::kInterleaveLo;  ///< shuffle mode for kShuf
+  LsuAddrMode amode = LsuAddrMode::kImm;    ///< address computation
+  std::uint8_t srf_base = 0;    ///< SRF entry holding the address base
+  std::uint8_t srf_data = 0;    ///< SRF entry read/written by kLdSrf/kStSrf
+  std::int16_t imm = 0;         ///< row/word index, or post-increment stride
+
+  bool operator==(const LsuInstr&) const = default;
+};
+
+/// A decoded MXCU instruction.
+struct MxcuInstr {
+  MxcuOp op = MxcuOp::kNop;
+  std::uint8_t srf = 0;
+  std::int16_t imm = 0;   ///< 12-bit signed immediate
+
+  bool operator==(const MxcuInstr&) const = default;
+};
+
+/// A decoded LCU instruction.
+struct LcuInstr {
+  LcuOp op = LcuOp::kNop;
+  std::uint8_t rd = 0;       ///< destination loop register
+  std::uint8_t ra = 0;       ///< comparison lhs
+  std::uint8_t rb = 0;       ///< comparison rhs
+  std::uint8_t srf = 0;      ///< SRF entry for kMvSrf/kStSrf/kBsrf*
+  std::uint8_t target = 0;   ///< branch target (program address, 0..63)
+  std::int16_t imm = 0;      ///< 10-bit signed immediate
+
+  bool operator==(const LcuInstr&) const = default;
+};
+
+// --- encode: struct -> 32-bit configuration word ---------------------------
+std::uint32_t encode(const RcInstr& i);
+std::uint32_t encode(const LsuInstr& i);
+std::uint32_t encode(const MxcuInstr& i);
+std::uint32_t encode(const LcuInstr& i);
+
+// --- decode: 32-bit configuration word -> struct. Throws DecodeError on an
+// illegal opcode or field value. ---------------------------------------------
+RcInstr decode_rc(std::uint32_t w);
+LsuInstr decode_lsu(std::uint32_t w);
+MxcuInstr decode_mxcu(std::uint32_t w);
+LcuInstr decode_lcu(std::uint32_t w);
+
+/// Decodes the word for the given slot and returns a one-line disassembly.
+std::string disassemble(Slot slot, std::uint32_t w);
+
+// --- per-format disassembly -------------------------------------------------
+std::string to_asm(const RcInstr& i);
+std::string to_asm(const LsuInstr& i);
+std::string to_asm(const MxcuInstr& i);
+std::string to_asm(const LcuInstr& i);
+
+// --- validation: throws AsmError if a field is out of range (e.g., SRF index
+// >= 8, branch target >= 64, immediate does not fit its field). --------------
+void validate(const RcInstr& i);
+void validate(const LsuInstr& i);
+void validate(const MxcuInstr& i);
+void validate(const LcuInstr& i);
+
+} // namespace vwr2a::isa

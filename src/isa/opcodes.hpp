@@ -1,0 +1,208 @@
+#pragma once
+// Instruction-set definition for the four VWR2A slot types.
+//
+// The paper (Sec 3.1) states that "the bits of the configuration words
+// ('instructions') correspond directly to the control signals in the cell
+// datapaths, without an actual decoding process". It does not publish the
+// binary layouts, so this header defines a concrete reconstruction. Each
+// slot type has a 32-bit configuration word; value 0 is NOP in every format.
+//
+// RC word layout (reconstruction):
+//   [31:27] opcode        [26:23] srcA          [22:19] srcB
+//   [18:16] dst           [15:13] srf index     [12:8] reserved
+//   [7:0]   imm8 (signed, used when a source is IMM)
+//
+// LSU word layout:
+//   [31:28] opcode        [27:26] vwr select / pointer select
+//   [25:23] shuffle mode  [22:21] addressing mode
+//   [20:18] srf base      [17:15] srf data      [13:0] imm14 (row or word)
+//
+// MXCU word layout:
+//   [31:28] opcode        [26:24] srf index     [11:0] imm12 (signed)
+//
+// LCU word layout:
+//   [31:27] opcode        [26:25] rd            [24:23] ra
+//   [22:21] rb            [20:18] srf index     [17:12] branch target
+//   [9:0]   imm10 (signed)
+
+#include <cstdint>
+
+namespace vwr2a::isa {
+
+// ---------------------------------------------------------------------------
+// RC: reconfigurable cell (datapath slot)
+// ---------------------------------------------------------------------------
+
+/// RC ALU operations (paper Sec 3.1: signed add/sub/mul, logic, shifts, and
+/// the two multiplier modes). Comparison ops produce 0/1 predicates that the
+/// LCU can branch on after the RC stores them to the SRF.
+enum class RcOp : std::uint8_t {
+  kNop = 0,
+  kSadd,    ///< dst = a + b (signed, wrap)
+  kSsub,    ///< dst = a - b
+  kSmul,    ///< dst = low 32 bits of a * b (standard multiplier mode)
+  kFxpMul,  ///< dst = bits [47:16] of a * b (fixed-point 16.15 mode)
+  kSll,     ///< dst = a << (b & 31)
+  kSrl,     ///< dst = logical a >> (b & 31)
+  kSra,     ///< dst = arithmetic a >> (b & 31)
+  kLand,    ///< dst = a & b
+  kLor,     ///< dst = a | b
+  kLxor,    ///< dst = a ^ b
+  kLnot,    ///< dst = ~a
+  kMv,      ///< dst = a
+  kCmpEq,   ///< dst = (a == b) ? 1 : 0
+  kCmpLt,   ///< dst = (a < b) ? 1 : 0   (signed)
+  kCmpLe,   ///< dst = (a <= b) ? 1 : 0  (signed)
+  kMax,     ///< dst = max(a, b) (signed)
+  kMin,     ///< dst = min(a, b) (signed)
+  kAbs,     ///< dst = |a| (signed; INT_MIN saturates to INT_MAX)
+  kCount,
+};
+
+/// RC operand sources. VWR reads go through the multiplexer network at the
+/// column's shared slice index; neighbour sources read the previous-cycle
+/// ALU result of the adjacent cell (paper Sec 3.1).
+enum class RcSrc : std::uint8_t {
+  kZero = 0,  ///< constant 0
+  kOne,       ///< constant 1
+  kR0,        ///< local register file entry 0
+  kR1,        ///< local register file entry 1
+  kVwrA,      ///< word [slice, index] of VWR A
+  kVwrB,      ///< word [slice, index] of VWR B
+  kVwrC,      ///< word [slice, index] of VWR C
+  kSrf,       ///< SRF[srf] (consumes the column SRF port)
+  kRcUp,      ///< previous-cycle result of the RC above (wraps)
+  kRcDown,    ///< previous-cycle result of the RC below (wraps)
+  kRcCross,   ///< previous-cycle result of the same-row RC in the other column
+  kImm,       ///< sign-extended imm8 from the configuration word
+  kCount,
+};
+
+/// RC result destinations. VWR writes land in the RC's own slice at the
+/// shared index; SRF writes consume the column SRF port.
+enum class RcDst : std::uint8_t {
+  kNone = 0,  ///< discard (operand isolation keeps datapath quiet on NOP)
+  kR0,
+  kR1,
+  kVwrA,
+  kVwrB,
+  kVwrC,
+  kSrf,
+  kCount,
+};
+
+// ---------------------------------------------------------------------------
+// LSU: load-store unit (paper Sec 3.3.1)
+// ---------------------------------------------------------------------------
+
+/// LSU operations: whole-row transfers between the SPM and a VWR, scalar
+/// transfers between the SPM and the SRF, shuffle-unit operations, and
+/// pointer-register management.
+///
+/// The LSU has two private pointer registers (P0, P1) with post-increment
+/// addressing. This is a reconstruction choice: serial scans (delineation,
+/// Sec 5.2.2) need per-element addresses, and routing those through the
+/// single-ported SRF every cycle would conflict with the SRF data accesses
+/// of the same instructions. A load-store unit with auto-increment pointers
+/// is standard practice in DSP datapaths.
+enum class LsuOp : std::uint8_t {
+  kNop = 0,
+  kLdVwr,   ///< VWR[vwr] = SPM.row[addr]
+  kStVwr,   ///< SPM.row[addr] = VWR[vwr]
+  kLdSrf,   ///< SRF[srf_data] = SPM.word[addr]
+  kStSrf,   ///< SPM.word[addr] = SRF[srf_data]
+  kShuf,    ///< VWR C = shuffle(VWR A, VWR B, mode)
+  kSetPtr,  ///< P[ptr] = SRF[srf_base] + imm
+  kCount,
+};
+
+/// LSU addressing modes.
+enum class LsuAddrMode : std::uint8_t {
+  kImm = 0,     ///< addr = imm
+  kSrfImm,      ///< addr = SRF[srf_base] + imm
+  kPtr0Post,    ///< addr = P0; P0 += signed imm after the access
+  kPtr1Post,    ///< addr = P1; P1 += signed imm after the access
+  kCount,
+};
+
+/// Hard-wired shuffle operations (paper Sec 3.3.1). All operate on the
+/// 256-word concatenation of VWRs A and B; LO/HI selects which 128-word half
+/// of the conceptual 256-word result is written to VWR C.
+enum class ShufMode : std::uint8_t {
+  kInterleaveLo = 0,  ///< out[2i] = A[i], out[2i+1] = B[i]; lower half
+  kInterleaveHi,      ///< upper half of the interleaving
+  kEvenPrune,         ///< evens of A then evens of B
+  kOddPrune,          ///< odds of A then odds of B
+  kBitRevLo,          ///< bit-reversal permutation of A:B; lower half
+  kBitRevHi,          ///< bit-reversal permutation of A:B; upper half
+  kCircShiftLo,       ///< (A:B) circularly shifted up by 32 words; lower half
+  kCircShiftHi,       ///< circular shift; upper half
+  kCount,
+};
+
+// ---------------------------------------------------------------------------
+// MXCU: multiplexer-control unit (paper Sec 3.3.2)
+// ---------------------------------------------------------------------------
+
+/// MXCU operations: arithmetic on the shared VWR slice index register and an
+/// auxiliary register. "Masking values for the VWRs index computation" live
+/// in the SRF (paper Sec 3.2), hence the SRF-masked forms.
+enum class MxcuOp : std::uint8_t {
+  kNop = 0,
+  kSetIdx,     ///< idx = imm
+  kAddIdx,     ///< idx += imm (signed; wraps mod slice words)
+  kSetIdxSrf,  ///< idx = SRF[srf]
+  kAddIdxSrf,  ///< idx += SRF[srf]
+  kAndIdxSrf,  ///< idx &= SRF[srf] (masked index computation)
+  kSetAux,     ///< aux = imm
+  kAddAux,     ///< aux += imm
+  kIdxFromAux, ///< idx = aux (mod slice words)
+  kStIdxSrf,   ///< SRF[srf] = idx
+  kCount,
+};
+
+// ---------------------------------------------------------------------------
+// LCU: loop-control unit (paper Sec 3.3.3)
+// ---------------------------------------------------------------------------
+
+/// LCU operations: loop-counter arithmetic on a small local register file,
+/// branches that drive the column program counter, and kernel termination
+/// (EXIT notifies the synchronizer). The register-register forms (kMvR,
+/// kAddR, kSubR) are part of the reconstruction: the paper states the LCU
+/// exists so "control-intensive code [can] be efficiently executed on
+/// VWR2A" (Sec 3.3.3), which requires a small adder on the loop registers.
+enum class LcuOp : std::uint8_t {
+  kNop = 0,
+  kSetI,     ///< rd = imm
+  kAddI,     ///< rd += imm
+  kMvR,      ///< rd = ra
+  kAddR,     ///< rd = rd + ra
+  kSubR,     ///< rd = rd - ra
+  kMvSrf,    ///< rd = SRF[srf]
+  kStSrf,    ///< SRF[srf] = ra
+  kB,        ///< pc = target
+  kBeq,      ///< if (ra == rb) pc = target
+  kBne,      ///< if (ra != rb) pc = target
+  kBlt,      ///< if (ra <  rb) pc = target (signed)
+  kBge,      ///< if (ra >= rb) pc = target (signed)
+  kBeqI,     ///< if (ra == imm) pc = target
+  kBneI,     ///< if (ra != imm) pc = target
+  kBltI,     ///< if (ra <  imm) pc = target
+  kBgeI,     ///< if (ra >= imm) pc = target
+  kBsrfZ,    ///< if (SRF[srf] == 0) pc = target
+  kBsrfNz,   ///< if (SRF[srf] != 0) pc = target
+  kDbnz,     ///< rd -= 1; if (rd != 0) pc = target  (hardware loop op)
+  kExit,     ///< halt the column; notify the synchronizer
+  kCount,
+};
+
+/// Names for disassembly. Defined in disasm.cpp.
+const char* to_string(RcOp op);
+const char* to_string(RcSrc s);
+const char* to_string(RcDst d);
+const char* to_string(LsuOp op);
+const char* to_string(ShufMode m);
+const char* to_string(MxcuOp op);
+const char* to_string(LcuOp op);
+
+} // namespace vwr2a::isa

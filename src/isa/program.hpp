@@ -1,0 +1,104 @@
+#pragma once
+// Kernel program containers. A ColumnProgram is one column's worth of
+// per-slot instruction streams, already encoded to configuration words; a
+// KernelImage is what the configuration memory stores for one kernel
+// (programs for one or both columns plus metadata).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace vwr2a::isa {
+
+/// One column's instruction streams: for each of the 7 slots (LCU, LSU,
+/// MXCU, RC0..RC3) a vector of encoded configuration words, all the same
+/// length (the slots advance in lock-step behind the shared PC).
+class ColumnProgram {
+ public:
+  ColumnProgram() = default;
+
+  /// Number of configuration words per slot stream.
+  unsigned length() const { return length_; }
+
+  /// Appends one VLIW line (one word per slot). Throws AsmError past the
+  /// 64-word program memory.
+  void append_line(const std::array<std::uint32_t, arch::kSlotsPerColumn>& line) {
+    if (length_ >= arch::kProgramWords) {
+      throw AsmError("ColumnProgram: program exceeds 64-word program memory");
+    }
+    for (unsigned s = 0; s < arch::kSlotsPerColumn; ++s) {
+      streams_[s].push_back(line[s]);
+    }
+    ++length_;
+  }
+
+  /// The encoded word for `slot` at program address `pc`.
+  std::uint32_t word(Slot slot, unsigned pc) const {
+    if (pc >= length_) throw RangeError("ColumnProgram: pc out of range");
+    return streams_[slot_index(slot)][pc];
+  }
+
+  /// Full stream for one slot.
+  const std::vector<std::uint32_t>& stream(Slot slot) const {
+    return streams_[slot_index(slot)];
+  }
+
+  /// Overwrites one word (used by the builder's label fix-ups).
+  void patch(Slot slot, unsigned pc, std::uint32_t w) {
+    if (pc >= length_) throw RangeError("ColumnProgram: patch pc out of range");
+    streams_[slot_index(slot)][pc] = w;
+  }
+
+  bool operator==(const ColumnProgram&) const = default;
+
+ private:
+  std::array<std::vector<std::uint32_t>, arch::kSlotsPerColumn> streams_{};
+  unsigned length_ = 0;
+};
+
+/// Which columns a kernel occupies.
+enum class ColumnSet : std::uint8_t {
+  kCol0 = 1,
+  kCol1 = 2,
+  kBoth = 3,  ///< both columns, PCs synchronized (paper Sec 3.3.3)
+};
+
+/// True if the set contains column c (0 or 1).
+constexpr bool contains(ColumnSet s, unsigned c) {
+  return (static_cast<unsigned>(s) >> c) & 1u;
+}
+
+/// A kernel as stored in the configuration memory: a name (debug only), the
+/// column occupancy, and one program per occupied column. Both-column kernels
+/// may use distinct per-column programs of equal length.
+struct KernelImage {
+  std::string name;
+  ColumnSet columns = ColumnSet::kCol0;
+  std::array<ColumnProgram, arch::kNumColumns> program{};
+
+  /// Longest slot stream over occupied columns: the configuration-load cost
+  /// in cycles (unit program memories are filled in parallel, one word per
+  /// unit per cycle).
+  unsigned load_cycles() const {
+    unsigned n = 0;
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      if (contains(columns, c)) n = std::max(n, program[c].length());
+    }
+    return n;
+  }
+
+  /// Total configuration words across occupied columns and slots (energy).
+  unsigned total_words() const {
+    unsigned n = 0;
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      if (contains(columns, c)) n += program[c].length() * arch::kSlotsPerColumn;
+    }
+    return n;
+  }
+};
+
+} // namespace vwr2a::isa

@@ -1,0 +1,250 @@
+#include "kernels/delineation.hpp"
+
+#include "casm/builder.hpp"
+#include "casm/factories.hpp"
+#include "common/status.hpp"
+
+namespace vwr2a::kernels {
+
+namespace {
+
+using namespace casm;
+using isa::ColumnProgram;
+
+constexpr unsigned kRowWords = arch::kVwrWords;
+/// Record row (VWR C dumped here by the scan epilogue).
+constexpr unsigned kRecRow = 51;
+/// Hysteresis state words (row 52, after the SVM weight block).
+constexpr unsigned kStImax = 52 * kRowWords + 16;
+constexpr unsigned kStImin = 52 * kRowWords + 17;
+constexpr unsigned kStArm = 52 * kRowWords + 18;  // 0 = either, 1 = last max,
+                                                  // 2 = last min
+
+// ---------------------------------------------------------------------------
+// Flags pass (per column): per sample w in [1,30] of each slice,
+//   flag[w] = (x[w]-x[w-1]) * (x[w+1]-x[w]) <= 0;
+// slice-boundary samples (w = 0, 31) are flagged unconditionally.
+// SRF0 = current data row (absolute); flags stored nrows above the data.
+// ---------------------------------------------------------------------------
+ColumnProgram flags_program(unsigned col, unsigned nrows_total) {
+  const unsigned my_rows = (nrows_total + 1 - col) / 2;
+  if (my_rows == 0) throw AsmError("flags_program: column has no rows");
+  ProgramBuilder pb;
+  pb.line().lcu(lcu_set(2, static_cast<int>(my_rows))).emit();
+  Label row = pb.make_label();
+  pb.bind(row);
+  pb.line()
+      .lsu(lsu_ld_vwr_srf(VwrSel::A, 0, 0))
+      .lcu(lcu_set(0, 30))
+      .mxcu(mxcu_set_idx(0))
+      .emit();
+  // Boundary w = 0.
+  pb.line().rc_all(rc_mv(RcDst::kVwrC, RcSrc::kOne)).emit();
+  // Interior w = 1..30; index walk per element: w-1, w, w, w+1, w+1, w.
+  Label el = pb.make_label();
+  pb.bind(el);
+  pb.line().rc_all(rc_mv(RcDst::kR0, RcSrc::kVwrA)).mxcu(mxcu_add_idx(1)).emit();
+  pb.line().rc_all(rc_sub(RcDst::kR0, RcSrc::kVwrA, RcSrc::kR0)).emit();
+  pb.line().rc_all(rc_mv(RcDst::kR1, RcSrc::kVwrA)).mxcu(mxcu_add_idx(1)).emit();
+  pb.line().rc_all(rc_sub(RcDst::kR1, RcSrc::kVwrA, RcSrc::kR1)).mxcu(mxcu_add_idx(-1)).emit();
+  pb.line().rc_all(rc_op(RcOp::kSmul, RcDst::kR0, RcSrc::kR0, RcSrc::kR1)).emit();
+  pb.line()
+      .rc_all(rc_op(RcOp::kCmpLe, RcDst::kVwrC, RcSrc::kR0, RcSrc::kZero))
+      .lcu(lcu_dbnz(0), el)
+      .emit();
+  // Boundary w = 31.
+  pb.line().mxcu(mxcu_set_idx(31)).emit();
+  pb.line().rc_all(rc_mv(RcDst::kVwrC, RcSrc::kOne)).emit();
+  pb.line().lsu(lsu_st_vwr_srf(VwrSel::C, 0, static_cast<int>(nrows_total))).emit();
+  pb.line().lcu(lcu_mv_srf(1, 0)).emit();
+  pb.line().lcu(lcu_add(1, 2)).emit();
+  pb.line().lcu(lcu_st_srf(0, 1)).emit();
+  pb.line().lcu(lcu_dbnz(2), row).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Serial scan (column 0). SRF: 0 = flag word base, 1/2 = spills,
+// 3 = threshold, 4 = cand_max, 5 = cand_min, 7 = loaded flag.
+// LCU: r0 = v, r1/r2 = scratch, r3 = element countdown.
+// Records -> VWR C slice 0 via RC0, MXCU idx = record count.
+// ---------------------------------------------------------------------------
+ColumnProgram scan_program(unsigned n, unsigned x_row0) {
+  (void)n;  // element count reaches the kernel through SRF6 (imm10 is too
+            // narrow for n - 1 at n >= 512); kept for the cache key
+  const unsigned xbase = x_row0 * kRowWords;
+  ProgramBuilder pb;
+  Label skip = pb.make_label(), next = pb.make_label(), done = pb.make_label();
+  Label cand = pb.make_label(), r1l = pb.make_label(), r2l = pb.make_label();
+  Label chkmin = pb.make_label(), updmax = pb.make_label(), updmin = pb.make_label();
+  Label recmax = pb.make_label(), recmin = pb.make_label();
+
+  pb.line().lsu(lsu_setptr(0, 0, 1)).mxcu(mxcu_set_idx(0)).emit();
+  // Element count n-1 exceeds the 10-bit LCU immediate; SRF6 carries it.
+  pb.line().lcu(lcu_mv_srf(3, 6)).emit();
+  pb.bind(skip);
+  pb.line().lsu(lsu_ld_srf_ptr(7, 0, 1)).emit();
+  pb.line().lcu(lcu_bsrfnz(7), cand).emit();
+  pb.bind(next);
+  pb.line().lcu(lcu_dbnz(3), skip).emit();
+  pb.bind(done);
+  pb.line().mxcu(MxcuInstr{MxcuOp::kStIdxSrf, 7, 0}).emit();  // count -> SRF7
+  pb.line().lsu(lsu_st_vwr(VwrSel::C, kRecRow)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+
+  pb.bind(cand);
+  pb.line().lcu(lcu_mv_srf(1, 6)).emit();        // r1 = n - 1
+  pb.line().lcu(lcu_subr(1, 3)).emit();
+  pb.line().lcu(lcu_add(1, 1)).emit();           // r1 = i = n - r3
+  pb.line().lcu(lcu_st_srf(1, 1)).emit();        // srf1 = i
+  pb.line().lsu(lsu_setptr(1, 1, static_cast<int>(xbase))).emit();
+  pb.line().lsu(lsu_ld_srf_ptr(2, 1, 0)).emit(); // srf2 = v
+  pb.line().lcu(lcu_mv_srf(0, 2)).emit();        // r0 = v
+  pb.line().lcu(lcu_mv_srf(2, 4)).emit();        // r2 = cand_max
+  pb.line().lcu(lcu_blt(2, 0), updmax).emit();   // v > cand_max ?
+  pb.bind(r1l);
+  pb.line().lcu(lcu_mv_srf(2, 5)).emit();        // r2 = cand_min
+  pb.line().lcu(lcu_blt(0, 2), updmin).emit();   // v < cand_min ?
+  pb.bind(r2l);
+  pb.line().lsu(lsu_ld_srf(2, kStArm)).emit();   // srf2 = arm state
+  pb.line().lcu(lcu_mv_srf(2, 2)).emit();        // r2 = arm
+  pb.line().lcu(lcu_beq_imm(2, 1), chkmin).emit();  // last was max -> skip
+  pb.line().lcu(lcu_mv_srf(2, 4)).emit();        // r2 = cand_max
+  pb.line().lcu(lcu_subr(2, 0)).emit();          // r2 = cand_max - v
+  pb.line().lcu(lcu_mv_srf(1, 3)).emit();        // r1 = T
+  pb.line().lcu(lcu_blt(1, 2), recmax).emit();   // cand_max - v > T ?
+  pb.bind(chkmin);
+  pb.line().lsu(lsu_ld_srf(2, kStArm)).emit();   // reload arm (r2 clobbered)
+  pb.line().lcu(lcu_mv_srf(2, 2)).emit();
+  pb.line().lcu(lcu_beq_imm(2, 2), next).emit();  // last was min -> skip
+  pb.line().lcu(lcu_mv_srf(1, 5)).emit();        // r1 = cand_min
+  pb.line().lcu(lcu_mvr(2, 0)).emit();
+  pb.line().lcu(lcu_subr(2, 1)).emit();          // r2 = v - cand_min
+  pb.line().lcu(lcu_mv_srf(1, 3)).emit();        // r1 = T
+  pb.line().lcu(lcu_blt(1, 2), recmin).emit();   // v - cand_min > T ?
+  pb.line().lcu(lcu_b(), next).emit();
+
+  pb.bind(updmax);
+  pb.line().lcu(lcu_st_srf(4, 0)).emit();        // cand_max = v
+  pb.line().lsu(lsu_st_srf(1, kStImax)).emit();  // imax = i
+  pb.line().lcu(lcu_b(), r1l).emit();
+  pb.bind(updmin);
+  pb.line().lcu(lcu_st_srf(5, 0)).emit();        // cand_min = v
+  pb.line().lsu(lsu_st_srf(1, kStImin)).emit();  // imin = i
+  pb.line().lcu(lcu_b(), r2l).emit();
+
+  pb.bind(recmax);
+  pb.line().lsu(lsu_ld_srf(2, kStImax)).emit();  // srf2 = imax
+  pb.line().lcu(lcu_mv_srf(2, 2)).emit();
+  pb.line().lcu(lcu_addr(2, 2)).emit();          // r2 = 2*imax
+  pb.line().lcu(lcu_add(2, 1)).emit();           // | 1 (max tag)
+  pb.line().lcu(lcu_st_srf(2, 2)).emit();        // srf2 = record
+  pb.line()
+      .rc(0, rc_mv(RcDst::kVwrC, RcSrc::kSrf, 2))
+      .mxcu(mxcu_add_idx(1))
+      .emit();                                    // push record
+  pb.line().lcu(lcu_set(2, 1)).emit();
+  pb.line().lcu(lcu_st_srf(2, 2)).emit();
+  pb.line().lsu(lsu_st_srf(2, kStArm)).emit();   // arm = 1 (last was max)
+  pb.line().lcu(lcu_st_srf(5, 0)).emit();        // cand_min = v
+  pb.line().lsu(lsu_st_srf(1, kStImin)).emit();  // imin = i
+  pb.line().lcu(lcu_b(), next).emit();
+
+  pb.bind(recmin);
+  pb.line().lsu(lsu_ld_srf(2, kStImin)).emit();
+  pb.line().lcu(lcu_mv_srf(2, 2)).emit();
+  pb.line().lcu(lcu_addr(2, 2)).emit();          // r2 = 2*imin (min tag 0)
+  pb.line().lcu(lcu_st_srf(2, 2)).emit();
+  pb.line()
+      .rc(0, rc_mv(RcDst::kVwrC, RcSrc::kSrf, 2))
+      .mxcu(mxcu_add_idx(1))
+      .emit();
+  pb.line().lcu(lcu_set(2, 2)).emit();
+  pb.line().lcu(lcu_st_srf(2, 2)).emit();
+  pb.line().lsu(lsu_st_srf(2, kStArm)).emit();   // arm = 2 (last was min)
+  pb.line().lcu(lcu_st_srf(4, 0)).emit();        // cand_max = v
+  pb.line().lsu(lsu_st_srf(1, kStImax)).emit();  // imax = i
+  pb.line().lcu(lcu_b(), next).emit();
+
+  return pb.build();
+}
+
+} // namespace
+
+DelineationKernels::DelineationKernels(Host host) : host_(host) {}
+
+unsigned DelineationKernels::flags_kernel(unsigned nrows) {
+  auto it = flags_ids_.find(nrows);
+  if (it != flags_ids_.end()) return it->second;
+  unsigned id;
+  if (nrows == 1) {
+    id = host_.acc().register_kernel(
+        make_kernel("delin_flags_r1", 0, flags_program(0, 1)));
+  } else {
+    id = host_.acc().register_kernel(
+        make_kernel2("delin_flags_r" + std::to_string(nrows),
+                     flags_program(0, nrows), flags_program(1, nrows)));
+  }
+  flags_ids_.emplace(nrows, id);
+  return id;
+}
+
+unsigned DelineationKernels::scan_kernel(unsigned n, unsigned x_row0) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(n) << 32) | x_row0;
+  auto it = scan_ids_.find(key);
+  if (it != scan_ids_.end()) return it->second;
+  const unsigned id = host_.acc().register_kernel(make_kernel(
+      "delin_scan_n" + std::to_string(n), 0, scan_program(n, x_row0)));
+  scan_ids_.emplace(key, id);
+  return id;
+}
+
+std::vector<dsp::Extremum> DelineationKernels::run(unsigned n, unsigned x_row0,
+                                                   std::int32_t threshold,
+                                                   std::int32_t x0,
+                                                   unsigned sys_scratch,
+                                                   DelineationStats* stats) {
+  if (n % kRowWords != 0 || n < kRowWords) {
+    throw HostError("DelineationKernels: n must be a multiple of 128");
+  }
+  const unsigned nrows = n / kRowWords;
+  const Cycle t0 = host_.acc().cycles();
+
+  // Phase 1: candidate flags (both columns).
+  host_.srf(0, 0, x_row0);
+  if (nrows > 1) host_.srf(1, 0, x_row0 + 1);
+  host_.run(flags_kernel(nrows));
+
+  // Hysteresis state init (imax = imin = 0, arm = either).
+  for (unsigned i = 0; i < 3; ++i) host_.sram().poke(sys_scratch + i, 0);
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch, kStImax, 3, 1, 1});
+
+  // Phase 2: serial scan on column 0.
+  host_.srf(0, 0, (x_row0 + nrows) * kRowWords);
+  host_.srf(0, 6, n - 1);
+  host_.srf(0, 3, static_cast<Word>(threshold));
+  host_.srf(0, 4, static_cast<Word>(x0));
+  host_.srf(0, 5, static_cast<Word>(x0));
+  host_.run(scan_kernel(n, x_row0));
+
+  const unsigned count = host_.acc().host_read_srf(0, 7);
+  if (count > kMaxExtrema) {
+    throw SimError("DelineationKernels: record buffer overflow");
+  }
+  std::vector<dsp::Extremum> out;
+  if (count > 0) {
+    host_.dma({dma::Dir::kSpmToSys, sys_scratch + 8, kRecRow * kRowWords,
+               count, 1, 1});
+    for (unsigned i = 0; i < count; ++i) {
+      const Word w = host_.sram().peek(sys_scratch + 8 + i);
+      out.push_back({w >> 1, (w & 1u) != 0});
+    }
+  }
+  if (stats != nullptr) {
+    stats->cycles += host_.acc().cycles() - t0;
+  }
+  return out;
+}
+
+} // namespace vwr2a::kernels

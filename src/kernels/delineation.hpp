@@ -1,0 +1,63 @@
+#pragma once
+// VWR2A delineation kernel (paper Sec 4.4.2/5.2.2): min/max detection with
+// threshold hysteresis -- the paper's showcase of control-intensive code on
+// the architecture.
+//
+// Mapping (two kernels):
+//  1. `flags`: a data-parallel candidate pass. For every sample the RCs
+//     compute d_prev * d <= 0 (sign change of the discrete derivative),
+//     which is a superset of the local extrema; slice-boundary samples are
+//     conservatively flagged (their neighbours live in another RC's slice).
+//     dsp::delineate_candidates proves hysteresis over any superset of the
+//     local extrema equals the full serial scan.
+//  2. `scan`: a serial pass owned by the LCU: a two-cycle skip loop over the
+//     flag words (LSU pointer-addressed loads + branch-on-SRF), with the
+//     full hysteresis state machine executed only at candidates. Records
+//     (index*2 | is_max) are pushed into VWR C through RC0 with the MXCU
+//     index acting as the record counter.
+//
+// Output matches dsp::delineate() exactly.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/reference.hpp"
+#include "kernels/host.hpp"
+
+namespace vwr2a::kernels {
+
+/// Run statistics.
+struct DelineationStats {
+  Cycle cycles = 0;
+  unsigned candidates = 0;  ///< flagged samples visited by the serial scan
+};
+
+/// Maximum records per run (records live in one VWR slice).
+inline constexpr unsigned kMaxExtrema = 32;
+
+/// Delineation kernel family.
+class DelineationKernels {
+ public:
+  explicit DelineationKernels(Host host);
+
+  /// Delineates n samples (n a multiple of 128, data resident in SPM rows
+  /// [x_row0, x_row0 + n/128)), writing flag rows right above the data.
+  /// `x0` is the first sample's value (the hysteresis seed; the host knows
+  /// its own input). sys_scratch: >= 8 words for state initialization and
+  /// record copy-out.
+  std::vector<dsp::Extremum> run(unsigned n, unsigned x_row0, std::int32_t threshold,
+                                 std::int32_t x0, unsigned sys_scratch,
+                                 DelineationStats* stats = nullptr);
+
+ private:
+  unsigned flags_kernel(unsigned nrows);
+  unsigned scan_kernel(unsigned n, unsigned x_row0);
+
+  Host host_;
+  std::map<unsigned, unsigned> flags_ids_;
+  std::map<std::uint64_t, unsigned> scan_ids_;
+};
+
+} // namespace vwr2a::kernels

@@ -1,0 +1,777 @@
+#include "kernels/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "casm/builder.hpp"
+#include "casm/factories.hpp"
+#include "common/bits.hpp"
+#include "common/status.hpp"
+#include "dsp/reference.hpp"
+
+namespace vwr2a::kernels {
+
+namespace {
+
+using namespace casm;
+using isa::ColumnProgram;
+
+// Scratch SPM rows, per column (disjoint so both columns can run).
+constexpr unsigned kScr0 = 54;  // col0: rows 54..58
+constexpr unsigned kScr1 = 59;  // col1: rows 59..63
+
+constexpr unsigned kRowWords = arch::kVwrWords;  // 128
+
+unsigned rows_of(unsigned n) { return n / kRowWords; }
+
+/// Rows allocated per twiddle plane (re or im): the expansion kernel always
+/// writes destination row pairs, so at least two rows are reserved.
+unsigned tw_rows(unsigned n) { return std::max(2u, rows_of(n) / 2); }
+
+/// One-line 32-iteration elementwise loop. A previous line must have set
+/// LCU r0 = 32 and MXCU idx = 0.
+void emit_loop1(ProgramBuilder& pb, const isa::RcInstr& op) {
+  Label l = pb.make_label();
+  pb.bind(l);
+  pb.line().rc_all(op).mxcu(mxcu_add_idx(1)).lcu(lcu_dbnz(0), l).emit();
+}
+
+/// Two-line 32-iteration loop (both ops applied per element, same index).
+void emit_loop2(ProgramBuilder& pb, const isa::RcInstr& op_a,
+                const isa::RcInstr& op_b) {
+  Label l = pb.make_label();
+  pb.bind(l);
+  pb.line().rc_all(op_a).emit();
+  pb.line().rc_all(op_b).mxcu(mxcu_add_idx(1)).lcu(lcu_dbnz(0), l).emit();
+}
+
+/// Four-line 32-iteration loop.
+void emit_loop4(ProgramBuilder& pb, const isa::RcInstr& a, const isa::RcInstr& b,
+                const isa::RcInstr& c, const isa::RcInstr& d) {
+  Label l = pb.make_label();
+  pb.bind(l);
+  pb.line().rc_all(a).emit();
+  pb.line().rc_all(b).emit();
+  pb.line().rc_all(c).emit();
+  pb.line().rc_all(d).mxcu(mxcu_add_idx(1)).lcu(lcu_dbnz(0), l).emit();
+}
+
+LsuInstr ld(VwrSel v, std::uint8_t srf_base, int off = 0) {
+  return lsu_ld_vwr_srf(v, srf_base, off);
+}
+LsuInstr st(VwrSel v, std::uint8_t srf_base, int off = 0) {
+  return lsu_st_vwr_srf(v, srf_base, off);
+}
+LsuInstr ldi(VwrSel v, unsigned row) { return lsu_ld_vwr(v, row); }
+LsuInstr sti(VwrSel v, unsigned row) { return lsu_st_vwr(v, row); }
+
+// ---------------------------------------------------------------------------
+// Stage-chunk program: one column processes one 128-butterfly CG-DIF stage
+// chunk:  out[2i] = a+b, out[2i+1] = (a-b)*w, outputs interleaved into the
+// two destination rows by the shuffle unit.
+// SRF: 0=a_re 1=a_im 2=b_re 3=b_im 4=w_re 5=w_im 6=out_re 7=out_im.
+// ---------------------------------------------------------------------------
+ColumnProgram stage_chunk_program(unsigned scr) {
+  const unsigned S_SUMRE = scr + 0, S_SUMIM = scr + 1, S_P1 = scr + 2,
+                 S_P2 = scr + 3, S_P3 = scr + 4;
+  ProgramBuilder pb;
+  // Real plane: C = a+b (sum), A = a-b (diff).
+  pb.line().lsu(ld(VwrSel::A, 0)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 2)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop2(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB),
+             rc_sub(RcDst::kVwrA, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_SUMRE)).emit();
+  // p1 = diff_re * w_re; p2 = diff_re * w_im.
+  pb.line().lsu(ld(VwrSel::B, 4)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 5)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_P2)).emit();
+  // Imaginary plane: C = sum_im, A = diff_im.
+  pb.line().lsu(ld(VwrSel::A, 1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 3)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop2(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB),
+             rc_sub(RcDst::kVwrA, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_SUMIM)).emit();
+  // p3 = diff_im * w_im; p4 = diff_im * w_re (left in C).
+  pb.line().lsu(ld(VwrSel::B, 5)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_P3)).emit();
+  pb.line().lsu(ld(VwrSel::B, 4)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  // t_im = p2 + p4 -> B; out_im = interleave(sum_im, t_im).
+  pb.line().lsu(ldi(VwrSel::A, S_P2)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrC));
+  pb.line().lsu(ldi(VwrSel::A, S_SUMIM)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveLo)).emit();
+  pb.line().lsu(st(VwrSel::C, 7, 0)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveHi)).emit();
+  pb.line().lsu(st(VwrSel::C, 7, 1)).emit();
+  // t_re = p1 - p3 -> B; out_re = interleave(sum_re, t_re).
+  pb.line().lsu(ldi(VwrSel::A, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ldi(VwrSel::B, S_P3)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_sub(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(ldi(VwrSel::A, S_SUMRE)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveLo)).emit();
+  pb.line().lsu(st(VwrSel::C, 6, 0)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveHi)).emit();
+  pb.line().lsu(st(VwrSel::C, 6, 1)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Split-chunk programs: the two columns cooperate on ONE chunk (used when a
+// stage has a single chunk, e.g. the 256-point FFT). Column 0 owns the real
+// plane, column 1 the imaginary plane; the two cross products are exchanged
+// through the SPM under the lock-step PC. Programs are line-aligned so the
+// exchange timing is deterministic.
+// ---------------------------------------------------------------------------
+ColumnProgram split_chunk_re_program() {
+  const unsigned S_SUM = kScr0 + 0, S_P1 = kScr0 + 1, S_P2 = kScr0 + 2;
+  const unsigned S1_P3 = kScr1 + 1;  // written by column 1
+  ProgramBuilder pb;
+  pb.line().lsu(ld(VwrSel::A, 0)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 2)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop2(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB),
+             rc_sub(RcDst::kVwrA, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_SUM)).emit();
+  pb.line().lsu(ld(VwrSel::B, 4)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 5)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_P2)).emit();
+  // Column 1 stored p3 = diff_im*w_im at its line 10 (cycle-aligned, both
+  // columns execute the same loop structure); safe to read from line 11 on.
+  pb.line().lsu(ldi(VwrSel::A, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ldi(VwrSel::B, S1_P3)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_sub(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(ldi(VwrSel::A, S_SUM)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveLo)).emit();
+  pb.line().lsu(st(VwrSel::C, 6, 0)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveHi)).emit();
+  pb.line().lsu(st(VwrSel::C, 6, 1)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+ColumnProgram split_chunk_im_program() {
+  const unsigned S_SUM = kScr1 + 0, S_P3 = kScr1 + 1, S_P4 = kScr1 + 2;
+  const unsigned S0_P2 = kScr0 + 2;  // written by column 0
+  ProgramBuilder pb;
+  pb.line().lsu(ld(VwrSel::A, 1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 3)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop2(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB),
+             rc_sub(RcDst::kVwrA, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_SUM)).emit();
+  pb.line().lsu(ld(VwrSel::B, 5)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_P3)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 4)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(sti(VwrSel::C, S_P4)).emit();
+  // t_im = p2 (from column 0) + p4.
+  pb.line().lsu(ldi(VwrSel::A, S0_P2)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ldi(VwrSel::B, S_P4)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(ldi(VwrSel::A, S_SUM)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveLo)).emit();
+  pb.line().lsu(st(VwrSel::C, 7, 0)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveHi)).emit();
+  pb.line().lsu(st(VwrSel::C, 7, 1)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Twiddle-plane expansion: the stage-s plane has runs of 2^s equal twiddles
+// and satisfies T_{s+1} = interleave(D, D) with D[m] = T_s[m]^2 (complex
+// square). One launch squares source row r' of both planes and interleaves
+// the result into destination rows (2r', 2r'+1).
+// SRF: 0 = src re row, 1 = src im row, 2 = dst re pair, 3 = dst im pair.
+// ---------------------------------------------------------------------------
+ColumnProgram expand_program() {
+  const unsigned S1 = kScr0 + 0, S2 = kScr0 + 1, S3 = kScr0 + 2;
+  ProgramBuilder pb;
+  // re^2 -> S1.
+  pb.line().lsu(ld(VwrSel::A, 0)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrA));
+  pb.line().lsu(sti(VwrSel::C, S1)).emit();
+  // im^2 -> C; D_re = S1 - C -> B -> S2.
+  pb.line().lsu(ld(VwrSel::A, 1)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrA));
+  pb.line().lsu(ldi(VwrSel::A, S1)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_sub(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrC));
+  pb.line().lsu(sti(VwrSel::B, S2)).emit();
+  // D_im = 2 * re * im -> S3.
+  pb.line().lsu(ld(VwrSel::A, 0)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 1)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrB, RcSrc::kVwrC, RcSrc::kVwrC));
+  pb.line().lsu(sti(VwrSel::B, S3)).emit();
+  // T_re pair = interleave(D_re, D_re).
+  pb.line().lsu(ldi(VwrSel::A, S2)).emit();
+  pb.line().lsu(ldi(VwrSel::B, S2)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveLo)).emit();
+  pb.line().lsu(st(VwrSel::C, 2, 0)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveHi)).emit();
+  pb.line().lsu(st(VwrSel::C, 2, 1)).emit();
+  // T_im pair = interleave(D_im, D_im).
+  pb.line().lsu(ldi(VwrSel::A, S3)).emit();
+  pb.line().lsu(ldi(VwrSel::B, S3)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveLo)).emit();
+  pb.line().lsu(st(VwrSel::C, 3, 0)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kInterleaveHi)).emit();
+  pb.line().lsu(st(VwrSel::C, 3, 1)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Bit-reversal of one 256-word row pair: srf0 = source pair, srf1 = dest.
+// ---------------------------------------------------------------------------
+ColumnProgram bitrev_program() {
+  ProgramBuilder pb;
+  pb.line().lsu(ld(VwrSel::A, 0, 0)).emit();
+  pb.line().lsu(ld(VwrSel::B, 0, 1)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kBitRevLo)).emit();
+  pb.line().lsu(st(VwrSel::C, 1, 0)).emit();
+  pb.line().lsu(lsu_shuf(ShufMode::kBitRevHi)).emit();
+  pb.line().lsu(st(VwrSel::C, 1, 1)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Real-FFT untangling chunk (per column):
+//   E = (Z + conj-mirror terms)/2, O likewise, X = E + W*O, for 128 bins.
+// SRF: 0=z_re 1=z_im 2=m_re 3=m_im 4=w_re 5=w_im 6=x_re 7=x_im.
+// Matches dsp::rfft_fx bit-for-bit.
+// ---------------------------------------------------------------------------
+ColumnProgram untangle_program(unsigned scr) {
+  const unsigned S_ERE = scr + 0, S_P3 = scr + 1, S_P4 = scr + 2,
+                 S_EIM = scr + 3, S_P1 = scr + 4;
+  ProgramBuilder pb;
+  pb.line().lsu(ld(VwrSel::A, 0)).lcu(lcu_set(0, 32)).emit();   // Zre
+  pb.line().lsu(ld(VwrSel::B, 2)).mxcu(mxcu_set_idx(0)).emit(); // Mre
+  // C = Ere = (Zre+Mre)>>1 ; A = Oim = (Mre-Zre)>>1.
+  emit_loop4(pb, rc_add(RcDst::kR0, RcSrc::kVwrA, RcSrc::kVwrB),
+             rc_sra(RcDst::kVwrC, RcSrc::kR0, RcSrc::kOne),
+             rc_sub(RcDst::kR1, RcSrc::kVwrB, RcSrc::kVwrA),
+             rc_sra(RcDst::kVwrA, RcSrc::kR1, RcSrc::kOne));
+  pb.line().lsu(sti(VwrSel::C, S_ERE)).emit();
+  pb.line().lsu(ld(VwrSel::B, 5)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p3=Oim*Wim
+  pb.line().lsu(sti(VwrSel::C, S_P3)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 4)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p4=Oim*Wre
+  pb.line().lsu(sti(VwrSel::C, S_P4)).emit();
+  pb.line().lsu(ld(VwrSel::A, 1)).lcu(lcu_set(0, 32)).emit();   // Zim
+  pb.line().lsu(ld(VwrSel::B, 3)).mxcu(mxcu_set_idx(0)).emit(); // Mim
+  // C = Eim = (Zim-Mim)>>1 ; A = Ore = (Zim+Mim)>>1.
+  emit_loop4(pb, rc_sub(RcDst::kR0, RcSrc::kVwrA, RcSrc::kVwrB),
+             rc_sra(RcDst::kVwrC, RcSrc::kR0, RcSrc::kOne),
+             rc_add(RcDst::kR1, RcSrc::kVwrA, RcSrc::kVwrB),
+             rc_sra(RcDst::kVwrA, RcSrc::kR1, RcSrc::kOne));
+  pb.line().lsu(sti(VwrSel::C, S_EIM)).emit();
+  pb.line().lsu(ld(VwrSel::B, 4)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p1=Ore*Wre
+  pb.line().lsu(sti(VwrSel::C, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 5)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p2 in C
+  // t_im = p4 + p2 -> B ; X_im = Eim + t_im.
+  pb.line().lsu(ldi(VwrSel::A, S_P4)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrC));
+  pb.line().lsu(ldi(VwrSel::A, S_EIM)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(st(VwrSel::C, 7, 0)).emit();
+  // t_re = p1 - p3 -> B ; X_re = Ere + t_re.
+  pb.line().lsu(ldi(VwrSel::A, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ldi(VwrSel::B, S_P3)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_sub(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(ldi(VwrSel::A, S_ERE)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(st(VwrSel::C, 6, 0)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// 2048-point combining chunk (per column): Xlo = E + W*O, Xhi = E - W*O for
+// 128 bins. Rows at srf0: +0 E_re, +1 E_im, +2 O_re, +3 O_im, +4 W_re,
+// +5 W_im, +6 Xlo_re, +7 Xlo_im, +8 Xhi_re, +9 Xhi_im.
+// ---------------------------------------------------------------------------
+ColumnProgram combine_program(unsigned scr) {
+  const unsigned S_P1 = scr + 0, S_P2 = scr + 1, S_P3 = scr + 2;
+  ProgramBuilder pb;
+  pb.line().lsu(ld(VwrSel::A, 0, 2)).lcu(lcu_set(0, 32)).emit();  // O_re
+  pb.line().lsu(ld(VwrSel::B, 0, 4)).mxcu(mxcu_set_idx(0)).emit(); // W_re
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p1
+  pb.line().lsu(sti(VwrSel::C, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ld(VwrSel::B, 0, 5)).mxcu(mxcu_set_idx(0)).emit(); // W_im
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p2
+  pb.line().lsu(sti(VwrSel::C, S_P2)).emit();
+  pb.line().lsu(ld(VwrSel::A, 0, 3)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p3=Oim*Wim
+  pb.line().lsu(sti(VwrSel::C, S_P3)).emit();
+  pb.line().lsu(ld(VwrSel::B, 0, 4)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_fxpmul(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));  // p4 in C
+  // t_im = p2 + p4 -> B; Xlo_im = Eim + t_im; Xhi_im = Eim - t_im.
+  pb.line().lsu(ldi(VwrSel::A, S_P2)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrC));
+  pb.line().lsu(ld(VwrSel::A, 0, 1)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(st(VwrSel::C, 0, 7)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_sub(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(st(VwrSel::C, 0, 9)).emit();
+  // t_re = p1 - p3 -> B; Xlo_re, Xhi_re.
+  pb.line().lsu(ldi(VwrSel::A, S_P1)).lcu(lcu_set(0, 32)).emit();
+  pb.line().lsu(ldi(VwrSel::B, S_P3)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_sub(RcDst::kVwrB, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(ld(VwrSel::A, 0, 0)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_add(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(st(VwrSel::C, 0, 6)).lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  emit_loop1(pb, rc_sub(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kVwrB));
+  pb.line().lsu(st(VwrSel::C, 0, 8)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Unary in-place row kernels for the inverse transform: per row at SRF0
+// (advancing by one), negate, negate+shift, or shift every word.
+// ---------------------------------------------------------------------------
+enum class UnaryOp { kNeg, kNegSar, kSar };
+
+ColumnProgram unary_rows_program(UnaryOp op, unsigned nrows, unsigned shift) {
+  ProgramBuilder pb;
+  pb.line().lcu(lcu_set(2, static_cast<int>(nrows))).emit();
+  Label row = pb.make_label();
+  pb.bind(row);
+  pb.line()
+      .lsu(lsu_ld_vwr_srf(VwrSel::A, 0, 0))
+      .lcu(lcu_set(0, 32))
+      .mxcu(mxcu_set_idx(0))
+      .emit();
+  const auto sh = static_cast<std::int8_t>(shift);
+  switch (op) {
+    case UnaryOp::kNeg:
+      emit_loop1(pb, rc_sub(RcDst::kVwrC, RcSrc::kZero, RcSrc::kVwrA));
+      break;
+    case UnaryOp::kSar:
+      emit_loop1(pb, rc_sra(RcDst::kVwrC, RcSrc::kVwrA, RcSrc::kImm, 0, sh));
+      break;
+    case UnaryOp::kNegSar:
+      emit_loop2(pb, rc_sub(RcDst::kR0, RcSrc::kZero, RcSrc::kVwrA),
+                 rc_sra(RcDst::kVwrC, RcSrc::kR0, RcSrc::kImm, 0, sh));
+      break;
+  }
+  pb.line().lsu(lsu_st_vwr_srf(VwrSel::C, 0, 0)).emit();
+  pb.line().lcu(lcu_mv_srf(1, 0)).emit();
+  pb.line().lcu(lcu_add(1, 1)).emit();
+  pb.line().lcu(lcu_st_srf(0, 1)).emit();
+  pb.line().lcu(lcu_dbnz(2), row).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+// --- system-memory twiddle table layout ---------------------------------------
+
+struct TwLayout {
+  unsigned t0_256, t0_512, t0_1024;   ///< CG stage-0 planes (re then im)
+  unsigned w_512, w_1024, w_2048;     ///< untangle/combine planes (re then im)
+  unsigned total;
+};
+
+TwLayout tw_layout() {
+  TwLayout l{};
+  unsigned off = 0;
+  l.t0_256 = off; off += 256;    // n/2 re + n/2 im
+  l.t0_512 = off; off += 512;
+  l.t0_1024 = off; off += 1024;
+  l.w_512 = off; off += 512;     // h re + h im
+  l.w_1024 = off; off += 1024;
+  l.w_2048 = off; off += 2048;
+  l.total = off;
+  return l;
+}
+
+unsigned t0_offset(unsigned n) {
+  const TwLayout l = tw_layout();
+  switch (n) {
+    case 256: return l.t0_256;
+    case 512: return l.t0_512;
+    case 1024: return l.t0_1024;
+    default: throw HostError("fft: unsupported resident size");
+  }
+}
+
+unsigned w_offset(unsigned n) {
+  const TwLayout l = tw_layout();
+  switch (n) {
+    case 512: return l.w_512;
+    case 1024: return l.w_1024;
+    case 2048: return l.w_2048;
+    default: throw HostError("fft: unsupported untangle size");
+  }
+}
+
+} // namespace
+
+unsigned FftKernels::table_words() { return tw_layout().total; }
+
+unsigned FftKernels::plane_row(unsigned n, unsigned buf, unsigned plane) {
+  const unsigned r = rows_of(n);
+  return buf * 2 * r + plane * r;
+}
+
+FftKernels::FftKernels(Host host) : host_(host) {
+  cgra::Vwr2a& acc = host_.acc();
+  k_stage_pair_ = acc.register_kernel(
+      make_kernel2("fft_stage_pair", stage_chunk_program(kScr0),
+                   stage_chunk_program(kScr1)));
+  k_stage_single_ = acc.register_kernel(make_kernel2(
+      "fft_stage_split", split_chunk_re_program(), split_chunk_im_program()));
+  k_expand_ = acc.register_kernel(make_kernel("fft_tw_expand", 0, expand_program()));
+  k_bitrev_ = acc.register_kernel(make_kernel("fft_bitrev", 0, bitrev_program()));
+  k_untangle_ = acc.register_kernel(
+      make_kernel2("rfft_untangle", untangle_program(kScr0), untangle_program(kScr1)));
+  k_combine_ = acc.register_kernel(
+      make_kernel2("fft2048_combine", combine_program(kScr0), combine_program(kScr1)));
+}
+
+void FftKernels::prepare(unsigned tw_base) {
+  tw_base_ = tw_base;
+  mem::SystemSram& sram = host_.sram();
+  auto put_plane = [&sram](unsigned base, const std::vector<dsp::CplxFx>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      sram.poke(base + static_cast<unsigned>(i), static_cast<Word>(v[i].re));
+      sram.poke(base + static_cast<unsigned>(v.size() + i),
+                static_cast<Word>(v[i].im));
+    }
+  };
+  for (unsigned n : {256u, 512u, 1024u}) {
+    put_plane(tw_base_ + t0_offset(n), dsp::pease_twiddles_fx(n, 0));
+  }
+  constexpr double kPi = std::numbers::pi;
+  for (unsigned n : {512u, 1024u, 2048u}) {
+    const unsigned h = n / 2;
+    std::vector<dsp::CplxFx> w(h);
+    for (unsigned k = 0; k < h; ++k) {
+      const double ang = -2.0 * kPi * k / static_cast<double>(n);
+      w[k].re = fx::to_coeff(std::cos(ang));
+      w[k].im = fx::to_coeff(std::sin(ang));
+    }
+    put_plane(tw_base_ + w_offset(n), w);
+  }
+  prepared_ = true;
+}
+
+void FftKernels::load_t0(unsigned n, FftRunStats& stats) {
+  if (!prepared_) throw HostError("FftKernels: prepare() not called");
+  const unsigned r = rows_of(n);
+  const unsigned t_re = 4 * r;
+  const unsigned t_im = t_re + tw_rows(n);
+  const unsigned base = tw_base_ + t0_offset(n);
+  host_.dma({dma::Dir::kSysToSpm, base, t_re * kRowWords, n / 2, 1, 1});
+  host_.dma({dma::Dir::kSysToSpm, base + n / 2, t_im * kRowWords, n / 2, 1, 1});
+  stats.launches += 2;
+}
+
+void FftKernels::expand_twiddles(unsigned n, FftRunStats& stats) {
+  const unsigned r = rows_of(n);
+  const unsigned t_re = 4 * r;
+  const unsigned t_im = t_re + tw_rows(n);
+  // Source rows r' (squared halves) written to row pairs (2r', 2r'+1);
+  // descending order so destination rows never clobber unread sources.
+  const unsigned src_rows = std::max(1u, r / 4);
+  for (unsigned i = 0; i < src_rows; ++i) {
+    const unsigned rp = src_rows - 1 - i;
+    host_.srf(0, 0, t_re + rp);
+    host_.srf(0, 1, t_im + rp);
+    host_.srf(0, 2, t_re + 2 * rp);
+    host_.srf(0, 3, t_im + 2 * rp);
+    host_.run(k_expand_);
+    ++stats.launches;
+  }
+}
+
+void FftKernels::stage_chunk(unsigned n, unsigned buf_in, unsigned buf_out,
+                             unsigned chunk0, unsigned nchunks,
+                             FftRunStats& stats) {
+  const unsigned r = rows_of(n);
+  const unsigned in_re = plane_row(n, buf_in, 0);
+  const unsigned in_im = plane_row(n, buf_in, 1);
+  const unsigned out_re = plane_row(n, buf_out, 0);
+  const unsigned out_im = plane_row(n, buf_out, 1);
+  const unsigned t_re = 4 * r;
+  const unsigned t_im = t_re + tw_rows(n);
+  auto set_srf = [&](unsigned col, unsigned c) {
+    host_.srf(col, 0, in_re + c);
+    host_.srf(col, 1, in_im + c);
+    host_.srf(col, 2, in_re + r / 2 + c);
+    host_.srf(col, 3, in_im + r / 2 + c);
+    host_.srf(col, 4, t_re + c);
+    host_.srf(col, 5, t_im + c);
+    host_.srf(col, 6, out_re + 2 * c);
+    host_.srf(col, 7, out_im + 2 * c);
+  };
+  if (nchunks == 1) {
+    // Both columns cooperate on the single chunk (re/im split).
+    set_srf(0, chunk0);
+    set_srf(1, chunk0);
+    host_.run(k_stage_single_);
+    ++stats.launches;
+    return;
+  }
+  for (unsigned c = chunk0; c < chunk0 + nchunks; c += 2) {
+    set_srf(0, c);
+    set_srf(1, c + 1);
+    host_.run(k_stage_pair_);
+    ++stats.launches;
+  }
+}
+
+unsigned FftKernels::run_stages(unsigned n, FftRunStats& stats) {
+  if (n != 256 && n != 512 && n != 1024) {
+    throw HostError("FftKernels::run_stages: resident sizes are 256/512/1024");
+  }
+  load_t0(n, stats);
+  const unsigned stages = ilog2(n);
+  const unsigned nchunks = rows_of(n) / 2;
+  unsigned buf = 0;
+  for (unsigned s = 0; s < stages; ++s) {
+    if (s > 0) expand_twiddles(n, stats);
+    stage_chunk(n, buf, 1 - buf, 0, nchunks, stats);
+    buf = 1 - buf;
+  }
+  return buf;
+}
+
+void FftKernels::bitrev_out(unsigned n, unsigned buf, unsigned sys_out,
+                            bool interleave, FftRunStats& stats) {
+  const unsigned r = rows_of(n);
+  const unsigned m = n / 256;  // 256-word blocks per plane
+  const unsigned hi_bits = ilog2(std::max(1u, m));
+  const unsigned other = 1 - buf;
+  for (unsigned plane = 0; plane < 2; ++plane) {
+    const unsigned src = plane_row(n, buf, plane);
+    const unsigned dst = plane_row(n, other, plane);
+    for (unsigned p = 0; p < r / 2; ++p) {
+      host_.srf(0, 0, src + 2 * p);
+      host_.srf(0, 1, dst + 2 * p);
+      host_.run(k_bitrev_);
+      ++stats.launches;
+      const unsigned rev = (m > 1) ? bit_reverse(p, hi_bits) : 0;
+      dma::Descriptor d;
+      d.dir = dma::Dir::kSpmToSys;
+      d.spm_word = (dst + 2 * p) * kRowWords;
+      d.count = 256;
+      d.spm_stride = 1;
+      if (interleave) {
+        d.sys_word = sys_out + 2 * rev + plane;
+        d.sys_stride = static_cast<std::int32_t>(2 * m);
+      } else {
+        d.sys_word = sys_out + plane * n + rev;
+        d.sys_stride = static_cast<std::int32_t>(m);
+      }
+      host_.dma(d);
+    }
+  }
+}
+
+FftRunStats FftKernels::cfft_resident(unsigned n, unsigned sys_in,
+                                      unsigned sys_out, bool planar_out) {
+  FftRunStats stats;
+  const Cycle t0 = host_.acc().cycles();
+  const unsigned re = plane_row(n, 0, 0) * kRowWords;
+  const unsigned im = plane_row(n, 0, 1) * kRowWords;
+  // Deinterleave input re/im into the SoA planes.
+  host_.dma({dma::Dir::kSysToSpm, sys_in, re, n, 2, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_in + 1, im, n, 2, 1});
+  const unsigned buf = run_stages(n, stats);
+  bitrev_out(n, buf, sys_out, !planar_out, stats);
+  stats.cycles = host_.acc().cycles() - t0;
+  return stats;
+}
+
+FftRunStats FftKernels::cfft2048(unsigned sys_in, unsigned sys_out,
+                                 unsigned sys_scratch) {
+  FftRunStats stats;
+  const Cycle t0 = host_.acc().cycles();
+  const unsigned n1 = 1024;
+  const unsigned e_base = sys_scratch;            // E planes: re 1024, im 1024
+  const unsigned o_base = sys_scratch + 2 * n1;   // O planes
+  // E = FFT1024 of even samples; O = FFT1024 of odd samples.
+  for (unsigned half = 0; half < 2; ++half) {
+    const unsigned re = plane_row(n1, 0, 0) * kRowWords;
+    const unsigned im = plane_row(n1, 0, 1) * kRowWords;
+    host_.dma({dma::Dir::kSysToSpm, sys_in + 2 * half, re, n1, 4, 1});
+    host_.dma({dma::Dir::kSysToSpm, sys_in + 2 * half + 1, im, n1, 4, 1});
+    FftRunStats sub;
+    const unsigned buf = run_stages(n1, sub);
+    bitrev_out(n1, buf, half == 0 ? e_base : o_base, /*interleave=*/false, sub);
+    stats.launches += sub.launches;
+  }
+  // Combining pass, two chunks (columns) per launch, DMA-streamed.
+  const unsigned w_base = tw_base_ + w_offset(2048);
+  for (unsigned pair = 0; pair < 4; ++pair) {
+    for (unsigned side = 0; side < 2; ++side) {
+      const unsigned c = 2 * pair + side;
+      const unsigned g = side * 10;  // row group base for this column
+      const unsigned off = c * 128;
+      host_.dma({dma::Dir::kSysToSpm, e_base + off, (g + 0) * kRowWords, 128, 1, 1});
+      host_.dma({dma::Dir::kSysToSpm, e_base + n1 + off, (g + 1) * kRowWords, 128, 1, 1});
+      host_.dma({dma::Dir::kSysToSpm, o_base + off, (g + 2) * kRowWords, 128, 1, 1});
+      host_.dma({dma::Dir::kSysToSpm, o_base + n1 + off, (g + 3) * kRowWords, 128, 1, 1});
+      host_.dma({dma::Dir::kSysToSpm, w_base + off, (g + 4) * kRowWords, 128, 1, 1});
+      host_.dma({dma::Dir::kSysToSpm, w_base + n1 + off, (g + 5) * kRowWords, 128, 1, 1});
+      host_.srf(side, 0, g);
+    }
+    host_.run(k_combine_);
+    ++stats.launches;
+    for (unsigned side = 0; side < 2; ++side) {
+      const unsigned c = 2 * pair + side;
+      const unsigned g = side * 10;
+      const unsigned off = c * 128;
+      // Xlo -> bins off..off+127; Xhi -> bins 1024+off.., interleaved out.
+      host_.dma({dma::Dir::kSpmToSys, sys_out + 2 * off, (g + 6) * kRowWords, 128, 2, 1});
+      host_.dma({dma::Dir::kSpmToSys, sys_out + 2 * off + 1, (g + 7) * kRowWords, 128, 2, 1});
+      host_.dma({dma::Dir::kSpmToSys, sys_out + 2 * (n1 + off), (g + 8) * kRowWords, 128, 2, 1});
+      host_.dma({dma::Dir::kSpmToSys, sys_out + 2 * (n1 + off) + 1, (g + 9) * kRowWords, 128, 2, 1});
+    }
+  }
+  stats.cycles = host_.acc().cycles() - t0;
+  return stats;
+}
+
+FftRunStats FftKernels::cfft(unsigned n, unsigned sys_in, unsigned sys_out,
+                             unsigned sys_scratch) {
+  if (n == 2048) return cfft2048(sys_in, sys_out, sys_scratch);
+  return cfft_resident(n, sys_in, sys_out, /*planar_out=*/false);
+}
+
+unsigned FftKernels::neg_kernel(unsigned nrows) {
+  int& slot = unary_ids_[nrows];
+  if (slot < 0) {
+    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
+        "neg_rows" + std::to_string(nrows), 0,
+        unary_rows_program(UnaryOp::kNeg, nrows, 0))));
+  }
+  return static_cast<unsigned>(slot);
+}
+
+unsigned FftKernels::negsar_kernel(unsigned nrows, unsigned shift) {
+  int& slot = unary_ids_[33 + nrows];
+  if (slot < 0) {
+    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
+        "negsar_rows" + std::to_string(nrows), 0,
+        unary_rows_program(UnaryOp::kNegSar, nrows, shift))));
+  }
+  return static_cast<unsigned>(slot);
+}
+
+unsigned FftKernels::sar_kernel(unsigned nrows, unsigned shift) {
+  int& slot = unary_ids_[66 + nrows];
+  if (slot < 0) {
+    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
+        "sar_rows" + std::to_string(nrows), 0,
+        unary_rows_program(UnaryOp::kSar, nrows, shift))));
+  }
+  return static_cast<unsigned>(slot);
+}
+
+FftRunStats FftKernels::cifft(unsigned n, unsigned sys_in, unsigned sys_out) {
+  if (n != 256 && n != 512 && n != 1024) {
+    throw HostError("FftKernels::cifft: resident sizes are 256/512/1024");
+  }
+  FftRunStats stats;
+  const Cycle t0 = host_.acc().cycles();
+  const unsigned r = rows_of(n);
+  const unsigned logn = ilog2(n);
+  const unsigned re = plane_row(n, 0, 0);
+  const unsigned im = plane_row(n, 0, 1);
+  host_.dma({dma::Dir::kSysToSpm, sys_in, re * kRowWords, n, 2, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_in + 1, im * kRowWords, n, 2, 1});
+  // Conjugate the input: negate the imaginary plane in place.
+  host_.srf(0, 0, im);
+  host_.run(neg_kernel(r));
+  ++stats.launches;
+  const unsigned buf = run_stages(n, stats);
+  // Conjugate and scale the spectrum: im = (-im) >> logn, re = re >> logn.
+  host_.srf(0, 0, plane_row(n, buf, 1));
+  host_.run(negsar_kernel(r, logn));
+  host_.srf(0, 0, plane_row(n, buf, 0));
+  host_.run(sar_kernel(r, logn));
+  stats.launches += 2;
+  bitrev_out(n, buf, sys_out, /*interleave=*/true, stats);
+  stats.cycles = host_.acc().cycles() - t0;
+  return stats;
+}
+
+FftRunStats FftKernels::rfft(unsigned n, unsigned sys_in, unsigned sys_out,
+                             unsigned sys_scratch) {
+  if (n != 512 && n != 1024 && n != 2048) {
+    throw HostError("FftKernels::rfft: sizes are 512/1024/2048");
+  }
+  FftRunStats stats;
+  const Cycle t0 = host_.acc().cycles();
+  const unsigned h = n / 2;
+  // Pack z[k] = x[2k] + j x[2k+1] straight from system memory.
+  const unsigned re = plane_row(h, 0, 0) * kRowWords;
+  const unsigned im = plane_row(h, 0, 1) * kRowWords;
+  host_.dma({dma::Dir::kSysToSpm, sys_in, re, h, 2, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_in + 1, im, h, 2, 1});
+  const unsigned buf = run_stages(h, stats);
+  bitrev_out(h, buf, sys_scratch, /*interleave=*/false, stats);
+  // Untangle layout: Z, M (mirror), W planes, each h words re + h words im.
+  const unsigned rh = rows_of(h);
+  const unsigned z_re = 0, z_im = rh, m_re = 2 * rh, m_im = 3 * rh,
+                 w_re = 4 * rh, w_im = 5 * rh;
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch, z_re * kRowWords, h, 1, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch + h, z_im * kRowWords, h, 1, 1});
+  // Mirror: M[0] = Z[0]; M[k] = Z[h-k] (negative-stride DMA).
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch, m_re * kRowWords, 1, 1, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch + h - 1, m_re * kRowWords + 1,
+             h - 1, -1, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch + h, m_im * kRowWords, 1, 1, 1});
+  host_.dma({dma::Dir::kSysToSpm, sys_scratch + 2 * h - 1, m_im * kRowWords + 1,
+             h - 1, -1, 1});
+  const unsigned wb = tw_base_ + w_offset(n);
+  host_.dma({dma::Dir::kSysToSpm, wb, w_re * kRowWords, h, 1, 1});
+  host_.dma({dma::Dir::kSysToSpm, wb + h, w_im * kRowWords, h, 1, 1});
+  // Untangle chunk pairs; X overwrites the M planes.
+  for (unsigned c = 0; c < rh; c += 2) {
+    for (unsigned side = 0; side < 2; ++side) {
+      const unsigned cc = c + side;
+      host_.srf(side, 0, z_re + cc);
+      host_.srf(side, 1, z_im + cc);
+      host_.srf(side, 2, m_re + cc);
+      host_.srf(side, 3, m_im + cc);
+      host_.srf(side, 4, w_re + cc);
+      host_.srf(side, 5, w_im + cc);
+      host_.srf(side, 6, m_re + cc);
+      host_.srf(side, 7, m_im + cc);
+    }
+    host_.run(k_untangle_);
+    ++stats.launches;
+  }
+  // Copy out bins 0..h-1 interleaved; bin h is computed by the host from
+  // Z[0] (X[h] = Zre[0] - Zim[0]).
+  host_.dma({dma::Dir::kSpmToSys, sys_out, m_re * kRowWords, h, 2, 1});
+  host_.dma({dma::Dir::kSpmToSys, sys_out + 1, m_im * kRowWords, h, 2, 1});
+  const std::int32_t z0re = static_cast<std::int32_t>(host_.sram().peek(sys_scratch));
+  const std::int32_t z0im =
+      static_cast<std::int32_t>(host_.sram().peek(sys_scratch + h));
+  host_.sram().poke(sys_out + 2 * h,
+                    static_cast<Word>(z0re - z0im));
+  host_.sram().poke(sys_out + 2 * h + 1, 0);
+  stats.cycles = host_.acc().cycles() - t0;
+  return stats;
+}
+
+} // namespace vwr2a::kernels

@@ -1,0 +1,132 @@
+#pragma once
+// VWR2A FFT kernels (paper Sec 3.4) -- the reproduction's centerpiece.
+//
+// Algorithm: the in-place radix-2 FFT of the paper is realized in its
+// constant-geometry (Pease) form, because the CG stage's data reordering is
+// the perfect shuffle -- exactly the shuffle unit's "words interleaving"
+// operation, which the paper says "creates the correct data layout for the
+// next stage". Data lives in the SPM as separate re/im planes (SoA) so
+// every stage is a sequence of whole-row elementwise passes:
+//
+//   per 128-butterfly chunk:  sum   = a + b            (VWR elementwise)
+//                             diff  = a - b
+//                             t     = diff * w          (16.15 multiplies)
+//                             out   = interleave(sum, t)  (shuffle unit)
+//
+// Twiddles: stage 0's plane is DMA'd from system memory once; each next
+// stage's plane satisfies T_{s+1}[i] = T_s[i & ~1], which the shuffle unit
+// computes in place (even-prune then interleave) -- no further DMA.
+//
+// Output appears bit-reversed (as the paper notes); the bit-reversal
+// shuffle fixes each 256-word block and a strided DMA completes the global
+// permutation on copy-out.
+//
+// Sizes: complex 256/512/1024 points SPM-resident; 2048 points via the
+// two-level decomposition FFT2048 = combine(FFT1024(evens), FFT1024(odds))
+// with DMA streaming (the SPM cannot hold 2048 x 2 x 32-bit in+out buffers,
+// matching the paper's in-place motivation). Real-valued sizes 512/1024/
+// 2048 use the N/2-complex packing plus an untangling pass (Sec 3.4).
+//
+// Numerics are bit-exact against dsp::pease_fft_fx / dsp::rfft_fx (same
+// 16.15 truncating multiplies and 32-bit wrap adds as the RC ALU).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kernels/host.hpp"
+
+namespace vwr2a::kernels {
+
+/// Result of one FFT run.
+struct FftRunStats {
+  Cycle cycles = 0;        ///< VWR2A-side cycles (DMA + config + execute)
+  unsigned launches = 0;   ///< kernel launches issued by the driver
+};
+
+/// FFT kernel family: builds and registers the stage/expand/bitrev/untangle
+/// /combine kernel images against one Vwr2a instance and drives them.
+class FftKernels {
+ public:
+  /// Registers the kernel images (configuration memory is written at boot).
+  explicit FftKernels(Host host);
+
+  /// One-time placement of the twiddle tables in system memory (the CPU
+  /// image carries them as constant data; placement is not charged).
+  /// Reserves [tw_base, tw_base + table_words()) system words.
+  void prepare(unsigned tw_base);
+
+  /// Words of system memory used by the twiddle tables.
+  static unsigned table_words();
+
+  /// Complex FFT, n in {256, 512, 1024, 2048}. Input: 2n words at sys_in
+  /// (interleaved re,im in 16.15). Output: 2n words at sys_out, natural
+  /// order, interleaved. sys_scratch: 4n words of workspace (used only for
+  /// n == 2048).
+  FftRunStats cfft(unsigned n, unsigned sys_in, unsigned sys_out,
+                   unsigned sys_scratch);
+
+  /// Real FFT, n in {512, 1024, 2048}: n reals at sys_in (16.15), n/2+1
+  /// complex bins at sys_out (interleaved), natural order. sys_scratch:
+  /// 2n words.
+  FftRunStats rfft(unsigned n, unsigned sys_in, unsigned sys_out,
+                   unsigned sys_scratch);
+
+  /// Inverse complex FFT (the fixed-function engine also offers inverse
+  /// transforms, Sec 4.1): conjugate -> forward CG-FFT -> conjugate and
+  /// shift by log2(n). n in {256, 512, 1024}. Matches dsp::pease_ifft_fx.
+  FftRunStats cifft(unsigned n, unsigned sys_in, unsigned sys_out);
+
+  /// Runs only the SPM-resident stage pipeline on data already loaded in
+  /// the SPM planes (used by the application, which keeps the filtered
+  /// signal resident; see paper Sec 5.2.3). Input/output in SPM buffers.
+  /// Returns the buffer index (0/1) holding the bit-reversed result.
+  unsigned run_stages(unsigned n, FftRunStats& stats);
+
+  /// SPM row of plane base: buffer b (0/1), plane p (0 = re, 1 = im),
+  /// for transform size n.
+  static unsigned plane_row(unsigned n, unsigned buf, unsigned plane);
+
+  /// Test hook: runs exactly one CG stage (data already in buf_in planes,
+  /// twiddle plane for the stage already in the T rows).
+  void run_single_stage(unsigned n, unsigned buf_in, unsigned buf_out,
+                        FftRunStats& stats) {
+    stage_chunk(n, buf_in, buf_out, 0, rows_of_public(n) / 2, stats);
+  }
+  /// Test hook: DMA the stage-0 twiddle plane into the T rows.
+  void load_t0_public(unsigned n, FftRunStats& stats) { load_t0(n, stats); }
+  /// Test hook: expand the resident twiddle plane to the next stage.
+  void expand_public(unsigned n, FftRunStats& stats) { expand_twiddles(n, stats); }
+  static unsigned rows_of_public(unsigned n) { return n / 128; }
+
+ private:
+  void stage_chunk(unsigned n, unsigned stage_buf_in, unsigned stage_buf_out,
+                   unsigned chunk0, unsigned nchunks, FftRunStats& stats);
+  void expand_twiddles(unsigned n, FftRunStats& stats);
+  void load_t0(unsigned n, FftRunStats& stats);
+  /// Bit-reversal copy-out of an SPM-resident plane pair to system memory.
+  /// `interleave`: write re/im interleaved (stride 2M) or planar (stride M).
+  void bitrev_out(unsigned n, unsigned buf, unsigned sys_out, bool interleave,
+                  FftRunStats& stats);
+  FftRunStats cfft_resident(unsigned n, unsigned sys_in, unsigned sys_out,
+                            bool planar_out);
+  FftRunStats cfft2048(unsigned sys_in, unsigned sys_out, unsigned sys_scratch);
+
+  /// Unary in-place row kernels used by the inverse transform.
+  unsigned neg_kernel(unsigned nrows);
+  unsigned negsar_kernel(unsigned nrows, unsigned shift);
+  unsigned sar_kernel(unsigned nrows, unsigned shift);
+
+  Host host_;
+  unsigned k_stage_pair_ = 0;    ///< two-column stage-chunk kernel
+  unsigned k_stage_single_ = 0;  ///< single-column variant
+  unsigned k_expand_ = 0;        ///< twiddle-plane expansion
+  unsigned k_bitrev_ = 0;        ///< bit-reversal of one row pair
+  unsigned k_untangle_ = 0;      ///< real-FFT untangling chunk
+  unsigned k_combine_ = 0;       ///< 2048-point combining chunk
+  unsigned tw_base_ = 0;         ///< system-memory twiddle tables
+  bool prepared_ = false;
+  std::vector<int> unary_ids_ = std::vector<int>(4 * 33, -1);
+};
+
+} // namespace vwr2a::kernels

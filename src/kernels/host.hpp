@@ -1,0 +1,76 @@
+#pragma once
+// Host-side driver context shared by all VWR2A kernels: the accelerator,
+// the system SRAM it DMAs against, and an optional CPU meter that charges
+// the Cortex-M4's programming/interrupt overhead (the paper notes this
+// overhead is what makes VWR2A slightly slower than the FFT accelerator at
+// small sizes, Sec 5.1.1).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cgra/vwr2a.hpp"
+#include "cpu/m4.hpp"
+#include "dma/dma.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::kernels {
+
+/// CPU cycles to program one accelerator request (slave-port writes).
+inline constexpr unsigned kHostProgramCycles = 18;
+/// CPU cycles to service one completion interrupt.
+inline constexpr unsigned kHostIrqCycles = 10;
+
+/// Driver context. Does not own anything.
+class Host {
+ public:
+  Host(cgra::Vwr2a& acc, mem::SystemSram& sram, cpu::M4Meter* cpu = nullptr)
+      : acc_(&acc), sram_(&sram), cpu_(cpu) {}
+
+  cgra::Vwr2a& acc() { return *acc_; }
+  mem::SystemSram& sram() { return *sram_; }
+
+  /// Charges one programming + interrupt round trip on the CPU.
+  void charge_control() {
+    if (cpu_ != nullptr) cpu_->idle_cycles(kHostProgramCycles + kHostIrqCycles);
+  }
+
+  /// Runs one DMA descriptor (synchronous driver model).
+  Cycle dma(const dma::Descriptor& d) {
+    charge_control();
+    return acc_->dma_transfer(d);
+  }
+
+  /// Writes a kernel parameter into a column's SRF.
+  void srf(unsigned col, unsigned idx, Word v) { acc_->host_write_srf(col, idx, v); }
+
+  /// Launches a kernel and runs it to completion.
+  Cycle run(unsigned kernel_id) {
+    charge_control();
+    return acc_->run_kernel(kernel_id);
+  }
+
+  // --- host data movement into/out of system SRAM (CPU-owned buffers; the
+  // cost of producing the data belongs to the application, not the driver,
+  // so these are free backdoors used by benches/tests to place inputs).
+  void to_sram(unsigned word_addr, std::span<const std::int32_t> data) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      sram_->poke(word_addr + static_cast<unsigned>(i),
+                  static_cast<Word>(data[i]));
+    }
+  }
+  std::vector<std::int32_t> from_sram(unsigned word_addr, std::size_t n) const {
+    std::vector<std::int32_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::int32_t>(sram_->peek(word_addr + static_cast<unsigned>(i)));
+    }
+    return out;
+  }
+
+ private:
+  cgra::Vwr2a* acc_;
+  mem::SystemSram* sram_;
+  cpu::M4Meter* cpu_;
+};
+
+} // namespace vwr2a::kernels

@@ -1,0 +1,231 @@
+#include "kernels/reduce.hpp"
+
+#include "casm/builder.hpp"
+#include "casm/factories.hpp"
+#include "common/status.hpp"
+
+namespace vwr2a::kernels {
+
+namespace {
+
+using namespace casm;
+using isa::ColumnProgram;
+
+void emit_loop_lines(ProgramBuilder& pb, const std::vector<isa::RcInstr>& body) {
+  Label l = pb.make_label();
+  pb.bind(l);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    auto line = pb.line().rc_all(body[i]);
+    if (i + 1 == body.size()) {
+      line.mxcu(mxcu_add_idx(1)).lcu(lcu_dbnz(0), l);
+    }
+    line.emit();
+  }
+}
+
+/// Shared reduction skeleton: zero R1, loop over rows accumulating with the
+/// given per-element body, merge across RCs, publish via SRF7.
+/// Rows advance through SRF0 (+1 per row, LCU-maintained).
+ColumnProgram reduce_program(Reduce r, unsigned nrows) {
+  ProgramBuilder pb;
+  pb.line().rc_all(rc_mv(RcDst::kR1, RcSrc::kZero)).lcu(lcu_set(2, static_cast<int>(nrows))).emit();
+  Label row = pb.make_label();
+  pb.bind(row);
+  pb.line()
+      .lsu(lsu_ld_vwr_srf(VwrSel::A, 0, 0))
+      .lcu(lcu_set(0, 32))
+      .mxcu(mxcu_set_idx(0))
+      .emit();
+  if (r == Reduce::kMaskedSq) {
+    pb.line().lsu(lsu_ld_vwr_srf(VwrSel::B, 1, 0)).emit();
+  }
+  switch (r) {
+    case Reduce::kSum:
+      emit_loop_lines(pb, {rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kVwrA)});
+      break;
+    case Reduce::kSumSq:
+      emit_loop_lines(pb, {rc_fxpmul(RcDst::kR0, RcSrc::kVwrA, RcSrc::kVwrA),
+                           rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kR0)});
+      break;
+    case Reduce::kCountLe:
+      // pivot in SRF2 (broadcast read by all four RCs).
+      emit_loop_lines(pb, {rc_op(RcOp::kCmpLe, RcDst::kR0, RcSrc::kVwrA,
+                                 RcSrc::kSrf, 2),
+                           rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kR0)});
+      break;
+    case Reduce::kMaskedSq:
+      emit_loop_lines(pb, {rc_fxpmul(RcDst::kR0, RcSrc::kVwrA, RcSrc::kVwrA),
+                           rc_fxpmul(RcDst::kR0, RcSrc::kR0, RcSrc::kVwrB),
+                           rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kR0)});
+      break;
+  }
+  // Advance the data row (and the mask row for the masked flavour).
+  pb.line().lcu(lcu_mv_srf(1, 0)).emit();
+  pb.line().lcu(lcu_add(1, 1)).emit();
+  pb.line().lcu(lcu_st_srf(0, 1)).emit();
+  if (r == Reduce::kMaskedSq) {
+    pb.line().lcu(lcu_mv_srf(1, 1)).emit();
+    pb.line().lcu(lcu_add(1, 1)).emit();
+    pb.line().lcu(lcu_st_srf(1, 1)).emit();
+  }
+  pb.line().lcu(lcu_dbnz(2), row).emit();
+  // Merge across RCs through the neighbour network, publish via SRF7.
+  pb.line().rc_all(rc_mv(RcDst::kR0, RcSrc::kR1)).emit();  // out := R1
+  pb.line().rc(1, rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kRcUp)).emit();
+  pb.line().rc(2, rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kRcUp)).emit();
+  pb.line().rc(3, rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kRcUp)).emit();
+  pb.line().rc(3, rc_mv(RcDst::kSrf, RcSrc::kR1, 7)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+/// Zero kernel: writes 0 to a full row through the RC write-back path and
+/// stores it to `nrows` consecutive rows at SRF0.
+ColumnProgram zero_program(unsigned nrows) {
+  ProgramBuilder pb;
+  pb.line().lcu(lcu_set(0, 32)).mxcu(mxcu_set_idx(0)).emit();
+  Label fill = pb.make_label();
+  pb.bind(fill);
+  pb.line()
+      .rc_all(rc_mv(RcDst::kVwrC, RcSrc::kZero))
+      .mxcu(mxcu_add_idx(1))
+      .lcu(lcu_dbnz(0), fill)
+      .emit();
+  pb.line().lcu(lcu_set(2, static_cast<int>(nrows))).emit();
+  Label row = pb.make_label();
+  pb.bind(row);
+  pb.line().lsu(lsu_st_vwr_srf(VwrSel::C, 0, 0)).emit();
+  pb.line().lcu(lcu_mv_srf(1, 0)).emit();
+  pb.line().lcu(lcu_add(1, 1)).emit();
+  pb.line().lcu(lcu_st_srf(0, 1)).emit();
+  pb.line().lcu(lcu_dbnz(2), row).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+/// Serial dot product on RC0: features in slice 0 of the row at SRF0,
+/// weights at SPM words [w_base + t] (immediate addresses baked per nf).
+/// Result in SRF7. The weight for term t is loaded into SRF1 one line
+/// before its multiply (single-ported SRF: load and use never collide).
+ColumnProgram dot_program(unsigned nf, unsigned w_base) {
+  ProgramBuilder pb;
+  pb.line().lsu(lsu_ld_vwr_srf(VwrSel::A, 0, 0)).mxcu(mxcu_set_idx(0)).emit();
+  pb.line().rc(0, rc_mv(RcDst::kR1, RcSrc::kZero)).emit();
+  for (unsigned t = 0; t < nf; ++t) {
+    pb.line().lsu(lsu_ld_srf(1, w_base + t)).emit();
+    pb.line().rc(0, rc_fxpmul(RcDst::kR0, RcSrc::kVwrA, RcSrc::kSrf, 1)).emit();
+    pb.line().rc(0, rc_add(RcDst::kR1, RcSrc::kR1, RcSrc::kR0)).mxcu(mxcu_add_idx(1)).emit();
+  }
+  pb.line().rc(0, rc_mv(RcDst::kSrf, RcSrc::kR1, 7)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+} // namespace
+
+ReduceKernels::ReduceKernels(Host host)
+    : host_(host), reduce_ids_(4, std::vector<int>(33, -1)) {}
+
+unsigned ReduceKernels::reduce_kernel(Reduce r, unsigned nrows) {
+  if (nrows == 0 || nrows > 32) throw HostError("ReduceKernels: bad row count");
+  int& slot = reduce_ids_[static_cast<unsigned>(r)][nrows];
+  if (slot < 0) {
+    const char* names[] = {"reduce_sum", "reduce_sumsq", "reduce_countle",
+                           "reduce_maskedsq"};
+    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
+        std::string(names[static_cast<unsigned>(r)]) + "_r" + std::to_string(nrows),
+        0, reduce_program(r, nrows))));
+  }
+  return static_cast<unsigned>(slot);
+}
+
+std::int32_t ReduceKernels::run_reduce(unsigned kernel, unsigned row0,
+                                       unsigned extra_srf1, Cycle* cycles) {
+  const Cycle t0 = host_.acc().cycles();
+  host_.srf(0, 0, row0);
+  if (extra_srf1 != ~0u) host_.srf(0, 1, extra_srf1);
+  host_.run(kernel);
+  const std::int32_t v = static_cast<std::int32_t>(host_.acc().host_read_srf(0, 7));
+  if (cycles != nullptr) *cycles += host_.acc().cycles() - t0;
+  return v;
+}
+
+std::int32_t ReduceKernels::sum_rows(unsigned row0, unsigned nrows, Cycle* cycles) {
+  return run_reduce(reduce_kernel(Reduce::kSum, nrows), row0, ~0u, cycles);
+}
+
+std::int32_t ReduceKernels::sumsq_rows(unsigned row0, unsigned nrows, Cycle* cycles) {
+  return run_reduce(reduce_kernel(Reduce::kSumSq, nrows), row0, ~0u, cycles);
+}
+
+std::int32_t ReduceKernels::count_le_rows(unsigned row0, unsigned nrows,
+                                          std::int32_t pivot, Cycle* cycles) {
+  const Cycle t0 = host_.acc().cycles();
+  host_.srf(0, 2, static_cast<Word>(pivot));
+  const std::int32_t v =
+      run_reduce(reduce_kernel(Reduce::kCountLe, nrows), row0, ~0u, nullptr);
+  if (cycles != nullptr) *cycles += host_.acc().cycles() - t0;
+  return v;
+}
+
+std::int32_t ReduceKernels::masked_power(unsigned row0, unsigned mask_row0,
+                                         unsigned nrows, Cycle* cycles) {
+  return run_reduce(reduce_kernel(Reduce::kMaskedSq, nrows), row0, mask_row0,
+                    cycles);
+}
+
+std::int32_t ReduceKernels::median_rows(unsigned row0, unsigned nrows,
+                                        Cycle* cycles) {
+  // Bisection: find the smallest m with count(x <= m) >= floor(n/2)+1.
+  // Signal range is (-2, 2) in 16.15, i.e. 18 significant bits.
+  const std::int32_t n = static_cast<std::int32_t>(nrows) * 128;
+  const std::int32_t need = n / 2 + 1;
+  std::int32_t lo = -(1 << 17);
+  std::int32_t hi = (1 << 17) - 1;
+  while (lo < hi) {
+    const std::int32_t mid = lo + (hi - lo) / 2;
+    const std::int32_t cnt = count_le_rows(row0, nrows, mid, cycles);
+    if (cnt >= need) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+void ReduceKernels::zero_rows(unsigned row0, unsigned nrows, Cycle* cycles) {
+  if (nrows == 0 || nrows > 32) throw HostError("ReduceKernels: bad row count");
+  if (zero_ids_[nrows] < 0) {
+    zero_ids_[nrows] = static_cast<int>(host_.acc().register_kernel(make_kernel(
+        "zero_rows" + std::to_string(nrows), 0, zero_program(nrows))));
+  }
+  const Cycle t0 = host_.acc().cycles();
+  host_.srf(0, 0, row0);
+  host_.run(static_cast<unsigned>(zero_ids_[nrows]));
+  if (cycles != nullptr) *cycles += host_.acc().cycles() - t0;
+}
+
+unsigned ReduceKernels::dot_kernel(unsigned nf) {
+  if (nf == 0 || nf > 16) throw HostError("ReduceKernels: bad feature count");
+  if (dot_ids_[nf] < 0) {
+    dot_ids_[nf] = static_cast<int>(host_.acc().register_kernel(make_kernel(
+        "svm_dot" + std::to_string(nf), 0,
+        dot_program(nf, /*w_base=*/52 * arch::kVwrWords))));
+  }
+  return static_cast<unsigned>(dot_ids_[nf]);
+}
+
+std::int32_t ReduceKernels::dot(unsigned feat_row, unsigned w_words, unsigned nf,
+                                Cycle* cycles) {
+  const Cycle t0 = host_.acc().cycles();
+  // Weights are staged to the fixed word block the program addresses.
+  host_.dma({dma::Dir::kSysToSpm, w_words, 52 * arch::kVwrWords, nf, 1, 1});
+  host_.srf(0, 0, feat_row);
+  host_.run(dot_kernel(nf));
+  const std::int32_t v = static_cast<std::int32_t>(host_.acc().host_read_srf(0, 7));
+  if (cycles != nullptr) *cycles += host_.acc().cycles() - t0;
+  return v;
+}
+
+} // namespace vwr2a::kernels

@@ -1,0 +1,77 @@
+#pragma once
+// Reduction and small-vector kernels used by the feature-extraction step
+// (paper Sec 4.4.2): sum (mean), sum of squares (RMS / spectral power),
+// count-below-pivot (median by bisection), masked spectral power (band
+// features straight from the bit-reversed resident spectrum), a plane
+// zeroing kernel, and a serial dot product (linear SVM).
+//
+// All reductions accumulate per-RC in R1 across rows, then merge across the
+// column through the neighbour network (RC1 += RC0, RC2 += RC1, RC3 += RC2)
+// and publish the scalar through the SRF, where the host reads it.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kernels/host.hpp"
+
+namespace vwr2a::kernels {
+
+/// Reduction flavour.
+enum class Reduce : std::uint8_t {
+  kSum = 0,     ///< sum of elements
+  kSumSq,       ///< sum of fxp squares
+  kCountLe,     ///< count of elements <= SRF pivot
+  kMaskedSq,    ///< sum of mask[i] * x[i]^2 (mask rows parallel to data rows)
+};
+
+/// Reduction / SVM kernel family.
+class ReduceKernels {
+ public:
+  explicit ReduceKernels(Host host);
+
+  /// Sum of `nrows` SPM rows starting at `row0`.
+  std::int32_t sum_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
+
+  /// Sum of fxp squares of `nrows` rows.
+  std::int32_t sumsq_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
+
+  /// Count of elements <= pivot over `nrows` rows.
+  std::int32_t count_le_rows(unsigned row0, unsigned nrows, std::int32_t pivot,
+                             Cycle* cycles = nullptr);
+
+  /// Sum of mask * x^2 with data rows at row0 and mask rows at mask_row0
+  /// (same count). Mask entries are q.16 coefficients (0 / 65536 for plain
+  /// band selection).
+  std::int32_t masked_power(unsigned row0, unsigned mask_row0, unsigned nrows,
+                            Cycle* cycles = nullptr);
+
+  /// Median of n = nrows*128 values (16.15) resident in SPM rows, by
+  /// host-driven bisection over count_le (18 iterations for the [-2,2)
+  /// signal range). Matches dsp::median_i32 on the same data.
+  std::int32_t median_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
+
+  /// Zeroes `nrows` rows starting at row0 (used to clear the imaginary
+  /// plane before a real-input resident FFT).
+  void zero_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
+
+  /// Serial dot product: nf features in slice 0 of `feat_row`, nf q.16
+  /// weights at SPM word address `w_words`. Returns sum(f[i]*w[i]) in 16.15.
+  std::int32_t dot(unsigned feat_row, unsigned w_words, unsigned nf,
+                   Cycle* cycles = nullptr);
+
+ private:
+  std::int32_t run_reduce(unsigned kernel, unsigned row0, unsigned extra_srf1,
+                          Cycle* cycles);
+  unsigned reduce_kernel(Reduce r, unsigned nrows);
+  unsigned dot_kernel(unsigned nf);
+  unsigned zero_kernel(unsigned nrows);
+
+  Host host_;
+  // Lazily built kernels keyed by (flavour, nrows) / nf.
+  std::vector<std::vector<int>> reduce_ids_;
+  std::vector<int> dot_ids_ = std::vector<int>(33, -1);
+  std::vector<int> zero_ids_ = std::vector<int>(33, -1);
+};
+
+} // namespace vwr2a::kernels

@@ -1,0 +1,56 @@
+#pragma once
+// Tiny per-RC register file (two 32-bit entries, paper Sec 3.1) and the
+// LCU's loop-counter register file. Register writes commit at end of cycle
+// (the unit models handle that); this class is plain storage with energy
+// accounting.
+
+#include <array>
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "energy/meter.hpp"
+
+namespace vwr2a::mem {
+
+/// An N-entry 32-bit register file with read/write energy events.
+template <unsigned N>
+class RegFile {
+ public:
+  explicit RegFile(energy::EnergyMeter& meter) : meter_(&meter) {}
+
+  Word read(unsigned idx) const {
+    check(idx);
+    meter_->add(energy::Event::kRcRfRead);
+    return regs_[idx];
+  }
+
+  void write(unsigned idx, Word v) {
+    check(idx);
+    meter_->add(energy::Event::kRcRfWrite);
+    regs_[idx] = v;
+  }
+
+  /// Backdoor without energy accounting.
+  Word peek(unsigned idx) const {
+    check(idx);
+    return regs_[idx];
+  }
+  void poke(unsigned idx, Word v) {
+    check(idx);
+    regs_[idx] = v;
+  }
+
+ private:
+  static void check(unsigned idx) {
+    if (idx >= N) throw RangeError("RegFile: index out of range");
+  }
+
+  energy::EnergyMeter* meter_;
+  std::array<Word, N> regs_{};
+};
+
+using RcRegFile = RegFile<arch::kRcRegs>;
+using LcuRegFile = RegFile<arch::kLcuRegs>;
+
+} // namespace vwr2a::mem

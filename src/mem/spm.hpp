@@ -1,0 +1,120 @@
+#pragma once
+// Shared scratchpad memory: 32 KiB with a double interface (paper Sec 3.2):
+// a 4096-bit row interface on the array side and a 32-bit word port on the
+// system side used by the DMA (the interfaces are independent -- "double
+// interface").
+//
+// Array-side banking: the SPM is built by concatenating narrow macros
+// (Sec 5.1.1); this model gives each column its own row access per cycle
+// (per-column banking), which is what lets the two columns run synchronized
+// kernels with identical LSU schedules. One row access per column per cycle
+// is enforced; the LSU can only issue one operation per cycle anyway, so a
+// violation indicates a simulator bug rather than a kernel bug.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "energy/meter.hpp"
+
+namespace vwr2a::mem {
+
+/// The VWR2A scratchpad. Word addresses are in words (not bytes).
+class Spm {
+ public:
+  using Row = std::array<Word, arch::kVwrWords>;
+
+  explicit Spm(energy::EnergyMeter& meter) : meter_(&meter) {
+    data_.resize(arch::kSpmWords, 0);
+  }
+
+  /// Resets per-cycle port bookkeeping (array side).
+  void begin_cycle() { array_port_used_.fill(false); }
+
+  /// Array-side row read (into a VWR), by column `col`.
+  Row read_row(unsigned col, unsigned row) {
+    claim_array_port(col, "row read");
+    check_row(row);
+    meter_->add(energy::Event::kSpmRowRead);
+    Row out;
+    std::copy_n(data_.begin() + row * arch::kVwrWords, arch::kVwrWords,
+                out.begin());
+    return out;
+  }
+
+  /// Array-side row write (from a VWR).
+  void write_row(unsigned col, unsigned row, const Row& v) {
+    claim_array_port(col, "row write");
+    check_row(row);
+    meter_->add(energy::Event::kSpmRowWrite);
+    std::copy_n(v.begin(), arch::kVwrWords, data_.begin() + row * arch::kVwrWords);
+  }
+
+  /// Array-side scalar read (LSU -> SRF path). Uses the column's row port.
+  Word read_word_array(unsigned col, unsigned word) {
+    claim_array_port(col, "word read");
+    check_word(word);
+    meter_->add(energy::Event::kSpmRowRead);
+    return data_[word];
+  }
+
+  /// Array-side scalar write (SRF -> SPM path).
+  void write_word_array(unsigned col, unsigned word, Word v) {
+    claim_array_port(col, "word write");
+    check_word(word);
+    meter_->add(energy::Event::kSpmRowWrite);
+    data_[word] = v;
+  }
+
+  /// System-side word read (DMA out). Independent interface.
+  Word read_word_system(unsigned word) {
+    check_word(word);
+    meter_->add(energy::Event::kSpmWordRead);
+    return data_[word];
+  }
+
+  /// System-side word write (DMA in).
+  void write_word_system(unsigned word, Word v) {
+    check_word(word);
+    meter_->add(energy::Event::kSpmWordWrite);
+    data_[word] = v;
+  }
+
+  /// Debug/testing backdoor, no port or energy accounting.
+  Word peek(unsigned word) const {
+    check_word(word);
+    return data_[word];
+  }
+  void poke(unsigned word, Word v) {
+    check_word(word);
+    data_[word] = v;
+  }
+
+ private:
+  void claim_array_port(unsigned col, const char* what) {
+    if (col >= arch::kNumColumns) throw RangeError("SPM: bad column id");
+    if (array_port_used_[col]) {
+      throw StructuralHazard(std::string("SPM: second array-side ") + what +
+                             " by column " + std::to_string(col) +
+                             " in one cycle");
+    }
+    array_port_used_[col] = true;
+  }
+
+  static void check_row(unsigned row) {
+    if (row >= arch::kSpmRows) throw RangeError("SPM: row out of range");
+  }
+  static void check_word(unsigned word) {
+    if (word >= arch::kSpmWords) throw RangeError("SPM: word out of range");
+  }
+
+  energy::EnergyMeter* meter_;
+  std::vector<Word> data_;
+  std::array<bool, arch::kNumColumns> array_port_used_{};
+};
+
+} // namespace vwr2a::mem

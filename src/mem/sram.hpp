@@ -1,0 +1,82 @@
+#pragma once
+// System SRAM: the host SoC's 192 KiB memory, divided into six banks that
+// can be individually power gated (paper Sec 4.1). Word-addressed.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "energy/meter.hpp"
+
+namespace vwr2a::mem {
+
+/// The six-bank system SRAM on the AHB bus.
+class SystemSram {
+ public:
+  explicit SystemSram(energy::EnergyMeter& meter) : meter_(&meter) {
+    data_.resize(arch::kSramBytes / 4, 0);
+    gated_.fill(false);
+  }
+
+  /// Words in the SRAM.
+  unsigned size_words() const { return static_cast<unsigned>(data_.size()); }
+
+  /// Reads one word (bus transaction side).
+  Word read(unsigned word) {
+    check_access(word);
+    meter_->add(energy::Event::kSramRead);
+    return data_[word];
+  }
+
+  /// Writes one word.
+  void write(unsigned word, Word v) {
+    check_access(word);
+    meter_->add(energy::Event::kSramWrite);
+    data_[word] = v;
+  }
+
+  /// Power-gates or wakes one bank. Accessing a gated bank throws.
+  void set_bank_gated(unsigned bank, bool gated) {
+    if (bank >= arch::kSramBanks) throw RangeError("SRAM: bad bank");
+    gated_[bank] = gated;
+  }
+
+  bool bank_gated(unsigned bank) const {
+    if (bank >= arch::kSramBanks) throw RangeError("SRAM: bad bank");
+    return gated_[bank];
+  }
+
+  /// The bank containing a word address.
+  static unsigned bank_of(unsigned word) {
+    return word / (arch::kSramBytes / 4 / arch::kSramBanks);
+  }
+
+  /// Debug/testing backdoor.
+  Word peek(unsigned word) const {
+    check_range(word);
+    return data_[word];
+  }
+  void poke(unsigned word, Word v) {
+    check_range(word);
+    data_[word] = v;
+  }
+
+ private:
+  void check_access(unsigned word) const {
+    check_range(word);
+    if (gated_[bank_of(word)]) {
+      throw HostError("SRAM: access to power-gated bank");
+    }
+  }
+  void check_range(unsigned word) const {
+    if (word >= data_.size()) throw RangeError("SRAM: word out of range");
+  }
+
+  energy::EnergyMeter* meter_;
+  std::vector<Word> data_;
+  std::array<bool, arch::kSramBanks> gated_{};
+};
+
+} // namespace vwr2a::mem

@@ -1,0 +1,100 @@
+#pragma once
+// Very-wide register: a single-ported 4096-bit latch array, the paper's
+// replacement for a multi-ported register file (Sec 2, Sec 3.2).
+//
+// Port model (strict): datapath word *reads* go through the multiplexer
+// network and do not use the array port -- the paper notes that only the mux
+// outputs switch each cycle. Writes use the port: per cycle, a VWR accepts
+// either one whole-row write (LSU load or shuffle result) or any set of
+// word writes from RCs (each RC owns a disjoint slice, so the row write
+// combines the per-slice write enables). Mixing a row write and RC word
+// writes in the same cycle is a structural hazard.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "energy/meter.hpp"
+
+namespace vwr2a::mem {
+
+/// One 128x32-bit very-wide register.
+class Vwr {
+ public:
+  using Row = std::array<Word, arch::kVwrWords>;
+
+  Vwr(std::string name, energy::EnergyMeter& meter)
+      : name_(std::move(name)), meter_(&meter) {}
+
+  /// Resets per-cycle port bookkeeping. Called by the column each cycle.
+  void begin_cycle() {
+    row_written_ = false;
+    word_written_ = false;
+  }
+
+  /// Datapath read of word `index` of slice `slice` (mux network; free port).
+  Word read_word(unsigned slice, unsigned index) const {
+    check_word(slice, index);
+    meter_->add(energy::Event::kVwrWordRead);
+    return row_[slice * arch::kSliceWords + index];
+  }
+
+  /// RC write-back of one word into slice `slice` at `index`.
+  void write_word(unsigned slice, unsigned index, Word v) {
+    check_word(slice, index);
+    if (row_written_) {
+      throw StructuralHazard("VWR " + name_ +
+                             ": word write collides with row write");
+    }
+    word_written_ = true;
+    meter_->add(energy::Event::kVwrWordWrite);
+    row_[slice * arch::kSliceWords + index] = v;
+  }
+
+  /// Whole-row write (LSU load from SPM or shuffle-unit result).
+  void write_row(const Row& data) {
+    if (row_written_ || word_written_) {
+      throw StructuralHazard("VWR " + name_ + ": second write in one cycle");
+    }
+    row_written_ = true;
+    meter_->add(energy::Event::kVwrRowWrite);
+    row_ = data;
+  }
+
+  /// Whole-row read (LSU store to SPM or shuffle-unit source). The latch
+  /// outputs are continuously available; no port or energy is charged beyond
+  /// the consumer's own cost.
+  const Row& read_row() const { return row_; }
+
+  /// Debug/testing backdoor: writes without port accounting or energy.
+  void poke(unsigned slice, unsigned index, Word v) {
+    check_word(slice, index);
+    row_[slice * arch::kSliceWords + index] = v;
+  }
+
+  /// Debug/testing backdoor: reads without energy accounting.
+  Word peek(unsigned slice, unsigned index) const {
+    check_word(slice, index);
+    return row_[slice * arch::kSliceWords + index];
+  }
+
+  /// Debug name ("col0.A", ...).
+  const std::string& name() const { return name_; }
+
+ private:
+  static void check_word(unsigned slice, unsigned index) {
+    if (slice >= arch::kRcsPerColumn) throw RangeError("VWR: bad slice");
+    if (index >= arch::kSliceWords) throw RangeError("VWR: bad word index");
+  }
+
+  std::string name_;
+  energy::EnergyMeter* meter_;
+  Row row_{};
+  bool row_written_ = false;
+  bool word_written_ = false;
+};
+
+} // namespace vwr2a::mem

@@ -1,0 +1,106 @@
+#pragma once
+// The host SoC (paper Sec 4.1/4.2): an ARM Cortex-M4F-like CPU, 192 KiB of
+// banked SRAM, an AMBA-AHB-like bus, the fixed-function FFT accelerator,
+// and the VWR2A block -- each accelerator on its own power-gateable domain,
+// with DMA masters and interrupt lines back to the CPU.
+//
+// Energy is kept in three meters so Table-3-style breakdowns stay
+// separable:
+//   * sys_meter():   CPU core, system SRAM, bus beats
+//   * vwr2a.meter(): everything inside the VWR2A block (incl. its DMA)
+//   * accel_meter(): everything inside the FFT accelerator
+// Cycle accounting is per-engine; the application layer serializes phases
+// (the CPU sleeps on WFI while an accelerator runs), so phase latency is
+// the sum of the engine deltas captured by Snapshot.
+
+#include <cstdint>
+
+#include "accel/fft_accel.hpp"
+#include "bus/ahb.hpp"
+#include "cgra/vwr2a.hpp"
+#include "cpu/m4.hpp"
+#include "energy/meter.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::soc {
+
+/// Cycle cost charged to the CPU for programming an accelerator (slave-port
+/// register writes + interrupt service), per request.
+inline constexpr unsigned kHostProgramCycles = 24;
+inline constexpr unsigned kHostIrqCycles = 12;
+
+/// The integrated platform.
+class Platform {
+ public:
+  Platform()
+      : sram_(sys_meter_),
+        ahb_(sram_, sys_meter_),
+        cpu_(sys_meter_),
+        accel_(accel_meter_),
+        vwr2a_(ahb_) {}
+
+  mem::SystemSram& sram() { return sram_; }
+  bus::AhbBus& ahb() { return ahb_; }
+  cpu::M4Meter& cpu() { return cpu_; }
+  accel::FftAccel& fft_accel() { return accel_; }
+  cgra::Vwr2a& vwr2a() { return vwr2a_; }
+
+  energy::EnergyMeter& sys_meter() { return sys_meter_; }
+  energy::EnergyMeter& accel_meter() { return accel_meter_; }
+
+  /// Records accelerator occupancy (the accelerator result cycles) on the
+  /// platform timeline.
+  void add_accel_cycles(Cycle c) { accel_cycles_ += c; }
+  Cycle accel_cycles() const { return accel_cycles_; }
+
+  /// Charges the CPU-side cost of programming an accelerator and servicing
+  /// its completion interrupt.
+  void charge_host_control() {
+    cpu_.idle_cycles(kHostProgramCycles + kHostIrqCycles);
+    ahb_.charge_setup();
+  }
+
+  /// A point-in-time capture of all engines' cycles and energies.
+  struct Snapshot {
+    Cycle cpu_cycles = 0;
+    Cycle vwr2a_cycles = 0;
+    Cycle accel_cycles = 0;
+    double sys_pj = 0.0;
+    double vwr2a_pj = 0.0;
+    double accel_pj = 0.0;
+
+    Cycle total_cycles() const { return cpu_cycles + vwr2a_cycles + accel_cycles; }
+    double total_pj() const { return sys_pj + vwr2a_pj + accel_pj; }
+    double total_uj() const { return total_pj() * 1e-6; }
+  };
+
+  Snapshot snapshot() const {
+    return Snapshot{cpu_.cycles(),   vwr2a_.cycles(),      accel_cycles_,
+                    sys_meter_.total_pj(), vwr2a_.meter().total_pj(),
+                    accel_meter_.total_pj()};
+  }
+
+  /// The difference of two snapshots (b taken after a).
+  static Snapshot delta(const Snapshot& a, const Snapshot& b) {
+    Snapshot d;
+    d.cpu_cycles = b.cpu_cycles - a.cpu_cycles;
+    d.vwr2a_cycles = b.vwr2a_cycles - a.vwr2a_cycles;
+    d.accel_cycles = b.accel_cycles - a.accel_cycles;
+    d.sys_pj = b.sys_pj - a.sys_pj;
+    d.vwr2a_pj = b.vwr2a_pj - a.vwr2a_pj;
+    d.accel_pj = b.accel_pj - a.accel_pj;
+    return d;
+  }
+
+ private:
+  energy::EnergyMeter sys_meter_;
+  energy::EnergyMeter accel_meter_;
+  mem::SystemSram sram_;
+  bus::AhbBus ahb_;
+  cpu::M4Meter cpu_;
+  accel::FftAccel accel_;
+  cgra::Vwr2a vwr2a_;
+  Cycle accel_cycles_ = 0;
+};
+
+} // namespace vwr2a::soc

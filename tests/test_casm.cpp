@@ -1,0 +1,121 @@
+// Kernel assembler: builder semantics (labels, program-memory limit) and
+// the textual format's print -> parse round trip, including on every
+// generated production kernel.
+
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "casm/builder.hpp"
+#include "casm/factories.hpp"
+#include "casm/text.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/status.hpp"
+#include "dsp/signal.hpp"
+#include "energy/meter.hpp"
+#include "kernels/delineation.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/fir.hpp"
+#include "kernels/host.hpp"
+#include "kernels/reduce.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::casm {
+namespace {
+
+TEST(Builder, LabelsResolveForwardAndBackward) {
+  ProgramBuilder pb;
+  Label fwd = pb.make_label();
+  Label back = pb.make_label();
+  pb.bind(back);
+  pb.line().lcu(lcu_b(), fwd).emit();        // line 0 -> 2
+  pb.line().lcu(lcu_b(), back).emit();       // line 1 -> 0
+  pb.bind(fwd);
+  pb.line().lcu(lcu_exit()).emit();          // line 2
+  const auto prog = pb.build();
+  EXPECT_EQ(isa::decode_lcu(prog.word(Slot::LCU, 0)).target, 2u);
+  EXPECT_EQ(isa::decode_lcu(prog.word(Slot::LCU, 1)).target, 0u);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  ProgramBuilder pb;
+  Label l = pb.make_label();
+  pb.line().lcu(lcu_b(), l).emit();
+  EXPECT_THROW(pb.build(), AsmError);
+}
+
+TEST(Builder, ProgramMemoryLimitEnforced) {
+  ProgramBuilder pb;
+  for (unsigned i = 0; i < 65; ++i) pb.line().emit();
+  EXPECT_THROW(pb.build(), AsmError);
+}
+
+TEST(Builder, TwoColumnKernelsNeedEqualLength) {
+  ProgramBuilder a, b;
+  a.line().lcu(lcu_exit()).emit();
+  b.line().emit();
+  b.line().lcu(lcu_exit()).emit();
+  EXPECT_THROW(make_kernel2("x", a.build(), b.build()), AsmError);
+}
+
+TEST(Text, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_program("rc9: nop"), AsmError);
+  EXPECT_THROW(parse_program("lcu: frobnicate r0"), AsmError);
+  EXPECT_THROW(parse_program("lsu: ld.vwr D, [0]"), AsmError);
+  EXPECT_THROW(parse_program("rc0: sadd vwrc, vwra"), AsmError);
+}
+
+TEST(Text, ParsesSparseLines) {
+  const auto prog = parse_program(
+      "; comment only\n"
+      "lcu: seti r1, #5 | rc2: sadd r0, r0, #1\n"
+      "rc*: mv vwrc, srf3\n"
+      "lcu: exit\n");
+  EXPECT_EQ(prog.length(), 3u);
+  EXPECT_EQ(isa::decode_lcu(prog.word(Slot::LCU, 0)).imm, 5);
+  EXPECT_EQ(isa::decode_rc(prog.word(Slot::RC1, 1)).srf, 3u);
+}
+
+/// Round trip helper: print, parse, compare encoded words.
+void expect_roundtrip(const isa::ColumnProgram& prog, const std::string& name) {
+  const std::string text = to_text(prog);
+  isa::ColumnProgram reparsed;
+  ASSERT_NO_THROW(reparsed = parse_program(text)) << name << "\n" << text;
+  EXPECT_EQ(reparsed, prog) << name << "\n" << text;
+}
+
+TEST(Text, RoundTripsAllProductionKernels) {
+  // Instantiate every kernel family and round-trip every registered image.
+  energy::EnergyMeter m;
+  mem::SystemSram sram(m);
+  bus::AhbBus ahb(sram, m);
+  cgra::Vwr2a acc(ahb);
+  kernels::Host host(acc, sram, nullptr);
+  kernels::FftKernels fft(host);
+  kernels::FirKernels fir(host);
+  kernels::ReduceKernels red(host);
+  kernels::DelineationKernels del(host);
+  fft.prepare(0);
+  fir.prepare(0);
+  // Touch the lazily-built kernels.
+  for (unsigned i = 0; i < 300; ++i) sram.poke(100 + i, 0);
+  fir.fir11(256, dsp::fir11_lowpass_q15(), 100, 400);
+  red.sum_rows(4, 2);
+  red.count_le_rows(4, 2, 0);
+  red.zero_rows(4, 2);
+  red.dot(4, 100, 6);
+  del.run(256, 4, 1000, 0, 900);
+
+  unsigned checked = 0;
+  for (unsigned id = 0; id < acc.config_mem().size(); ++id) {
+    const auto& img = acc.config_mem().kernel(id);
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      if (!isa::contains(img.columns, c)) continue;
+      expect_roundtrip(img.program[c], img.name + "/col" + std::to_string(c));
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 10u);
+}
+
+} // namespace
+} // namespace vwr2a::casm

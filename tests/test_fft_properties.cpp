@@ -1,0 +1,179 @@
+// FFT property tests on the VWR2A kernel (not just point comparisons):
+// impulse response, DC input, linearity, Parseval's theorem, conjugate
+// symmetry of real-input spectra, and tracer observability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "bus/ahb.hpp"
+#include "cgra/trace.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dsp/reference.hpp"
+#include "energy/meter.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/host.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::kernels {
+namespace {
+
+struct Rig {
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram{sys_meter};
+  bus::AhbBus ahb{sram, sys_meter};
+  cgra::Vwr2a acc{ahb};
+  Host host{acc, sram, nullptr};
+  FftKernels fft{host};
+  unsigned in = FftKernels::table_words();
+  unsigned out = 0, scratch = 0;
+  Rig() {
+    fft.prepare(0);
+    out = in + 4100;
+    scratch = out + 4100;
+  }
+
+  void place(const std::vector<dsp::CplxFx>& x) {
+    for (unsigned i = 0; i < x.size(); ++i) {
+      sram.poke(in + 2 * i, static_cast<Word>(x[i].re));
+      sram.poke(in + 2 * i + 1, static_cast<Word>(x[i].im));
+    }
+  }
+  dsp::CplxFx bin(unsigned k) const {
+    return {static_cast<std::int32_t>(sram.peek(out + 2 * k)),
+            static_cast<std::int32_t>(sram.peek(out + 2 * k + 1))};
+  }
+};
+
+TEST(FftProps, ImpulseGivesFlatSpectrum) {
+  Rig rig;
+  std::vector<dsp::CplxFx> x(512, dsp::CplxFx{0, 0});
+  x[0].re = fx::to_q16_15(0.5);
+  rig.place(x);
+  rig.fft.cfft(512, rig.in, rig.out, rig.scratch);
+  for (unsigned k = 0; k < 512; ++k) {
+    EXPECT_EQ(rig.bin(k).re, fx::to_q16_15(0.5)) << k;
+    EXPECT_EQ(rig.bin(k).im, 0) << k;
+  }
+}
+
+TEST(FftProps, DcGivesSingleBin) {
+  Rig rig;
+  std::vector<dsp::CplxFx> x(512, dsp::CplxFx{fx::to_q16_15(0.01), 0});
+  rig.place(x);
+  rig.fft.cfft(512, rig.in, rig.out, rig.scratch);
+  EXPECT_NEAR(fx::from_q16_15(rig.bin(0).re), 0.01 * 512, 0.05);
+  for (unsigned k = 1; k < 512; ++k) {
+    EXPECT_LT(std::abs(fx::from_q16_15(rig.bin(k).re)), 0.02) << k;
+    EXPECT_LT(std::abs(fx::from_q16_15(rig.bin(k).im)), 0.02) << k;
+  }
+}
+
+TEST(FftProps, Linearity) {
+  // FFT(a) + FFT(b) == FFT(a + b) up to fixed-point truncation noise.
+  Rng rng(21);
+  Rig ra, rb, rs;
+  std::vector<dsp::CplxFx> a(256), b(256), s(256);
+  for (unsigned i = 0; i < 256; ++i) {
+    a[i] = {fx::to_q16_15(rng.next_range(-0.3, 0.3)),
+            fx::to_q16_15(rng.next_range(-0.3, 0.3))};
+    b[i] = {fx::to_q16_15(rng.next_range(-0.3, 0.3)),
+            fx::to_q16_15(rng.next_range(-0.3, 0.3))};
+    s[i] = {a[i].re + b[i].re, a[i].im + b[i].im};
+  }
+  ra.place(a);
+  rb.place(b);
+  rs.place(s);
+  ra.fft.cfft(256, ra.in, ra.out, ra.scratch);
+  rb.fft.cfft(256, rb.in, rb.out, rb.scratch);
+  rs.fft.cfft(256, rs.in, rs.out, rs.scratch);
+  for (unsigned k = 0; k < 256; ++k) {
+    EXPECT_NEAR(fx::from_q16_15(ra.bin(k).re + rb.bin(k).re),
+                fx::from_q16_15(rs.bin(k).re), 0.02)
+        << k;
+    EXPECT_NEAR(fx::from_q16_15(ra.bin(k).im + rb.bin(k).im),
+                fx::from_q16_15(rs.bin(k).im), 0.02)
+        << k;
+  }
+}
+
+TEST(FftProps, ParsevalApproximately) {
+  Rng rng(23);
+  Rig rig;
+  std::vector<dsp::CplxFx> x(512);
+  double sig_energy = 0;
+  for (auto& v : x) {
+    const double re = rng.next_range(-0.4, 0.4);
+    const double im = rng.next_range(-0.4, 0.4);
+    v = {fx::to_q16_15(re), fx::to_q16_15(im)};
+    sig_energy += re * re + im * im;
+  }
+  rig.place(x);
+  rig.fft.cfft(512, rig.in, rig.out, rig.scratch);
+  double spec_energy = 0;
+  for (unsigned k = 0; k < 512; ++k) {
+    const double re = fx::from_q16_15(rig.bin(k).re);
+    const double im = fx::from_q16_15(rig.bin(k).im);
+    spec_energy += re * re + im * im;
+  }
+  EXPECT_NEAR(spec_energy / 512.0, sig_energy, 0.02 * sig_energy);
+}
+
+TEST(FftProps, RealInputHasConjugateSymmetry) {
+  Rng rng(25);
+  Rig rig;
+  std::vector<dsp::CplxFx> x(512);
+  for (auto& v : x) v = {fx::to_q16_15(rng.next_range(-0.5, 0.5)), 0};
+  rig.place(x);
+  rig.fft.cfft(512, rig.in, rig.out, rig.scratch);
+  for (unsigned k = 1; k < 256; ++k) {
+    EXPECT_NEAR(fx::from_q16_15(rig.bin(k).re),
+                fx::from_q16_15(rig.bin(512 - k).re), 0.05)
+        << k;
+    EXPECT_NEAR(fx::from_q16_15(rig.bin(k).im),
+                -fx::from_q16_15(rig.bin(512 - k).im), 0.05)
+        << k;
+  }
+}
+
+TEST(FftProps, RfftMatchesCfftHalfSpectrum) {
+  // The optimized real path must agree with a complex FFT of the same
+  // real signal (within the different rounding paths of the two flows).
+  Rng rng(27);
+  Rig r1, r2;
+  std::vector<std::int32_t> xr(512);
+  std::vector<dsp::CplxFx> xc(512);
+  for (unsigned i = 0; i < 512; ++i) {
+    xr[i] = fx::to_q16_15(rng.next_range(-0.5, 0.5));
+    xc[i] = {xr[i], 0};
+    r1.sram.poke(r1.in + i, static_cast<Word>(xr[i]));
+  }
+  r2.place(xc);
+  r1.fft.rfft(512, r1.in, r1.out, r1.scratch);
+  r2.fft.cfft(512, r2.in, r2.out, r2.scratch);
+  for (unsigned k = 0; k <= 256; ++k) {
+    EXPECT_NEAR(fx::from_q16_15(r1.bin(k).re), fx::from_q16_15(r2.bin(k).re), 0.03)
+        << k;
+    EXPECT_NEAR(fx::from_q16_15(r1.bin(k).im), fx::from_q16_15(r2.bin(k).im), 0.03)
+        << k;
+  }
+}
+
+TEST(FftProps, TracerObservesExecution) {
+  Rig rig;
+  cgra::TextTracer tracer(4096);
+  rig.acc.set_tracer(&tracer);
+  std::vector<dsp::CplxFx> x(256, dsp::CplxFx{1000, 0});
+  rig.place(x);
+  rig.fft.cfft(256, rig.in, rig.out, rig.scratch);
+  rig.acc.set_tracer(nullptr);
+  const std::string t = tracer.str();
+  EXPECT_NE(t.find("fxpmul"), std::string::npos);
+  EXPECT_NE(t.find("pc="), std::string::npos);
+}
+
+} // namespace
+} // namespace vwr2a::kernels

@@ -1,0 +1,145 @@
+// Fuzzing: the simulator must never exhibit undefined behaviour. Random
+// (field-constrained) programs either run to EXIT or throw one of the
+// documented SimError subclasses; random 32-bit words either decode or
+// throw DecodeError.
+
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "casm/builder.hpp"
+#include "casm/factories.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "energy/meter.hpp"
+#include "isa/instr.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a {
+namespace {
+
+using namespace casm;
+
+isa::RcInstr random_rc(Rng& rng) {
+  isa::RcInstr i;
+  i.op = static_cast<isa::RcOp>(rng.next_below(static_cast<unsigned>(isa::RcOp::kCount)));
+  i.src_a = static_cast<isa::RcSrc>(
+      rng.next_below(static_cast<unsigned>(isa::RcSrc::kCount)));
+  i.src_b = static_cast<isa::RcSrc>(
+      rng.next_below(static_cast<unsigned>(isa::RcSrc::kCount)));
+  i.dst = static_cast<isa::RcDst>(
+      rng.next_below(static_cast<unsigned>(isa::RcDst::kCount)));
+  i.srf = static_cast<std::uint8_t>(rng.next_below(8));
+  i.imm = static_cast<std::int8_t>(rng.next_u32());
+  return i;
+}
+
+isa::LsuInstr random_lsu(Rng& rng) {
+  isa::LsuInstr i;
+  // Restrict to ops whose addresses stay legal; pointer modes are covered
+  // by directed tests (a random pointer walk leaves the SPM immediately).
+  switch (rng.next_below(6)) {
+    case 0: return i;  // nop
+    case 1: i = lsu_ld_vwr(static_cast<VwrSel>(rng.next_below(3)),
+                           rng.next_below(arch::kSpmRows)); break;
+    case 2: i = lsu_st_vwr(static_cast<VwrSel>(rng.next_below(3)),
+                           rng.next_below(arch::kSpmRows)); break;
+    case 3: i = lsu_ld_srf(static_cast<std::uint8_t>(rng.next_below(8)),
+                           rng.next_below(arch::kSpmWords)); break;
+    case 4: i = lsu_st_srf(static_cast<std::uint8_t>(rng.next_below(8)),
+                           rng.next_below(arch::kSpmWords)); break;
+    default: i = lsu_shuf(static_cast<isa::ShufMode>(rng.next_below(8))); break;
+  }
+  return i;
+}
+
+isa::MxcuInstr random_mxcu(Rng& rng) {
+  isa::MxcuInstr i;
+  i.op = static_cast<isa::MxcuOp>(
+      rng.next_below(static_cast<unsigned>(isa::MxcuOp::kCount)));
+  i.srf = static_cast<std::uint8_t>(rng.next_below(8));
+  i.imm = static_cast<std::int16_t>(static_cast<int>(rng.next_below(128)) - 64);
+  return i;
+}
+
+TEST(Fuzz, RandomProgramsNeverCrash) {
+  Rng rng(0xF00D);
+  unsigned completed = 0, hazards = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    energy::EnergyMeter m;
+    mem::SystemSram sram(m);
+    bus::AhbBus ahb(sram, m);
+    cgra::Vwr2a acc(ahb);
+    ProgramBuilder pb;
+    const unsigned len = 1 + rng.next_below(12);
+    for (unsigned l = 0; l < len; ++l) {
+      auto line = pb.line();
+      if (rng.next_below(2)) line.lsu(random_lsu(rng));
+      if (rng.next_below(2)) line.mxcu(random_mxcu(rng));
+      for (unsigned r = 0; r < 4; ++r) {
+        if (rng.next_below(2)) line.rc(r, random_rc(rng));
+      }
+      line.emit();
+    }
+    pb.line().lcu(lcu_exit()).emit();
+    try {
+      const unsigned id = acc.register_kernel(make_kernel("fuzz", 0, pb.build()));
+      acc.run_kernel(id);
+      ++completed;
+    } catch (const StructuralHazard&) {
+      ++hazards;  // expected for conflicting random lines
+    } catch (const SimError&) {
+      // kRcCross without a partner, etc. -- documented behaviour.
+    }
+  }
+  // Dense random lines collide on the single-ported SRF frequently -- most
+  // trials must trip the hazard checker (guarding against it being dead
+  // code), while a healthy share still runs to completion.
+  EXPECT_GT(completed, 20u);
+  EXPECT_GT(hazards, 100u);
+}
+
+TEST(Fuzz, RandomWordsDecodeOrThrow) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint32_t w = rng.next_u32();
+    try {
+      (void)isa::decode_rc(w);
+    } catch (const DecodeError&) {
+    }
+    try {
+      (void)isa::decode_lsu(w);
+    } catch (const DecodeError&) {
+    }
+    try {
+      (void)isa::decode_lcu(w);
+    } catch (const DecodeError&) {
+    }
+    try {
+      (void)isa::decode_mxcu(w);
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(Fuzz, DecodedWordsReEncodeIdentically) {
+  // Any word that decodes must re-encode to itself modulo reserved bits:
+  // encode(decode(w)) must at least decode to the same instruction.
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::uint32_t w = rng.next_u32();
+    try {
+      const auto i = isa::decode_rc(w);
+      EXPECT_EQ(isa::decode_rc(isa::encode(i)), i);
+    } catch (const SimError&) {
+    }
+    try {
+      const auto i = isa::decode_lsu(w);
+      EXPECT_EQ(isa::decode_lsu(isa::encode(i)), i);
+    } catch (const SimError&) {
+    }
+  }
+}
+
+} // namespace
+} // namespace vwr2a

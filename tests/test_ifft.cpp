@@ -1,0 +1,98 @@
+// Inverse-FFT extension: bit-exact against the golden model and the
+// fft -> ifft round trip property.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bus/ahb.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dsp/reference.hpp"
+#include "energy/meter.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/host.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::kernels {
+namespace {
+
+struct Rig {
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram{sys_meter};
+  bus::AhbBus ahb{sram, sys_meter};
+  cgra::Vwr2a acc{ahb};
+  Host host{acc, sram, nullptr};
+  FftKernels fft{host};
+  Rig() { fft.prepare(0); }
+};
+
+TEST(GoldenIfft, RoundTripRecoversSignal) {
+  Rng rng(1);
+  for (unsigned n : {16u, 256u, 1024u}) {
+    std::vector<dsp::CplxFx> x(n);
+    for (auto& v : x) {
+      v = {fx::to_q16_15(rng.next_range(-0.5, 0.5)),
+           fx::to_q16_15(rng.next_range(-0.5, 0.5))};
+    }
+    const auto back = dsp::pease_ifft_fx(dsp::pease_fft_fx(x));
+    for (unsigned i = 0; i < n; ++i) {
+      // Truncating fixed point: recovery within a small absolute error.
+      EXPECT_NEAR(fx::from_q16_15(back[i].re), fx::from_q16_15(x[i].re), 5e-3);
+      EXPECT_NEAR(fx::from_q16_15(back[i].im), fx::from_q16_15(x[i].im), 5e-3);
+    }
+  }
+}
+
+class IfftSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IfftSizes, BitExactAgainstGolden) {
+  const unsigned n = GetParam();
+  Rig rig;
+  Rng rng(n + 9);
+  std::vector<dsp::CplxFx> x(n);
+  const unsigned in = FftKernels::table_words();
+  const unsigned out = in + 2 * n + 2;
+  for (unsigned i = 0; i < n; ++i) {
+    x[i] = {fx::to_q16_15(rng.next_range(-0.9, 0.9)),
+            fx::to_q16_15(rng.next_range(-0.9, 0.9))};
+    rig.sram.poke(in + 2 * i, static_cast<Word>(x[i].re));
+    rig.sram.poke(in + 2 * i + 1, static_cast<Word>(x[i].im));
+  }
+  const auto stats = rig.fft.cifft(n, in, out);
+  EXPECT_GT(stats.cycles, 0u);
+  const auto golden = dsp::pease_ifft_fx(x);
+  for (unsigned k = 0; k < n; ++k) {
+    EXPECT_EQ(static_cast<std::int32_t>(rig.sram.peek(out + 2 * k)), golden[k].re)
+        << "re " << k;
+    EXPECT_EQ(static_cast<std::int32_t>(rig.sram.peek(out + 2 * k + 1)),
+              golden[k].im)
+        << "im " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IfftSizes, ::testing::Values(256u, 512u, 1024u));
+
+TEST(Ifft, FftThenIfftOnHardwareRecoversSignal) {
+  const unsigned n = 512;
+  Rig rig;
+  Rng rng(77);
+  const unsigned in = FftKernels::table_words();
+  const unsigned mid = in + 2 * n + 2;
+  const unsigned out = mid + 2 * n + 2;
+  std::vector<double> ref(2 * n);
+  for (unsigned i = 0; i < 2 * n; ++i) {
+    ref[i] = rng.next_range(-0.5, 0.5);
+    rig.sram.poke(in + i, static_cast<Word>(fx::to_q16_15(ref[i])));
+  }
+  rig.fft.cfft(n, in, mid, out + 4 * n);
+  rig.fft.cifft(n, mid, out);
+  for (unsigned i = 0; i < 2 * n; ++i) {
+    const auto v = static_cast<std::int32_t>(rig.sram.peek(out + i));
+    EXPECT_NEAR(fx::from_q16_15(v), ref[i], 6e-3) << i;
+  }
+}
+
+} // namespace
+} // namespace vwr2a::kernels

@@ -1,0 +1,205 @@
+// Reduction, median, dot-product and delineation kernels against their
+// golden models.
+
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dsp/reference.hpp"
+#include "dsp/signal.hpp"
+#include "energy/meter.hpp"
+#include "kernels/delineation.hpp"
+#include "kernels/host.hpp"
+#include "kernels/reduce.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::kernels {
+namespace {
+
+struct Rig {
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram{sys_meter};
+  bus::AhbBus ahb{sram, sys_meter};
+  cgra::Vwr2a acc{ahb};
+  Host host{acc, sram, nullptr};
+
+  /// Loads values into SPM rows starting at row0 (backdoor; staging costs
+  /// are exercised by the FFT/FIR tests and the app).
+  void load_rows(unsigned row0, const std::vector<std::int32_t>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      acc.spm().poke(row0 * 128 + static_cast<unsigned>(i),
+                     static_cast<Word>(v[i]));
+    }
+  }
+};
+
+std::vector<std::int32_t> random_fx(unsigned n, Rng& rng, double lo = -0.9,
+                                    double hi = 0.9) {
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = fx::to_q16_15(rng.next_range(lo, hi));
+  return v;
+}
+
+class ReduceRows : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReduceRows, SumMatches) {
+  const unsigned nrows = GetParam();
+  Rig rig;
+  ReduceKernels rk(rig.host);
+  Rng rng(nrows);
+  const auto v = random_fx(nrows * 128, rng);
+  rig.load_rows(4, v);
+  std::int64_t expect = 0;
+  for (auto x : v) expect += x;
+  EXPECT_EQ(rk.sum_rows(4, nrows), static_cast<std::int32_t>(expect));
+}
+
+TEST_P(ReduceRows, SumSqMatches) {
+  const unsigned nrows = GetParam();
+  Rig rig;
+  ReduceKernels rk(rig.host);
+  Rng rng(nrows + 1);
+  const auto v = random_fx(nrows * 128, rng);
+  rig.load_rows(4, v);
+  std::int32_t expect = 0;
+  for (auto x : v) expect += fx::fxp_mul(x, x);
+  EXPECT_EQ(rk.sumsq_rows(4, nrows), expect);
+}
+
+TEST_P(ReduceRows, CountLeMatches) {
+  const unsigned nrows = GetParam();
+  Rig rig;
+  ReduceKernels rk(rig.host);
+  Rng rng(nrows + 2);
+  const auto v = random_fx(nrows * 128, rng);
+  rig.load_rows(4, v);
+  for (int t = 0; t < 5; ++t) {
+    const std::int32_t pivot = fx::to_q16_15(rng.next_range(-1.0, 1.0));
+    std::int32_t expect = 0;
+    for (auto x : v) expect += (x <= pivot) ? 1 : 0;
+    EXPECT_EQ(rk.count_le_rows(4, nrows, pivot), expect);
+  }
+}
+
+TEST_P(ReduceRows, MedianMatchesGolden) {
+  const unsigned nrows = GetParam();
+  Rig rig;
+  ReduceKernels rk(rig.host);
+  Rng rng(nrows + 3);
+  const auto v = random_fx(nrows * 128, rng);
+  rig.load_rows(4, v);
+  EXPECT_EQ(rk.median_rows(4, nrows), dsp::median_i32(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, ReduceRows, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(MaskedPower, BandSelection) {
+  Rig rig;
+  ReduceKernels rk(rig.host);
+  Rng rng(5);
+  const auto v = random_fx(256, rng);
+  std::vector<std::int32_t> mask(256);
+  for (unsigned i = 0; i < 256; ++i) mask[i] = (i % 3 == 0) ? (1 << 16) : 0;
+  rig.load_rows(4, v);
+  rig.load_rows(6, mask);
+  std::int32_t expect = 0;
+  for (unsigned i = 0; i < 256; ++i) {
+    expect += fx::fxp_mul(fx::fxp_mul(v[i], v[i]), mask[i]);
+  }
+  EXPECT_EQ(rk.masked_power(4, 6, 2), expect);
+}
+
+TEST(ZeroRows, ClearsPlane) {
+  Rig rig;
+  ReduceKernels rk(rig.host);
+  Rng rng(6);
+  rig.load_rows(4, random_fx(512, rng));
+  rk.zero_rows(4, 4);
+  for (unsigned i = 0; i < 512; ++i) {
+    EXPECT_EQ(rig.acc.spm().peek(4 * 128 + i), 0u);
+  }
+}
+
+TEST(Dot, MatchesGolden) {
+  Rig rig;
+  ReduceKernels rk(rig.host);
+  Rng rng(7);
+  for (unsigned nf : {3u, 8u, 12u}) {
+    std::vector<std::int32_t> f(nf), w(nf);
+    for (auto& x : f) x = fx::to_q16_15(rng.next_range(-1.5, 1.5));
+    for (auto& x : w) x = fx::to_coeff(rng.next_range(-1.0, 1.0));
+    rig.load_rows(10, f);
+    for (unsigned i = 0; i < nf; ++i) {
+      rig.sram.poke(100 + i, static_cast<Word>(w[i]));
+    }
+    std::int32_t expect = 0;
+    for (unsigned i = 0; i < nf; ++i) {
+      expect = static_cast<std::int32_t>(static_cast<std::uint32_t>(expect) +
+                                         static_cast<std::uint32_t>(
+                                             fx::fxp_mul(f[i], w[i])));
+    }
+    EXPECT_EQ(rk.dot(10, 100, nf), expect);
+  }
+}
+
+class DelinSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DelinSizes, MatchesSerialGolden) {
+  const unsigned n = GetParam();
+  Rig rig;
+  DelineationKernels dk(rig.host);
+  Rng rng(n);
+  // Filtered respiration-like signal (what the app feeds this kernel).
+  auto x = dsp::respiration_q16_15(n, dsp::RespirationParams{}, rng);
+  x = dsp::fir_fx(x, dsp::fir11_lowpass_q15());
+  rig.load_rows(4, x);
+  const std::int32_t thr = fx::to_q16_15(0.08);
+  const auto got = dk.run(n, 4, thr, x[0], /*sys_scratch=*/200);
+  const auto want = dsp::delineate(x, thr);
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelinSizes, ::testing::Values(128u, 256u, 512u, 1024u));
+
+TEST(Delineation, RandomWalkProperty) {
+  Rig rig;
+  DelineationKernels dk(rig.host);
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const unsigned n = 256;
+    std::vector<std::int32_t> x(n);
+    std::int32_t v = 0;
+    // Smooth-ish random walk keeps the extrema count under the record cap.
+    std::int32_t slope = 0;
+    for (auto& s : x) {
+      slope += static_cast<std::int32_t>(rng.next_below(401)) - 200;
+      slope = std::max(-3000, std::min(3000, slope));
+      v += slope;
+      s = v;
+    }
+    const std::int32_t thr = 20000 + static_cast<std::int32_t>(rng.next_below(20000));
+    rig.load_rows(4, x);
+    const auto got = dk.run(n, 4, thr, x[0], 200);
+    EXPECT_EQ(got, dsp::delineate(x, thr)) << "trial " << trial;
+  }
+}
+
+TEST(Delineation, CyclesInPaperBallpark) {
+  // Table 5: delineation of the 512-sample window takes 2723 cycles on
+  // VWR2A. Allow a generous band; the shape claim is VWR2A >> CPU.
+  Rig rig;
+  DelineationKernels dk(rig.host);
+  Rng rng(3);
+  auto x = dsp::respiration_q16_15(512, dsp::RespirationParams{}, rng);
+  x = dsp::fir_fx(x, dsp::fir11_lowpass_q15());
+  rig.load_rows(4, x);
+  DelineationStats stats;
+  dk.run(512, 4, fx::to_q16_15(0.08), x[0], 200, &stats);
+  EXPECT_GT(stats.cycles, 1000u);
+  EXPECT_LT(stats.cycles, 3 * 2723u);
+}
+
+} // namespace
+} // namespace vwr2a::kernels

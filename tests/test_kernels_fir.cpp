@@ -1,0 +1,89 @@
+// VWR2A FIR kernel against the exact fixed-point golden model.
+
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dsp/reference.hpp"
+#include "dsp/signal.hpp"
+#include "energy/meter.hpp"
+#include "kernels/fir.hpp"
+#include "kernels/host.hpp"
+#include "mem/sram.hpp"
+
+namespace vwr2a::kernels {
+namespace {
+
+struct Rig {
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram{sys_meter};
+  bus::AhbBus ahb{sram, sys_meter};
+  cgra::Vwr2a acc{ahb};
+  Host host{acc, sram, nullptr};
+  FirKernels fir{host};
+
+  static constexpr unsigned kZeros = 0;
+  static constexpr unsigned kIn = 64;
+  unsigned out;
+
+  explicit Rig(unsigned n) : out(kIn + n) { fir.prepare(kZeros); }
+};
+
+class FirSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FirSizes, BitExactAgainstGolden) {
+  const unsigned n = GetParam();
+  Rig rig(n);
+  Rng rng(n * 7 + 1);
+  const auto taps = dsp::fir11_lowpass_q15();
+  std::vector<std::int32_t> x(n);
+  for (unsigned i = 0; i < n; ++i) {
+    x[i] = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+    rig.sram.poke(rig.kIn + i, static_cast<Word>(x[i]));
+  }
+  const FirRunStats stats = rig.fir.fir11(n, taps, rig.kIn, rig.out);
+  EXPECT_GT(stats.cycles, 0u);
+  const auto golden = dsp::fir_fx(x, taps);
+  for (unsigned i = 0; i < n; ++i) {
+    EXPECT_EQ(static_cast<std::int32_t>(rig.sram.peek(rig.out + i)), golden[i])
+        << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FirSizes,
+                         ::testing::Values(64u, 100u, 256u, 512u, 1000u, 1024u));
+
+TEST(FirCycles, InPaperBallpark) {
+  // Table 4: 1849 cycles for 256 points on VWR2A.
+  Rig rig(256);
+  const auto taps = dsp::fir11_lowpass_q15();
+  for (unsigned i = 0; i < 256; ++i) rig.sram.poke(rig.kIn + i, 0);
+  const FirRunStats stats = rig.fir.fir11(256, taps, rig.kIn, rig.out);
+  EXPECT_GT(stats.cycles, 1849u / 2);
+  EXPECT_LT(stats.cycles, 1849u * 2);
+}
+
+TEST(Fir, RandomTapsProperty) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rig rig(300);
+    std::vector<std::int32_t> taps(kFirTaps);
+    for (auto& t : taps) t = fx::to_coeff(rng.next_range(-0.3, 0.3));
+    std::vector<std::int32_t> x(300);
+    for (unsigned i = 0; i < x.size(); ++i) {
+      x[i] = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+      rig.sram.poke(rig.kIn + i, static_cast<Word>(x[i]));
+    }
+    rig.fir.fir11(300, taps, rig.kIn, rig.out);
+    const auto golden = dsp::fir_fx(x, taps);
+    for (unsigned i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(static_cast<std::int32_t>(rig.sram.peek(rig.out + i)), golden[i])
+          << "trial " << trial << " sample " << i;
+    }
+  }
+}
+
+} // namespace
+} // namespace vwr2a::kernels

@@ -1,0 +1,184 @@
+// Memory structures, bus and DMA models: port rules, ranges, strides,
+// timing formulas, bank gating, configuration-memory accounting.
+
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "common/status.hpp"
+#include "dma/dma.hpp"
+#include "energy/meter.hpp"
+#include "mem/config_mem.hpp"
+#include "mem/regfile.hpp"
+#include "mem/spm.hpp"
+#include "mem/sram.hpp"
+#include "mem/srf.hpp"
+#include "mem/vwr.hpp"
+
+namespace vwr2a::mem {
+namespace {
+
+TEST(Vwr, WordReadWriteAndSliceView) {
+  energy::EnergyMeter m;
+  Vwr v("t", m);
+  v.begin_cycle();
+  v.write_word(2, 5, 77);
+  EXPECT_EQ(v.peek(2, 5), 77u);
+  v.begin_cycle();
+  EXPECT_EQ(v.read_word(2, 5), 77u);
+  EXPECT_THROW(v.read_word(4, 0), RangeError);
+  EXPECT_THROW(v.read_word(0, 32), RangeError);
+}
+
+TEST(Vwr, RowWriteAfterWordWriteThrows) {
+  energy::EnergyMeter m;
+  Vwr v("t", m);
+  v.begin_cycle();
+  v.write_word(0, 0, 1);
+  EXPECT_THROW(v.write_row(Vwr::Row{}), StructuralHazard);
+}
+
+TEST(Vwr, TwoRowWritesThrow) {
+  energy::EnergyMeter m;
+  Vwr v("t", m);
+  v.begin_cycle();
+  v.write_row(Vwr::Row{});
+  EXPECT_THROW(v.write_row(Vwr::Row{}), StructuralHazard);
+}
+
+TEST(Vwr, SliceWritesFromAllRcsSameCycleOk) {
+  energy::EnergyMeter m;
+  Vwr v("t", m);
+  v.begin_cycle();
+  for (unsigned r = 0; r < 4; ++r) v.write_word(r, 3, r);
+  for (unsigned r = 0; r < 4; ++r) EXPECT_EQ(v.peek(r, 3), r);
+}
+
+TEST(Spm, PerColumnPortsAreIndependent) {
+  energy::EnergyMeter m;
+  Spm spm(m);
+  spm.begin_cycle();
+  spm.read_row(0, 3);
+  spm.read_row(1, 3);  // other column, same cycle: fine
+  EXPECT_THROW(spm.read_row(0, 4), StructuralHazard);
+}
+
+TEST(Spm, SystemSideIndependentOfArraySide) {
+  energy::EnergyMeter m;
+  Spm spm(m);
+  spm.begin_cycle();
+  spm.read_row(0, 0);
+  spm.write_word_system(5, 99);  // DMA port, same cycle: fine
+  EXPECT_EQ(spm.peek(5), 99u);
+}
+
+TEST(Spm, RangeChecks) {
+  energy::EnergyMeter m;
+  Spm spm(m);
+  spm.begin_cycle();
+  EXPECT_THROW(spm.read_row(0, arch::kSpmRows), RangeError);
+  EXPECT_THROW(spm.write_word_system(arch::kSpmWords, 0), RangeError);
+}
+
+TEST(Srf, OneAddressPerCycle) {
+  energy::EnergyMeter m;
+  Srf s(m);
+  s.begin_cycle();
+  s.read(3);
+  s.read(3);  // same-address broadcast
+  EXPECT_THROW(s.read(4), StructuralHazard);
+  s.begin_cycle();
+  s.write(1, 5);
+  EXPECT_THROW(s.read(1), StructuralHazard);  // read+write same cycle
+}
+
+TEST(Sram, BankGatingBlocksAccess) {
+  energy::EnergyMeter m;
+  SystemSram sram(m);
+  const unsigned bank1_word = arch::kSramBytes / 4 / arch::kSramBanks + 1;
+  sram.write(bank1_word, 7);
+  sram.set_bank_gated(1, true);
+  EXPECT_THROW(sram.read(bank1_word), HostError);
+  sram.set_bank_gated(1, false);
+  EXPECT_EQ(sram.read(bank1_word), 7u);
+}
+
+TEST(ConfigMem, LoadCostMatchesImage) {
+  energy::EnergyMeter m;
+  ConfigMem cm(m);
+  isa::KernelImage img;
+  img.name = "k";
+  img.columns = isa::ColumnSet::kCol0;
+  std::array<std::uint32_t, arch::kSlotsPerColumn> line{};
+  for (int i = 0; i < 10; ++i) img.program[0].append_line(line);
+  const unsigned id = cm.add_kernel(img);
+  EXPECT_EQ(cm.charge_load(id), 10u);
+  EXPECT_EQ(m.count(energy::Event::kConfigWord), 10u * arch::kSlotsPerColumn);
+  EXPECT_THROW(cm.kernel(99), HostError);
+}
+
+} // namespace
+} // namespace vwr2a::mem
+
+namespace vwr2a::dma {
+namespace {
+
+struct DmaRig {
+  energy::EnergyMeter m;
+  mem::Spm spm{m};
+  mem::SystemSram sram{m};
+  bus::AhbBus ahb{sram, m};
+  Dma dma{spm, ahb, m};
+};
+
+TEST(Dma, ContiguousAndStridedTransfers) {
+  DmaRig r;
+  for (unsigned i = 0; i < 64; ++i) r.sram.poke(i, 100 + i);
+  r.dma.transfer({Dir::kSysToSpm, 0, 0, 64, 1, 1});
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(r.spm.peek(i), 100 + i);
+
+  // Deinterleave: every second word.
+  r.dma.transfer({Dir::kSysToSpm, 0, 200, 32, 2, 1});
+  for (unsigned i = 0; i < 32; ++i) EXPECT_EQ(r.spm.peek(200 + i), 100 + 2 * i);
+}
+
+TEST(Dma, NegativeStrideReverses) {
+  DmaRig r;
+  for (unsigned i = 0; i < 16; ++i) r.sram.poke(i, i);
+  r.dma.transfer({Dir::kSysToSpm, 15, 0, 16, -1, 1});
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.spm.peek(i), 15 - i);
+}
+
+TEST(Dma, SpmToSysScatter) {
+  DmaRig r;
+  for (unsigned i = 0; i < 8; ++i) r.spm.poke(i, 50 + i);
+  r.dma.transfer({Dir::kSpmToSys, 100, 0, 8, 4, 1});
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(r.sram.peek(100 + 4 * i), 50 + i);
+}
+
+TEST(Dma, CycleFormula) {
+  DmaRig r;
+  for (unsigned i = 0; i < 40; ++i) r.sram.poke(i, i);
+  // setup + ceil(40/16)*burst_setup + 40*beat = 8 + 3*2 + 40 = 54.
+  EXPECT_EQ(r.dma.transfer({Dir::kSysToSpm, 0, 0, 40, 1, 1}), 54u);
+  EXPECT_EQ(r.dma.total_beats(), 40u);
+}
+
+TEST(Dma, EmptyAndOutOfRangeThrow) {
+  DmaRig r;
+  EXPECT_THROW(r.dma.transfer({Dir::kSysToSpm, 0, 0, 0, 1, 1}), HostError);
+  EXPECT_THROW(r.dma.transfer({Dir::kSysToSpm, 0, arch::kSpmWords - 1, 4, 1, 1}),
+               RangeError);
+}
+
+TEST(Bus, BeatsAndEnergyAccounted) {
+  DmaRig r;
+  for (unsigned i = 0; i < 8; ++i) r.sram.poke(i, i);
+  r.dma.transfer({Dir::kSysToSpm, 0, 0, 8, 1, 1});
+  EXPECT_EQ(r.ahb.beats(), 8u);
+  EXPECT_EQ(r.m.count(energy::Event::kBusBeat), 8u);
+  EXPECT_EQ(r.m.count(energy::Event::kSramRead), 8u);
+  EXPECT_EQ(r.m.count(energy::Event::kSpmWordWrite), 8u);
+}
+
+} // namespace
+} // namespace vwr2a::dma

@@ -1,0 +1,200 @@
+// Energy meter identities, the CPU timing model, and the FFT accelerator
+// model (functional accuracy, dynamic scaling, timing formula).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "accel/fft_accel.hpp"
+#include "common/rng.hpp"
+#include "cpu/kernels_q15.hpp"
+#include "dsp/reference.hpp"
+#include "energy/meter.hpp"
+
+namespace vwr2a {
+namespace {
+
+using fx::q15_t;
+
+TEST(EnergyMeter, TotalsAreSumOfCategories) {
+  energy::EnergyMeter m;
+  m.add(energy::Event::kSpmRowRead, 10);
+  m.add(energy::Event::kAluOp, 100);
+  m.add(energy::Event::kDmaBeat, 7);
+  m.add(energy::Event::kBusBeat, 3);
+  double sum = 0;
+  for (unsigned c = 0; c < static_cast<unsigned>(energy::Category::kCount); ++c) {
+    sum += m.category_pj(static_cast<energy::Category>(c));
+  }
+  EXPECT_DOUBLE_EQ(sum, m.total_pj());
+  EXPECT_DOUBLE_EQ(m.event_pj(energy::Event::kAluOp),
+                   100 * energy::energy_pj(energy::Event::kAluOp));
+}
+
+TEST(EnergyMeter, MergeAccumulates) {
+  energy::EnergyMeter a, b;
+  a.add(energy::Event::kSrfRead, 5);
+  b.add(energy::Event::kSrfRead, 7);
+  a += b;
+  EXPECT_EQ(a.count(energy::Event::kSrfRead), 12u);
+}
+
+TEST(EnergyMeter, PowerReportConsistency) {
+  energy::EnergyMeter m;
+  m.add(energy::Event::kLeakCycle, 80);  // 80 cycles at 4 pJ = 320 pJ
+  const auto rep = energy::make_power_report(m, 80);
+  // 320 pJ over 1 us = 0.32 mW.
+  EXPECT_NEAR(rep.total_mw, 0.32, 1e-9);
+  EXPECT_NEAR(rep.total_uj, 320e-6, 1e-12);
+}
+
+TEST(CpuModel, OpCostsAccumulate) {
+  energy::EnergyMeter m;
+  cpu::M4Meter m4(m);
+  m4.op(cpu::Op::kAlu, 10);    // 10
+  m4.op(cpu::Op::kLoad, 5);    // 10
+  m4.op(cpu::Op::kBranch, 2);  // 6
+  EXPECT_EQ(m4.cycles(), 26u);
+  EXPECT_EQ(m.count(energy::Event::kSramRead), 5u);
+  EXPECT_EQ(m.count(energy::Event::kCpuCycle), 26u);
+}
+
+TEST(CpuKernels, FirMatchesDoubleConvolution) {
+  energy::EnergyMeter m;
+  cpu::M4Meter m4(m);
+  Rng rng(1);
+  std::vector<q15_t> x(200), h(11);
+  for (auto& v : x) v = fx::to_q15(rng.next_range(-0.9, 0.9));
+  for (auto& v : h) v = fx::to_q15(rng.next_range(-0.2, 0.2));
+  const auto y = cpu::fir_q15(m4, x, h);
+  std::vector<double> xd(200), hd(11);
+  for (unsigned i = 0; i < 200; ++i) xd[i] = fx::from_q15(x[i]);
+  for (unsigned i = 0; i < 11; ++i) hd[i] = fx::from_q15(h[i]);
+  const auto yd = dsp::fir(xd, hd);
+  for (unsigned i = 0; i < 200; ++i) {
+    EXPECT_NEAR(fx::from_q15(y[i]), yd[i], 2e-4) << i;
+  }
+  EXPECT_GT(m4.cycles(), 200u * 60);  // ~97 cycles/sample calibration
+  EXPECT_LT(m4.cycles(), 200u * 130);
+}
+
+TEST(CpuKernels, CfftTracksDft) {
+  energy::EnergyMeter m;
+  cpu::M4Meter m4(m);
+  Rng rng(2);
+  const unsigned n = 256;
+  std::vector<cpu::CplxQ15> x(n);
+  std::vector<dsp::cplx> xd(n);
+  for (unsigned i = 0; i < n; ++i) {
+    x[i] = {fx::to_q15(rng.next_range(-0.5, 0.5)),
+            fx::to_q15(rng.next_range(-0.5, 0.5))};
+    xd[i] = dsp::cplx(fx::from_q15(x[i].re), fx::from_q15(x[i].im));
+  }
+  const auto f = cpu::cfft_q15(m4, x);
+  const auto fd = dsp::dft(xd);
+  // q15 output carries a 1/N scaling.
+  for (unsigned k = 0; k < n; ++k) {
+    EXPECT_NEAR(fx::from_q15(f[k].re) * n, fd[k].real(), 0.25 * std::sqrt(n)) << k;
+    EXPECT_NEAR(fx::from_q15(f[k].im) * n, fd[k].imag(), 0.25 * std::sqrt(n)) << k;
+  }
+}
+
+TEST(CpuKernels, StatsMatchGolden) {
+  energy::EnergyMeter m;
+  cpu::M4Meter m4(m);
+  Rng rng(3);
+  std::vector<q15_t> x(301);
+  for (auto& v : x) v = fx::to_q15(rng.next_range(-0.9, 0.9));
+  // mean
+  std::int64_t s = 0;
+  for (auto v : x) s += v;
+  EXPECT_EQ(cpu::mean_q15(m4, x), static_cast<q15_t>(s / 301));
+  // median: lower-middle convention
+  std::vector<std::int32_t> xi(x.begin(), x.end());
+  EXPECT_EQ(cpu::median_q15(m4, x), static_cast<q15_t>(dsp::median_i32(xi)));
+  // rms within 1 LSB-ish of the float value
+  double ss = 0;
+  for (auto v : x) ss += fx::from_q15(v) * fx::from_q15(v);
+  EXPECT_NEAR(fx::from_q15(cpu::rms_q15(m4, x)), std::sqrt(ss / 301), 2e-4);
+}
+
+TEST(CpuKernels, DelineationMatchesGoldenSemantics) {
+  energy::EnergyMeter m;
+  cpu::M4Meter m4(m);
+  Rng rng(4);
+  std::vector<q15_t> x(400);
+  std::int32_t v = 0;
+  for (auto& s : x) {
+    v += static_cast<std::int32_t>(rng.next_below(801)) - 400;
+    v = std::max(-30000, std::min(30000, v));
+    s = static_cast<q15_t>(v);
+  }
+  std::vector<std::int32_t> xi(x.begin(), x.end());
+  EXPECT_EQ(cpu::delineate_q15(m4, x, 1500), dsp::delineate(xi, 1500));
+}
+
+class AccelSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AccelSizes, CfftTracksDft) {
+  const unsigned n = GetParam();
+  energy::EnergyMeter m;
+  accel::FftAccel fa(m);
+  Rng rng(n);
+  std::vector<cpu::CplxQ15> x(n);
+  std::vector<dsp::cplx> xd(n);
+  for (unsigned i = 0; i < n; ++i) {
+    x[i] = {fx::to_q15(rng.next_range(-0.5, 0.5)),
+            fx::to_q15(rng.next_range(-0.5, 0.5))};
+    xd[i] = dsp::cplx(fx::from_q15(x[i].re), fx::from_q15(x[i].im));
+  }
+  const auto res = fa.cfft(x);
+  const auto fd = dsp::dft(xd);
+  const double scale = std::ldexp(1.0, res.scale_exp) / 32768.0;
+  for (unsigned k = 0; k < n; ++k) {
+    EXPECT_NEAR(res.re[k] * scale, fd[k].real(), 0.05 * std::sqrt(n) + 0.2) << k;
+    EXPECT_NEAR(res.im[k] * scale, fd[k].imag(), 0.05 * std::sqrt(n) + 0.2) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AccelSizes, ::testing::Values(64u, 256u, 512u));
+
+TEST(Accel, TimingMatchesTable2Fit) {
+  energy::EnergyMeter m;
+  accel::FftAccel fa(m);
+  Rng rng(5);
+  std::vector<cpu::CplxQ15> x(512);
+  for (auto& v : x) v = {fx::to_q15(rng.next_range(-0.4, 0.4)), 0};
+  const auto res = fa.cfft(x);
+  EXPECT_NEAR(static_cast<double>(res.cycles), 7099.0, 0.1 * 7099.0);
+}
+
+TEST(Accel, RealFlowCyclesNearPaper) {
+  energy::EnergyMeter m;
+  accel::FftAccel fa(m);
+  Rng rng(6);
+  std::vector<q15_t> x(512);
+  for (auto& v : x) v = fx::to_q15(rng.next_range(-0.4, 0.4));
+  const auto res = fa.rfft(x);
+  EXPECT_NEAR(static_cast<double>(res.cycles), 3523.0, 0.1 * 3523.0);
+  EXPECT_EQ(res.re.size(), 257u);
+}
+
+TEST(Accel, DynamicScalingEngagesOnLargeInputs) {
+  energy::EnergyMeter m;
+  accel::FftAccel fa(m);
+  std::vector<cpu::CplxQ15> x(256, cpu::CplxQ15{32767, 0});  // DC full scale
+  const auto res = fa.cfft(x);
+  EXPECT_GT(res.scale_exp, 0);
+  // X[0] = sum = 256 * 32767 rescaled by 2^-scale into 18 bits.
+  const double x0 = std::ldexp(static_cast<double>(res.re[0]), res.scale_exp);
+  EXPECT_NEAR(x0, 256.0 * 32767.0, 0.02 * 256 * 32767);
+}
+
+TEST(Accel, ButterflySlots) {
+  EXPECT_EQ(accel::FftAccel::butterfly_slots(256), 256u);        // 4 radix-4
+  EXPECT_EQ(accel::FftAccel::butterfly_slots(512), 4 * 128 + 256u);  // +radix-2
+}
+
+} // namespace
+} // namespace vwr2a

@@ -1,0 +1,107 @@
+// SoC platform integration: snapshot/delta accounting, host-control
+// charging, accelerator power gating, and the signal generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dsp/signal.hpp"
+#include "soc/platform.hpp"
+
+namespace vwr2a::soc {
+namespace {
+
+TEST(Platform, SnapshotDeltaTracksCpuWork) {
+  Platform p;
+  const auto s0 = p.snapshot();
+  p.cpu().op(cpu::Op::kAlu, 100);
+  p.cpu().op(cpu::Op::kLoad, 10);
+  const auto s1 = p.snapshot();
+  const auto d = Platform::delta(s0, s1);
+  EXPECT_EQ(d.cpu_cycles, 120u);  // 100 alu + 10 loads at 2 cycles
+  EXPECT_GT(d.sys_pj, 0.0);
+  EXPECT_EQ(d.vwr2a_cycles, 0u);
+}
+
+TEST(Platform, HostControlChargesCpuAndBus) {
+  Platform p;
+  const auto s0 = p.snapshot();
+  p.charge_host_control();
+  const auto d = Platform::delta(s0, p.snapshot());
+  EXPECT_EQ(d.cpu_cycles, kHostProgramCycles + kHostIrqCycles);
+  EXPECT_GT(d.sys_pj, 0.0);
+}
+
+TEST(Platform, AccelGatingStateFollowsUse) {
+  Platform p;
+  EXPECT_TRUE(p.fft_accel().gated());  // powered down until first use
+  std::vector<fx::q15_t> x(64, 1000);
+  p.fft_accel().cfft({x.size() / 2, cpu::CplxQ15{1000, 0}});
+  EXPECT_FALSE(p.fft_accel().gated());
+  p.fft_accel().set_gated(true);
+  EXPECT_TRUE(p.fft_accel().gated());
+}
+
+TEST(Platform, EnginesHaveSeparateMeters) {
+  Platform p;
+  p.cpu().op(cpu::Op::kAlu, 50);
+  EXPECT_GT(p.sys_meter().total_pj(), 0.0);
+  EXPECT_EQ(p.vwr2a().meter().total_pj(), 0.0);
+  EXPECT_EQ(p.accel_meter().total_pj(), 0.0);
+}
+
+TEST(Signal, RespirationIsDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  dsp::RespirationParams prm;
+  const auto xa = dsp::respiration(256, prm, a);
+  const auto xb = dsp::respiration(256, prm, b);
+  const auto xc = dsp::respiration(256, prm, c);
+  EXPECT_EQ(xa, xb);
+  EXPECT_NE(xa, xc);
+}
+
+TEST(Signal, RespirationStaysInRangeAndBreathes) {
+  Rng rng(9);
+  dsp::RespirationParams prm;
+  const auto x = dsp::respiration(2048, prm, rng);
+  double mx = -10, mn = 10;
+  for (double v : x) {
+    mx = std::max(mx, v);
+    mn = std::min(mn, v);
+  }
+  EXPECT_LT(mx, 1.0);
+  EXPECT_GT(mn, -1.0);
+  EXPECT_GT(mx, 0.2);   // actual breathing amplitude
+  EXPECT_LT(mn, -0.2);
+}
+
+TEST(Signal, BreathRateTracksParameter) {
+  // Faster configured breathing produces more delineated maxima.
+  Rng r1(11), r2(11);
+  dsp::RespirationParams slow, fast;
+  slow.breath_hz = 0.15;
+  fast.breath_hz = 0.6;
+  const auto taps = dsp::fir11_lowpass_q15();
+  auto count_maxima = [&taps](const std::vector<std::int32_t>& x) {
+    unsigned n = 0;
+    for (const auto& e : dsp::delineate(dsp::fir_fx(x, taps), fx::to_q16_15(0.1))) {
+      if (e.is_max) ++n;
+    }
+    return n;
+  };
+  const auto ns = count_maxima(dsp::respiration_q16_15(1024, slow, r1));
+  const auto nf = count_maxima(dsp::respiration_q16_15(1024, fast, r2));
+  EXPECT_GT(nf, 2 * ns);
+}
+
+TEST(Signal, MultitoneHasRequestedEnergySpread) {
+  Rng rng(13);
+  const auto x = dsp::multitone(512, 3, rng);
+  double energy = 0;
+  for (double v : x) energy += v * v;
+  EXPECT_GT(energy, 1.0);
+}
+
+} // namespace
+} // namespace vwr2a::soc
