@@ -12,7 +12,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "bus/sys_port.hpp"
 #include "cgra/column.hpp"
@@ -56,6 +58,12 @@ class Vwr2a {
   // --- host interface (slave port) -------------------------------------------
   /// Registers a kernel image in the configuration memory; returns its id.
   unsigned register_kernel(isa::KernelImage image) {
+    return config_.add_kernel(std::move(image));
+  }
+
+  /// Registers a shared immutable image (e.g. from an isa::ImageCache) so
+  /// many devices alias one assembled copy.
+  unsigned register_kernel(std::shared_ptr<const isa::KernelImage> image) {
     return config_.add_kernel(std::move(image));
   }
 

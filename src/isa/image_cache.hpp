@@ -1,0 +1,64 @@
+#pragma once
+// Shared kernel-image cache. Assembling a CASM program into an encoded
+// KernelImage is pure host-side work (it costs simulator time, not modeled
+// cycles), but it is the dominant setup cost when a fleet of simulated
+// VWR2A devices all need the same kernels. The cache assembles each image
+// once, keyed by a caller-chosen string, and hands out shared ownership of
+// the immutable result; every device's configuration memory then aliases
+// the same image instead of keeping a private copy.
+//
+// Thread-safe: worker threads of the runtime pool race through
+// get_or_build() when they lazily instantiate kernels. The builder runs
+// under the lock, which serializes assembly; builds are deterministic and
+// fast, so contention is preferable to double-building.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace vwr2a::isa {
+
+/// Process-wide (or pool-wide) cache of assembled kernel images.
+class ImageCache {
+ public:
+  /// Cache effectiveness counters.
+  struct Stats {
+    std::uint64_t hits = 0;    ///< lookups served from the cache
+    std::uint64_t misses = 0;  ///< lookups that ran the builder
+    std::size_t entries = 0;   ///< images currently cached
+  };
+
+  /// Returns the image cached under `key`, building (and caching) it with
+  /// `build` on first use. The returned image is immutable and shared.
+  std::shared_ptr<const KernelImage> get_or_build(
+      const std::string& key, const std::function<KernelImage()>& build) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = images_.find(key);
+    if (it != images_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    auto image = std::make_shared<const KernelImage>(build());
+    images_.emplace(key, image);
+    return image;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Stats{hits_, misses_, images_.size()};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const KernelImage>> images_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+} // namespace vwr2a::isa

@@ -429,19 +429,35 @@ unsigned FftKernels::plane_row(unsigned n, unsigned buf, unsigned plane) {
   return buf * 2 * r + plane * r;
 }
 
-FftKernels::FftKernels(Host host) : host_(host) {
-  cgra::Vwr2a& acc = host_.acc();
-  k_stage_pair_ = acc.register_kernel(
-      make_kernel2("fft_stage_pair", stage_chunk_program(kScr0),
-                   stage_chunk_program(kScr1)));
-  k_stage_single_ = acc.register_kernel(make_kernel2(
-      "fft_stage_split", split_chunk_re_program(), split_chunk_im_program()));
-  k_expand_ = acc.register_kernel(make_kernel("fft_tw_expand", 0, expand_program()));
-  k_bitrev_ = acc.register_kernel(make_kernel("fft_bitrev", 0, bitrev_program()));
-  k_untangle_ = acc.register_kernel(
-      make_kernel2("rfft_untangle", untangle_program(kScr0), untangle_program(kScr1)));
-  k_combine_ = acc.register_kernel(
-      make_kernel2("fft2048_combine", combine_program(kScr0), combine_program(kScr1)));
+unsigned FftKernels::register_image(
+    const std::string& key, const std::function<isa::KernelImage()>& build) {
+  return host_.register_image(cache_, key, build);
+}
+
+FftKernels::FftKernels(Host host, isa::ImageCache* cache)
+    : host_(host), cache_(cache) {
+  k_stage_pair_ = register_image("fft_stage_pair", [] {
+    return make_kernel2("fft_stage_pair", stage_chunk_program(kScr0),
+                        stage_chunk_program(kScr1));
+  });
+  k_stage_single_ = register_image("fft_stage_split", [] {
+    return make_kernel2("fft_stage_split", split_chunk_re_program(),
+                        split_chunk_im_program());
+  });
+  k_expand_ = register_image("fft_tw_expand", [] {
+    return make_kernel("fft_tw_expand", 0, expand_program());
+  });
+  k_bitrev_ = register_image("fft_bitrev", [] {
+    return make_kernel("fft_bitrev", 0, bitrev_program());
+  });
+  k_untangle_ = register_image("rfft_untangle", [] {
+    return make_kernel2("rfft_untangle", untangle_program(kScr0),
+                        untangle_program(kScr1));
+  });
+  k_combine_ = register_image("fft2048_combine", [] {
+    return make_kernel2("fft2048_combine", combine_program(kScr0),
+                        combine_program(kScr1));
+  });
 }
 
 void FftKernels::prepare(unsigned tw_base) {
@@ -658,9 +674,10 @@ FftRunStats FftKernels::cfft(unsigned n, unsigned sys_in, unsigned sys_out,
 unsigned FftKernels::neg_kernel(unsigned nrows) {
   int& slot = unary_ids_[nrows];
   if (slot < 0) {
-    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
-        "neg_rows" + std::to_string(nrows), 0,
-        unary_rows_program(UnaryOp::kNeg, nrows, 0))));
+    const std::string name = "neg_rows" + std::to_string(nrows);
+    slot = static_cast<int>(register_image(name, [&] {
+      return make_kernel(name, 0, unary_rows_program(UnaryOp::kNeg, nrows, 0));
+    }));
   }
   return static_cast<unsigned>(slot);
 }
@@ -668,9 +685,13 @@ unsigned FftKernels::neg_kernel(unsigned nrows) {
 unsigned FftKernels::negsar_kernel(unsigned nrows, unsigned shift) {
   int& slot = unary_ids_[33 + nrows];
   if (slot < 0) {
-    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
-        "negsar_rows" + std::to_string(nrows), 0,
-        unary_rows_program(UnaryOp::kNegSar, nrows, shift))));
+    const std::string name = "negsar_rows" + std::to_string(nrows);
+    // The cache key carries the shift (the per-instance memo slot does not
+    // need to: each transform size pairs one nrows with one shift).
+    slot = static_cast<int>(register_image(name + "_s" + std::to_string(shift), [&] {
+      return make_kernel(name, 0,
+                         unary_rows_program(UnaryOp::kNegSar, nrows, shift));
+    }));
   }
   return static_cast<unsigned>(slot);
 }
@@ -678,9 +699,11 @@ unsigned FftKernels::negsar_kernel(unsigned nrows, unsigned shift) {
 unsigned FftKernels::sar_kernel(unsigned nrows, unsigned shift) {
   int& slot = unary_ids_[66 + nrows];
   if (slot < 0) {
-    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
-        "sar_rows" + std::to_string(nrows), 0,
-        unary_rows_program(UnaryOp::kSar, nrows, shift))));
+    const std::string name = "sar_rows" + std::to_string(nrows);
+    slot = static_cast<int>(register_image(name + "_s" + std::to_string(shift), [&] {
+      return make_kernel(name, 0,
+                         unary_rows_program(UnaryOp::kSar, nrows, shift));
+    }));
   }
   return static_cast<unsigned>(slot);
 }

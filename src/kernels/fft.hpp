@@ -31,9 +31,12 @@
 // 16.15 truncating multiplies and 32-bit wrap adds as the RC ALU).
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "isa/image_cache.hpp"
 #include "kernels/host.hpp"
 
 namespace vwr2a::kernels {
@@ -49,7 +52,9 @@ struct FftRunStats {
 class FftKernels {
  public:
   /// Registers the kernel images (configuration memory is written at boot).
-  explicit FftKernels(Host host);
+  /// `cache`, when given, shares assembled images across instances so a
+  /// fleet of devices assembles each program once.
+  explicit FftKernels(Host host, isa::ImageCache* cache = nullptr);
 
   /// One-time placement of the twiddle tables in system memory (the CPU
   /// image carries them as constant data; placement is not charged).
@@ -117,7 +122,13 @@ class FftKernels {
   unsigned negsar_kernel(unsigned nrows, unsigned shift);
   unsigned sar_kernel(unsigned nrows, unsigned shift);
 
+  /// Registers `build()`'s image with the device, via the shared cache when
+  /// one is attached (the cache key is `key`).
+  unsigned register_image(const std::string& key,
+                          const std::function<isa::KernelImage()>& build);
+
   Host host_;
+  isa::ImageCache* cache_ = nullptr;
   unsigned k_stage_pair_ = 0;    ///< two-column stage-chunk kernel
   unsigned k_stage_single_ = 0;  ///< single-column variant
   unsigned k_expand_ = 0;        ///< twiddle-plane expansion

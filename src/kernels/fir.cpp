@@ -85,7 +85,8 @@ ColumnProgram fir_program(unsigned col, unsigned nrows_total) {
 
 } // namespace
 
-FirKernels::FirKernels(Host host) : host_(host) {}
+FirKernels::FirKernels(Host host, isa::ImageCache* cache)
+    : host_(host), cache_(cache) {}
 
 void FirKernels::prepare(unsigned zeros_base) {
   zeros_base_ = zeros_base;
@@ -98,15 +99,15 @@ unsigned FirKernels::kernel_for_rows(unsigned nrows) {
     throw HostError("FirKernels: unsupported row count");
   }
   if (kernels_[nrows] < 0) {
-    if (nrows == 1) {
-      // A single staged row: column 0 alone.
-      kernels_[nrows] = static_cast<int>(host_.acc().register_kernel(
-          make_kernel("fir11_rows1", 0, fir_program(0, 1))));
-    } else {
-      kernels_[nrows] = static_cast<int>(host_.acc().register_kernel(
-          make_kernel2("fir11_rows" + std::to_string(nrows),
-                       fir_program(0, nrows), fir_program(1, nrows))));
-    }
+    const std::string name = "fir11_rows" + std::to_string(nrows);
+    auto build = [&]() {
+      if (nrows == 1) {
+        // A single staged row: column 0 alone.
+        return make_kernel(name, 0, fir_program(0, 1));
+      }
+      return make_kernel2(name, fir_program(0, nrows), fir_program(1, nrows));
+    };
+    kernels_[nrows] = static_cast<int>(host_.register_image(cache_, name, build));
   }
   return static_cast<unsigned>(kernels_[nrows]);
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "isa/image_cache.hpp"
 #include "kernels/host.hpp"
 
 namespace vwr2a::kernels {
@@ -45,7 +46,10 @@ struct FirRunStats {
 /// FIR-11 kernel family.
 class FirKernels {
  public:
-  explicit FirKernels(Host host);
+  /// `cache`, when given, shares assembled kernel images across instances
+  /// (one assembly fleet-wide; each device still registers/loads its copy
+  /// of the configuration state through its own config memory).
+  explicit FirKernels(Host host, isa::ImageCache* cache = nullptr);
 
   /// One-time placement of a 16-word zero block (for the left boundary of
   /// the staging windows) at sys word address zeros_base.
@@ -60,6 +64,7 @@ class FirKernels {
   unsigned kernel_for_rows(unsigned nrows);
 
   Host host_;
+  isa::ImageCache* cache_ = nullptr;
   unsigned zeros_base_ = 0;
   bool prepared_ = false;
   // Kernels keyed by staged-row count (1..12); built lazily.

@@ -6,12 +6,15 @@
 // small sizes, Sec 5.1.1).
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cgra/vwr2a.hpp"
 #include "cpu/m4.hpp"
 #include "dma/dma.hpp"
+#include "isa/image_cache.hpp"
 #include "mem/sram.hpp"
 
 namespace vwr2a::kernels {
@@ -43,6 +46,18 @@ class Host {
 
   /// Writes a kernel parameter into a column's SRF.
   void srf(unsigned col, unsigned idx, Word v) { acc_->host_write_srf(col, idx, v); }
+
+  /// Registers `build()`'s image with the device -- via `cache` (keyed by
+  /// `key`) when one is given, so a fleet of devices assembles each kernel
+  /// once and shares the immutable image. The common path for every kernel
+  /// family's lazy registration.
+  unsigned register_image(isa::ImageCache* cache, const std::string& key,
+                          const std::function<isa::KernelImage()>& build) {
+    if (cache != nullptr) {
+      return acc_->register_kernel(cache->get_or_build(key, build));
+    }
+    return acc_->register_kernel(build());
+  }
 
   /// Launches a kernel and runs it to completion.
   Cycle run(unsigned kernel_id) {

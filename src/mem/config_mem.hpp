@@ -5,7 +5,9 @@
 // holds so that re-launching the same kernel skips the reload.
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -22,6 +24,13 @@ class ConfigMem {
   /// Registers a kernel image; returns its id. Host-side operation (images
   /// are written at system boot in the paper's platform).
   unsigned add_kernel(isa::KernelImage image) {
+    return add_kernel(std::make_shared<const isa::KernelImage>(std::move(image)));
+  }
+
+  /// Registers a shared (typically cache-owned) image without copying it;
+  /// a fleet of simulated devices aliases one assembled image this way.
+  unsigned add_kernel(std::shared_ptr<const isa::KernelImage> image) {
+    if (image == nullptr) throw HostError("ConfigMem: null kernel image");
     kernels_.push_back(std::move(image));
     return static_cast<unsigned>(kernels_.size() - 1);
   }
@@ -29,7 +38,7 @@ class ConfigMem {
   /// The image for `id`.
   const isa::KernelImage& kernel(unsigned id) const {
     if (id >= kernels_.size()) throw HostError("ConfigMem: bad kernel id");
-    return kernels_[id];
+    return *kernels_[id];
   }
 
   /// Number of registered kernels.
@@ -46,7 +55,7 @@ class ConfigMem {
 
  private:
   energy::EnergyMeter* meter_;
-  std::vector<isa::KernelImage> kernels_;
+  std::vector<std::shared_ptr<const isa::KernelImage>> kernels_;
 };
 
 } // namespace vwr2a::mem

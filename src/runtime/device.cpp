@@ -1,0 +1,69 @@
+#include "runtime/device.hpp"
+
+#include <span>
+
+#include "common/status.hpp"
+
+namespace vwr2a::runtime {
+
+Device::Device(unsigned id, isa::ImageCache& cache)
+    : id_(id),
+      host_(platform_.vwr2a(), platform_.sram(), &platform_.cpu()),
+      fir_(host_, &cache),
+      fft_(host_, &cache),
+      data_base_(kFftTableBase + kernels::FftKernels::table_words()) {
+  fir_.prepare(kFirScratchBase);
+  fft_.prepare(kFftTableBase);
+}
+
+JobResult Device::run(const Job& job, std::uint64_t seq) {
+  const soc::Platform::Snapshot before = platform_.snapshot();
+  JobResult r = std::visit(
+      [this](const auto& w) -> JobResult {
+        using T = std::decay_t<decltype(w)>;
+        if constexpr (std::is_same_v<T, FirJob>) return run_fir(w);
+        else return run_cfft(w);
+      },
+      job.work);
+  r.cost = soc::Platform::delta(before, platform_.snapshot());
+  r.device = id_;
+  r.seq = seq;
+  r.tag = job.tag;
+  ++jobs_;
+  return r;
+}
+
+JobResult Device::run_fir(const FirJob& job) {
+  if (job.taps == nullptr || job.input == nullptr) {
+    throw HostError("Device: FIR job with null buffers");
+  }
+  if (job.input->size() != job.n) {
+    throw HostError("Device: FIR job input size != n");
+  }
+  const unsigned in = data_base_;
+  const unsigned out = data_base_ + job.n;
+  host_.to_sram(in, *job.input);
+  JobResult r;
+  const kernels::FirRunStats stats = fir_.fir11(job.n, *job.taps, in, out);
+  r.launches = stats.launches;
+  r.output = host_.from_sram(out, job.n);
+  return r;
+}
+
+JobResult Device::run_cfft(const CfftJob& job) {
+  if (job.input == nullptr) throw HostError("Device: FFT job with null input");
+  if (job.input->size() != 2ull * job.n) {
+    throw HostError("Device: FFT job input size != 2n");
+  }
+  const unsigned in = data_base_;
+  const unsigned out = in + 2 * job.n;
+  const unsigned scratch = out + 2 * job.n;  // used only for n == 2048
+  host_.to_sram(in, *job.input);
+  JobResult r;
+  const kernels::FftRunStats stats = fft_.cfft(job.n, in, out, scratch);
+  r.launches = stats.launches;
+  r.output = host_.from_sram(out, 2 * job.n);
+  return r;
+}
+
+} // namespace vwr2a::runtime

@@ -1,0 +1,59 @@
+#pragma once
+// One simulated device of the pool: a full soc::Platform plus the kernel
+// drivers, with a fixed system-memory layout for job I/O. Devices keep
+// their own local time and meters (as the underlying Vwr2a does), so a
+// fleet of devices advances independently -- the pool's fleet makespan is
+// the max of the device-local clocks, exactly the semantics of N physical
+// VWR2A blocks working in parallel.
+//
+// A Device is not thread-safe; the pool guarantees at most one worker
+// drives a device at a time and that a device's jobs run in submission
+// order.
+
+#include <cstdint>
+
+#include "isa/image_cache.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/fir.hpp"
+#include "kernels/host.hpp"
+#include "runtime/job.hpp"
+#include "soc/platform.hpp"
+
+namespace vwr2a::runtime {
+
+/// One pool member.
+class Device {
+ public:
+  /// System-memory word layout: FIR staging scratch (zeros + taps) at 0,
+  /// FFT twiddle tables at kFftTableBase, job data after the tables.
+  static constexpr unsigned kFirScratchBase = 0;
+  static constexpr unsigned kFftTableBase = 32;
+
+  /// `cache` shares assembled kernel images across all devices of a pool.
+  Device(unsigned id, isa::ImageCache& cache);
+
+  /// Runs one job to completion on this device (synchronous, device-local
+  /// time advances). Throws on malformed jobs; the caller routes the
+  /// exception into the job's promise.
+  JobResult run(const Job& job, std::uint64_t seq);
+
+  unsigned id() const { return id_; }
+  std::uint64_t jobs_run() const { return jobs_; }
+
+  /// Device-local snapshot (local time + energy since construction).
+  soc::Platform::Snapshot snapshot() const { return platform_.snapshot(); }
+
+ private:
+  JobResult run_fir(const FirJob& job);
+  JobResult run_cfft(const CfftJob& job);
+
+  unsigned id_;
+  soc::Platform platform_;
+  kernels::Host host_;
+  kernels::FirKernels fir_;
+  kernels::FftKernels fft_;
+  unsigned data_base_;  ///< first system word available for job data
+  std::uint64_t jobs_ = 0;
+};
+
+} // namespace vwr2a::runtime

@@ -1,0 +1,86 @@
+#pragma once
+// Job descriptions and results for the multi-device runtime. A Job is a
+// self-contained request (kernel family, problem size, input data); the
+// pool copies nothing heavy because inputs are shared immutable buffers --
+// batched submissions of the same signal or the same filter taps alias one
+// allocation across all jobs and devices.
+//
+// Results carry the per-job simulated cost as a soc::Platform::Snapshot
+// delta, so callers get the same cycle/energy separation (CPU / VWR2A /
+// accelerator) as a standalone run. Per-job deltas are bit- and cycle-
+// deterministic: a job's cost depends only on the job stream of the device
+// it is pinned to, never on worker scheduling (see pool.hpp).
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "soc/platform.hpp"
+
+namespace vwr2a::runtime {
+
+/// Shared immutable sample buffer (16.15 or coefficient fixed point).
+using SharedBuffer = std::shared_ptr<const std::vector<std::int32_t>>;
+
+/// Convenience: wraps a vector into a shared immutable buffer.
+inline SharedBuffer make_buffer(std::vector<std::int32_t> data) {
+  return std::make_shared<const std::vector<std::int32_t>>(std::move(data));
+}
+
+/// FIR-11 filtering of n samples (16.15) with 11 coefficient-format taps.
+struct FirJob {
+  unsigned n = 0;
+  SharedBuffer taps;   ///< kernels::kFirTaps coefficients
+  SharedBuffer input;  ///< n samples
+};
+
+/// Complex FFT, n in {256, 512, 1024, 2048}; input/output are 2n words of
+/// interleaved re,im in 16.15, natural order.
+struct CfftJob {
+  unsigned n = 0;
+  SharedBuffer input;  ///< 2n interleaved words
+};
+
+/// One runtime request.
+struct Job {
+  std::variant<FirJob, CfftJob> work;
+  std::string tag;  ///< caller label, echoed into the result
+};
+
+/// Completed-job report.
+struct JobResult {
+  std::vector<std::int32_t> output;  ///< kernel output words
+  soc::Platform::Snapshot cost;      ///< per-job cycle/energy delta
+  unsigned device = 0;               ///< device the job ran on
+  std::uint64_t seq = 0;             ///< global submission index
+  unsigned launches = 0;             ///< kernel launches issued
+  std::string tag;
+};
+
+/// Future side of a submitted job. get() blocks for completion and rethrows
+/// any error the job raised on its worker.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  explicit JobHandle(std::future<JobResult> future)
+      : future_(std::move(future)) {}
+
+  bool valid() const { return future_.valid(); }
+  void wait() const { future_.wait(); }
+  template <class Rep, class Period>
+  std::future_status wait_for(
+      const std::chrono::duration<Rep, Period>& d) const {
+    return future_.wait_for(d);
+  }
+  JobResult get() { return future_.get(); }
+
+ private:
+  std::future<JobResult> future_;
+};
+
+} // namespace vwr2a::runtime

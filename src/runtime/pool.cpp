@@ -1,0 +1,148 @@
+#include "runtime/pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace vwr2a::runtime {
+
+DevicePool::DevicePool(Config cfg) : cfg_(cfg) {
+  if (cfg_.devices == 0) throw HostError("DevicePool: need at least 1 device");
+  if (cfg_.workers == 0) cfg_.workers = cfg_.devices;
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+
+  devices_.resize(cfg_.devices);
+  for (unsigned d = 0; d < cfg_.devices; ++d) {
+    devices_[d].device = std::make_unique<Device>(d, cache_);
+  }
+  workers_.reserve(cfg_.workers);
+  for (unsigned w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DevicePool::~DevicePool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int DevicePool::find_work() const {
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (!devices_[d].claimed && !devices_[d].queue.empty()) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+JobHandle DevicePool::submit(Job job) {
+  std::promise<JobResult> promise;
+  JobHandle handle(promise.get_future());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw HostError("DevicePool: submit after shutdown");
+    const std::uint64_t seq = next_seq_++;
+    DeviceState& ds = devices_[seq % devices_.size()];
+    ds.queue.push_back(Pending{std::move(job), std::move(promise), seq});
+    ++inflight_;
+  }
+  work_cv_.notify_one();
+  return handle;
+}
+
+std::vector<JobHandle> DevicePool::submit_batch(std::vector<Job> jobs) {
+  std::vector<JobHandle> handles;
+  handles.reserve(jobs.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw HostError("DevicePool: submit after shutdown");
+    for (Job& job : jobs) {
+      std::promise<JobResult> promise;
+      handles.emplace_back(promise.get_future());
+      const std::uint64_t seq = next_seq_++;
+      DeviceState& ds = devices_[seq % devices_.size()];
+      ds.queue.push_back(Pending{std::move(job), std::move(promise), seq});
+      ++inflight_;
+    }
+  }
+  work_cv_.notify_all();
+  return handles;
+}
+
+void DevicePool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || find_work() >= 0; });
+    const int d = find_work();
+    if (d < 0) {
+      if (stopping_) return;
+      continue;  // another worker took the job that woke us
+    }
+    DeviceState& ds = devices_[static_cast<std::size_t>(d)];
+    ds.claimed = true;
+    // Batched dispatch: drain a chunk of this device's FIFO under one claim.
+    std::vector<Pending> chunk;
+    const std::size_t take =
+        std::min<std::size_t>(ds.queue.size(), cfg_.max_batch);
+    chunk.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      chunk.push_back(std::move(ds.queue.front()));
+      ds.queue.pop_front();
+    }
+    lock.unlock();
+
+    std::uint64_t ok = 0, bad = 0;
+    for (Pending& p : chunk) {
+      try {
+        p.promise.set_value(ds.device->run(p.job, p.seq));
+        ++ok;
+      } catch (...) {
+        p.promise.set_exception(std::current_exception());
+        ++bad;
+      }
+    }
+
+    lock.lock();
+    ds.claimed = false;
+    completed_ += ok;
+    failed_ += bad;
+    inflight_ -= ok + bad;
+    if (inflight_ == 0) idle_cv_.notify_all();
+    if (!ds.queue.empty()) work_cv_.notify_one();
+  }
+}
+
+void DevicePool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+FleetStats DevicePool::stats() {
+  // One continuous critical section: once inflight_ is 0 *while holding
+  // mu_*, every worker sits between chunks (jobs stay counted in inflight_
+  // until their worker reacquires the lock), so no device is being mutated
+  // while we read its meters.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+  FleetStats s;
+  s.jobs_completed = completed_;
+  s.jobs_failed = failed_;
+  s.device_cycles.reserve(devices_.size());
+  for (const DeviceState& ds : devices_) {
+    const soc::Platform::Snapshot snap = ds.device->snapshot();
+    const Cycle local = snap.total_cycles();
+    s.device_cycles.push_back(local);
+    s.fleet_makespan = std::max(s.fleet_makespan, local);
+    s.total_device_cycles += local;
+    s.total_pj += snap.total_pj();
+  }
+  s.image_cache = cache_.stats();
+  return s;
+}
+
+} // namespace vwr2a::runtime

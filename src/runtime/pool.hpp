@@ -1,0 +1,131 @@
+#pragma once
+// Asynchronous multi-device runtime: N simulated VWR2A platforms behind one
+// job queue, in the spirit of many-engine designs (Versa's shared dispatch
+// over many cores, Ara's clean runtime/lane split) -- scale comes from more
+// devices, not from touching the device model.
+//
+// Scheduling & determinism. Jobs are pinned to devices statically: global
+// submission index `seq` runs on device `seq % devices`. Each device keeps
+// a FIFO of its pending jobs and is driven by at most one worker at a time,
+// so the job stream a device sees -- and therefore every per-job cycle and
+// energy delta -- depends only on the submission order and the device
+// count, never on the number of workers or on thread scheduling. Workers
+// are interchangeable executors: with 1 worker the fleet is simulated
+// sequentially, with W workers up to W devices advance concurrently, and
+// the results are bit- and cycle-identical.
+//
+// Batched dispatch. submit_batch() enqueues a whole batch under one lock
+// round-trip, and a worker that claims a device drains up to
+// Config::max_batch queued jobs before releasing it, amortizing queue
+// synchronization across jobs. Simulated DMA programming is amortized the
+// same way the hardware would: consecutive jobs of one device reuse the
+// resident kernel configuration (no reload) and the shared image cache
+// assembles each kernel once fleet-wide.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/image_cache.hpp"
+#include "runtime/device.hpp"
+#include "runtime/job.hpp"
+
+namespace vwr2a::runtime {
+
+/// Fleet-wide aggregate over all devices of a pool.
+struct FleetStats {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  /// Max device-local elapsed time -- host-control CPU cycles plus
+  /// accelerator engine cycles, the serialized-phase latency semantics of
+  /// soc::Platform::Snapshot -- i.e. the simulated wall clock of the fleet
+  /// (devices run in parallel in simulated time).
+  Cycle fleet_makespan = 0;
+  /// Sum of device-local elapsed times: total simulated device occupancy.
+  Cycle total_device_cycles = 0;
+  /// Fleet energy (all devices, all meters), in pJ / µJ.
+  double total_pj = 0.0;
+  std::vector<Cycle> device_cycles;  ///< per-device local time
+  isa::ImageCache::Stats image_cache;
+
+  double total_uj() const { return total_pj * 1e-6; }
+  double sim_seconds() const {
+    return static_cast<double>(fleet_makespan) / arch::kClockHz;
+  }
+  /// Fleet throughput in jobs per simulated second.
+  double jobs_per_sim_second() const {
+    const double s = sim_seconds();
+    return s > 0 ? static_cast<double>(jobs_completed) / s : 0.0;
+  }
+};
+
+/// The device pool.
+class DevicePool {
+ public:
+  struct Config {
+    unsigned devices = 1;
+    unsigned workers = 0;    ///< 0: one worker per device
+    unsigned max_batch = 32; ///< jobs drained per device claim
+  };
+
+  DevicePool() : DevicePool(Config()) {}
+  explicit DevicePool(Config cfg);
+  ~DevicePool();  ///< drains all queued jobs, then joins the workers
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  /// Enqueues one job; returns its future. Thread-safe.
+  JobHandle submit(Job job);
+
+  /// Enqueues a batch under a single lock round-trip; returns one future
+  /// per job, in order. Thread-safe.
+  std::vector<JobHandle> submit_batch(std::vector<Job> jobs);
+
+  /// Blocks until every submitted job has completed.
+  void wait_idle();
+
+  /// Waits for idle, then aggregates fleet-wide statistics.
+  FleetStats stats();
+
+  unsigned num_devices() const { return static_cast<unsigned>(devices_.size()); }
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+  isa::ImageCache& image_cache() { return cache_; }
+
+ private:
+  struct Pending {
+    Job job;
+    std::promise<JobResult> promise;
+    std::uint64_t seq = 0;
+  };
+  struct DeviceState {
+    std::unique_ptr<Device> device;
+    std::deque<Pending> queue;
+    bool claimed = false;  ///< a worker is currently driving this device
+  };
+
+  void worker_loop();
+  /// Index of a serviceable device (unclaimed, non-empty queue), or -1.
+  int find_work() const;
+
+  isa::ImageCache cache_;
+  Config cfg_;
+  std::vector<DeviceState> devices_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: new work or shutdown
+  std::condition_variable idle_cv_;  ///< waiters: inflight_ reached zero
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t inflight_ = 0;  ///< queued or running jobs
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  bool stopping_ = false;
+};
+
+} // namespace vwr2a::runtime

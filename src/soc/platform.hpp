@@ -40,13 +40,18 @@ class Platform {
         vwr2a_(ahb_) {}
 
   mem::SystemSram& sram() { return sram_; }
+  const mem::SystemSram& sram() const { return sram_; }
   bus::AhbBus& ahb() { return ahb_; }
   cpu::M4Meter& cpu() { return cpu_; }
+  const cpu::M4Meter& cpu() const { return cpu_; }
   accel::FftAccel& fft_accel() { return accel_; }
   cgra::Vwr2a& vwr2a() { return vwr2a_; }
+  const cgra::Vwr2a& vwr2a() const { return vwr2a_; }
 
   energy::EnergyMeter& sys_meter() { return sys_meter_; }
+  const energy::EnergyMeter& sys_meter() const { return sys_meter_; }
   energy::EnergyMeter& accel_meter() { return accel_meter_; }
+  const energy::EnergyMeter& accel_meter() const { return accel_meter_; }
 
   /// Records accelerator occupancy (the accelerator result cycles) on the
   /// platform timeline.

@@ -1,0 +1,167 @@
+// Runtime device pool: determinism across worker counts, bit-exactness
+// against the fixed-point golden models, and kernel-image cache sharing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dsp/reference.hpp"
+#include "dsp/signal.hpp"
+#include "runtime/pool.hpp"
+
+namespace vwr2a::runtime {
+namespace {
+
+/// A reproducible mixed job set: FIR-11 at several sizes plus complex FFTs,
+/// with per-job distinct inputs so result mix-ups are detectable.
+std::vector<Job> make_mixed_jobs(unsigned count, unsigned seed) {
+  Rng rng(seed);
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (unsigned j = 0; j < count; ++j) {
+    if (j % 4 == 3) {
+      std::vector<std::int32_t> x(2 * 256);
+      for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+      jobs.push_back(Job{CfftJob{256, make_buffer(std::move(x))},
+                         "cfft#" + std::to_string(j)});
+    } else {
+      const unsigned n = 64 + 32 * (j % 3);
+      std::vector<std::int32_t> x(n);
+      for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+      jobs.push_back(Job{FirJob{n, taps, make_buffer(std::move(x))},
+                         "fir#" + std::to_string(j)});
+    }
+  }
+  return jobs;
+}
+
+std::vector<JobResult> run_all(unsigned devices, unsigned workers,
+                               const std::vector<Job>& jobs) {
+  DevicePool::Config cfg;
+  cfg.devices = devices;
+  cfg.workers = workers;
+  DevicePool pool(cfg);
+  auto handles = pool.submit_batch(jobs);
+  std::vector<JobResult> results;
+  results.reserve(handles.size());
+  for (auto& h : handles) results.push_back(h.get());
+  return results;
+}
+
+TEST(RuntimeDeterminism, ResultsIndependentOfWorkerCount) {
+  const auto jobs = make_mixed_jobs(24, 11);
+  const auto base = run_all(4, 1, jobs);
+  for (unsigned workers : {2u, 8u}) {
+    const auto got = run_all(4, workers, jobs);
+    ASSERT_EQ(got.size(), base.size()) << workers << " workers";
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      SCOPED_TRACE("job " + std::to_string(j) + " with " +
+                   std::to_string(workers) + " workers");
+      EXPECT_EQ(got[j].seq, base[j].seq);
+      EXPECT_EQ(got[j].device, base[j].device);
+      EXPECT_EQ(got[j].output, base[j].output);  // bit-identical
+      // Cycle- and energy-identical, engine by engine.
+      EXPECT_EQ(got[j].cost.vwr2a_cycles, base[j].cost.vwr2a_cycles);
+      EXPECT_EQ(got[j].cost.cpu_cycles, base[j].cost.cpu_cycles);
+      EXPECT_EQ(got[j].cost.vwr2a_pj, base[j].cost.vwr2a_pj);
+      EXPECT_EQ(got[j].cost.sys_pj, base[j].cost.sys_pj);
+      EXPECT_EQ(got[j].launches, base[j].launches);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, SubmitMatchesSubmitBatch) {
+  const auto jobs = make_mixed_jobs(12, 23);
+  const auto batched = run_all(2, 2, jobs);
+
+  DevicePool::Config cfg;
+  cfg.devices = 2;
+  DevicePool pool(cfg);
+  std::vector<JobHandle> handles;
+  for (const Job& job : jobs) handles.push_back(pool.submit(job));
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    JobResult r = handles[j].get();
+    EXPECT_EQ(r.output, batched[j].output);
+    EXPECT_EQ(r.cost.vwr2a_cycles, batched[j].cost.vwr2a_cycles);
+    EXPECT_EQ(r.device, batched[j].device);
+  }
+}
+
+TEST(RuntimePool, FirBitExactAgainstGolden) {
+  Rng rng(5);
+  const auto taps_vec = dsp::fir11_lowpass_q15();
+  const auto taps = make_buffer(taps_vec);
+  std::vector<std::vector<std::int32_t>> inputs;
+  std::vector<Job> jobs;
+  for (unsigned j = 0; j < 8; ++j) {
+    const unsigned n = 100 + 13 * j;
+    std::vector<std::int32_t> x(n);
+    for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+    inputs.push_back(x);
+    jobs.push_back(Job{FirJob{n, taps, make_buffer(std::move(x))}, ""});
+  }
+  DevicePool::Config cfg;
+  cfg.devices = 3;
+  DevicePool pool(cfg);
+  auto handles = pool.submit_batch(std::move(jobs));
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    const JobResult r = handles[j].get();
+    EXPECT_EQ(r.output, dsp::fir_fx(inputs[j], taps_vec)) << "job " << j;
+  }
+}
+
+TEST(RuntimePool, CfftBitExactAgainstGolden) {
+  Rng rng(6);
+  const unsigned n = 256;
+  std::vector<dsp::CplxFx> x(n);
+  std::vector<std::int32_t> interleaved(2 * n);
+  for (unsigned i = 0; i < n; ++i) {
+    x[i].re = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+    x[i].im = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+    interleaved[2 * i] = x[i].re;
+    interleaved[2 * i + 1] = x[i].im;
+  }
+  DevicePool pool;
+  JobHandle h = pool.submit(Job{CfftJob{n, make_buffer(interleaved)}, ""});
+  const JobResult r = h.get();
+  const auto golden = dsp::pease_fft_fx(x);
+  ASSERT_EQ(r.output.size(), 2 * n);
+  for (unsigned k = 0; k < n; ++k) {
+    EXPECT_EQ(r.output[2 * k], golden[k].re) << "bin " << k;
+    EXPECT_EQ(r.output[2 * k + 1], golden[k].im) << "bin " << k;
+  }
+}
+
+TEST(RuntimePool, ImageCacheAssemblesOncePerKernel) {
+  const auto jobs = make_mixed_jobs(16, 31);
+  DevicePool::Config cfg;
+  cfg.devices = 4;
+  DevicePool pool(cfg);
+  for (auto& h : pool.submit_batch(jobs)) h.get();
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.jobs_completed, jobs.size());
+  EXPECT_EQ(s.jobs_failed, 0u);
+  // Every image is assembled exactly once fleet-wide...
+  EXPECT_EQ(s.image_cache.misses, s.image_cache.entries);
+  // ...and the other devices reuse it: FftKernels alone registers 6 images
+  // per device, so 4 devices must hit at least 3x6 times.
+  EXPECT_GE(s.image_cache.hits, 18u);
+  // All four devices did work and fleet time is the slowest device.
+  ASSERT_EQ(s.device_cycles.size(), 4u);
+  Cycle max_local = 0, sum_local = 0;
+  for (Cycle c : s.device_cycles) {
+    EXPECT_GT(c, 0u);
+    max_local = std::max(max_local, c);
+    sum_local += c;
+  }
+  EXPECT_EQ(s.fleet_makespan, max_local);
+  EXPECT_EQ(s.total_device_cycles, sum_local);
+  EXPECT_GT(s.jobs_per_sim_second(), 0.0);
+}
+
+} // namespace
+} // namespace vwr2a::runtime

@@ -1,0 +1,146 @@
+// Runtime job-queue stress: a thousand-plus small jobs through a pool whose
+// worker count does not match its device count, error propagation through
+// futures, and drain-on-destruction (no lost futures).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "dsp/reference.hpp"
+#include "dsp/signal.hpp"
+#include "runtime/pool.hpp"
+
+namespace vwr2a::runtime {
+namespace {
+
+TEST(RuntimeQueueStress, ThousandSmallJobsNoLostFutures) {
+  constexpr unsigned kJobs = 1024;
+  constexpr unsigned kDistinctInputs = 16;
+  constexpr unsigned kN = 64;
+
+  Rng rng(42);
+  const auto taps_vec = dsp::fir11_lowpass_q15();
+  const auto taps = make_buffer(taps_vec);
+  std::vector<std::vector<std::int32_t>> inputs(kDistinctInputs);
+  std::vector<SharedBuffer> buffers(kDistinctInputs);
+  std::vector<std::vector<std::int32_t>> golden(kDistinctInputs);
+  for (unsigned i = 0; i < kDistinctInputs; ++i) {
+    inputs[i].resize(kN);
+    for (auto& v : inputs[i]) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+    buffers[i] = make_buffer(inputs[i]);
+    golden[i] = dsp::fir_fx(inputs[i], taps_vec);
+  }
+
+  DevicePool::Config cfg;
+  cfg.devices = 4;
+  cfg.workers = 3;  // deliberately != devices
+  cfg.max_batch = 8;
+  DevicePool pool(cfg);
+
+  std::vector<JobHandle> handles;
+  handles.reserve(kJobs);
+  // Mix single submits and batches to exercise both enqueue paths.
+  for (unsigned j = 0; j < kJobs;) {
+    if (j % 128 == 0) {
+      handles.push_back(
+          pool.submit(Job{FirJob{kN, taps, buffers[j % kDistinctInputs]},
+                          std::to_string(j)}));
+      ++j;
+    } else {
+      std::vector<Job> batch;
+      const unsigned take = std::min(127u, kJobs - j);
+      for (unsigned b = 0; b < take; ++b, ++j) {
+        batch.push_back(Job{FirJob{kN, taps, buffers[j % kDistinctInputs]},
+                            std::to_string(j)});
+      }
+      for (auto& h : pool.submit_batch(std::move(batch))) {
+        handles.push_back(std::move(h));
+      }
+    }
+  }
+  ASSERT_EQ(handles.size(), kJobs);
+
+  std::vector<bool> seen(kJobs, false);
+  for (unsigned j = 0; j < kJobs; ++j) {
+    ASSERT_TRUE(handles[j].valid()) << "job " << j;
+    JobResult r = handles[j].get();  // throws if the job failed
+    EXPECT_EQ(r.seq, j);
+    EXPECT_EQ(r.device, j % 4);
+    EXPECT_EQ(r.tag, std::to_string(j));
+    EXPECT_EQ(r.output, golden[j % kDistinctInputs]) << "job " << j;
+    ASSERT_LT(r.seq, kJobs);
+    EXPECT_FALSE(seen[r.seq]);
+    seen[r.seq] = true;
+  }
+
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.jobs_completed, kJobs);
+  EXPECT_EQ(s.jobs_failed, 0u);
+}
+
+TEST(RuntimeQueue, JobErrorsPropagateThroughFutures) {
+  DevicePool pool;
+
+  // Malformed jobs: n == 0, and an input/n mismatch.
+  JobHandle bad1 = pool.submit(Job{
+      FirJob{0, make_buffer(std::vector<std::int32_t>{}),
+             make_buffer(std::vector<std::int32_t>{})},
+      ""});
+  JobHandle bad2 = pool.submit(
+      Job{CfftJob{256, make_buffer(std::vector<std::int32_t>(100))}, ""});
+  EXPECT_THROW(bad1.get(), HostError);
+  EXPECT_THROW(bad2.get(), HostError);
+
+  // The pool keeps serving good jobs afterwards.
+  Rng rng(3);
+  std::vector<std::int32_t> x(64);
+  for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+  const auto taps = dsp::fir11_lowpass_q15();
+  JobHandle ok =
+      pool.submit(Job{FirJob{64, make_buffer(taps), make_buffer(x)}, ""});
+  EXPECT_EQ(ok.get().output, dsp::fir_fx(x, taps));
+
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.jobs_completed, 1u);
+  EXPECT_EQ(s.jobs_failed, 2u);
+}
+
+TEST(RuntimeQueue, DestructorDrainsPendingJobs) {
+  Rng rng(9);
+  std::vector<std::int32_t> x(64);
+  for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+  const auto taps = dsp::fir11_lowpass_q15();
+  const auto golden = dsp::fir_fx(x, taps);
+
+  std::vector<JobHandle> handles;
+  {
+    DevicePool::Config cfg;
+    cfg.devices = 2;
+    cfg.workers = 1;
+    DevicePool pool(cfg);
+    std::vector<Job> jobs(
+        64, Job{FirJob{64, make_buffer(taps), make_buffer(x)}, ""});
+    handles = pool.submit_batch(std::move(jobs));
+    // Pool destroyed here with most jobs still queued.
+  }
+  for (auto& h : handles) {
+    ASSERT_TRUE(h.valid());
+    EXPECT_EQ(h.get().output, golden);  // fulfilled, not broken_promise
+  }
+}
+
+TEST(RuntimeQueue, IdlePoolIsWellBehaved) {
+  DevicePool live;
+  live.wait_idle();  // idle pool: wait_idle returns immediately
+  const FleetStats s = live.stats();
+  EXPECT_EQ(s.jobs_completed, 0u);
+  EXPECT_EQ(s.fleet_makespan, 0u);
+  EXPECT_EQ(s.jobs_per_sim_second(), 0.0);
+}
+
+} // namespace
+} // namespace vwr2a::runtime
