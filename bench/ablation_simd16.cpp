@@ -35,9 +35,10 @@ int main() {
   const double base_cycles = static_cast<double>(stats.cycles);
   const double base_uj = rig.acc.meter().total_uj();
 
-  // Elementwise ALU work is ~1 op/RC/cycle; packing two lanes halves those
-  // cycles. Control/DMA cycles are unaffected.
-  const double simd_cycles = base_cycles - alu_ops / 8.0;  // 8 RCs
+  // Elementwise ALU work is ~1 op/RC/cycle with both columns in lockstep
+  // (8 RCs -> alu_ops / 8 elementwise cycles); packing two lanes halves
+  // those cycles, saving alu_ops / 16. Control/DMA cycles are unaffected.
+  const double simd_cycles = base_cycles - alu_ops / 16.0;
   const double simd_uj = base_uj - datapath_uj * (1.0 - 2.0 * 0.55 / 2.0) -
                          datapath_uj * 0.0 + datapath_uj * (0.55 - 1.0) * 0.5;
 

@@ -1,6 +1,8 @@
-// Runtime-pool quickstart: a fleet of four simulated VWR2A devices serving
-// a mixed FIR/FFT batch through the asynchronous job queue. Demonstrates
-// submit_batch, per-job cost reporting, and fleet-wide statistics.
+// Runtime-pool quickstart: a heterogeneous fleet of four simulated VWR2A
+// devices -- the paper's design point plus three architecture variants --
+// serving the full job catalog through the asynchronous queue. Demonstrates
+// submit_batch, per-job cost reporting, pin_to_device routing, and
+// fleet-wide statistics.
 
 #include <cstdio>
 
@@ -14,6 +16,11 @@ int main() {
 
   runtime::DevicePool::Config cfg;
   cfg.devices = 4;  // workers default to one per device
+  // Device 0 is the paper's design point; 1..3 are ablation variants.
+  cfg.device_arch = {soc::ArchConfig{},
+                     soc::ArchConfig{.vwr_count = 2},
+                     soc::ArchConfig{.vwr_count = 4},
+                     soc::ArchConfig{.simd_width = 16}};
   runtime::DevicePool pool(cfg);
 
   // Shared immutable inputs: every job references these buffers, no copies.
@@ -27,14 +34,30 @@ int main() {
   for (auto& v : spectrum_in) v = fx::to_q16_15(rng.next_range(-0.4, 0.4));
   const auto cx = runtime::make_buffer(std::move(spectrum_in));
 
-  // A mixed batch: 12 FIR-512 jobs and 4 complex FFT-256 jobs.
+  dsp::RespirationParams rp;
+  Rng sig(9);
+  const auto resp = runtime::make_buffer(dsp::respiration_q16_15(512, rp, sig));
+
+  // A mixed catalog batch: FIR, complex/real/inverse FFTs, reductions,
+  // delineation and a whole application window, round-robin across the
+  // fleet -- except the last job, pinned to the SIMD16 variant.
   std::vector<runtime::Job> jobs;
-  for (int i = 0; i < 12; ++i) {
+  for (int i = 0; i < 6; ++i) {
     jobs.push_back({runtime::FirJob{512, taps, x}, "fir512#" + std::to_string(i)});
   }
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < 2; ++i) {
     jobs.push_back({runtime::CfftJob{256, cx}, "cfft256#" + std::to_string(i)});
   }
+  jobs.push_back({runtime::RfftJob{512, x}, "rfft512"});
+  jobs.push_back({runtime::IfftJob{256, cx}, "ifft256"});
+  jobs.push_back({runtime::ReduceJob{runtime::ReduceOp::kEnergy, 512, x},
+                  "energy512"});
+  jobs.push_back({runtime::ReduceJob{runtime::ReduceOp::kMax, 512, resp},
+                  "max512"});
+  jobs.push_back({runtime::DelineationJob{512, fx::to_q16_15(0.08), resp},
+                  "delin512"});
+  jobs.push_back({runtime::BioTrackerJob{app::Target::kCpuVwr2a, resp},
+                  "bioapp", /*pin=*/3});
   auto handles = pool.submit_batch(std::move(jobs));
 
   std::printf("%-10s %-7s %-10s %-12s %-10s\n", "job", "device", "cycles",
@@ -56,6 +79,13 @@ int main() {
               static_cast<unsigned long long>(s.total_device_cycles));
   std::printf("  energy %.3f uJ, throughput %.0f jobs/s (simulated)\n",
               s.total_uj(), s.jobs_per_sim_second());
+  for (std::size_t d = 0; d < s.device_arch.size(); ++d) {
+    std::printf("  device %zu [%s]: %llu jobs, %llu cycles, %.3f uJ\n", d,
+                s.device_arch[d].name().c_str(),
+                static_cast<unsigned long long>(s.device_jobs[d]),
+                static_cast<unsigned long long>(s.device_cycles[d]),
+                s.device_pj[d] * 1e-6);
+  }
   std::printf("  image cache: %llu hits, %llu misses, %zu images\n",
               static_cast<unsigned long long>(s.image_cache.hits),
               static_cast<unsigned long long>(s.image_cache.misses),

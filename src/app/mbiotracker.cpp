@@ -1,6 +1,7 @@
 #include "app/mbiotracker.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/bits.hpp"
 #include "common/status.hpp"
@@ -38,17 +39,22 @@ bool in_band(unsigned k, unsigned lo, unsigned hi) {
 
 } // namespace
 
-MBioTracker::MBioTracker(soc::Platform& platform)
+MBioTracker::MBioTracker(soc::Platform& platform, isa::ImageCache* cache,
+                         std::string key_prefix)
     : plat_(&platform),
-      host_(platform.vwr2a(), platform.sram(), &platform.cpu()),
-      fir_(host_),
-      fft_(host_),
-      delin_(host_),
-      reduce_(host_) {}
+      host_(platform.vwr2a(), platform.sram(), &platform.cpu(),
+            std::move(key_prefix)),
+      fir_(host_, cache),
+      fft_(host_, cache),
+      delin_(host_, cache),
+      reduce_(host_, cache) {}
 
-void MBioTracker::init() {
-  sys_tw_ = 0;
-  sys_zeros_ = kernels::FftKernels::table_words();
+void MBioTracker::init(unsigned sys_base) {
+  if (inited_ && sys_base != sys_tw_) {
+    throw HostError("MBioTracker: init() must reuse the same sys_base");
+  }
+  sys_tw_ = sys_base;
+  sys_zeros_ = sys_tw_ + kernels::FftKernels::table_words();
   sys_masks_ = sys_zeros_ + 32;
   sys_weights_ = sys_masks_ + 3 * kWindow;
   sys_io_ = sys_weights_ + 8;

@@ -14,9 +14,11 @@
 // All three platforms must agree on the class output.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "isa/image_cache.hpp"
 #include "dsp/reference.hpp"
 #include "kernels/delineation.hpp"
 #include "kernels/fft.hpp"
@@ -85,11 +87,19 @@ enum class Target {
 /// firmware image) but not the platform.
 class MBioTracker {
  public:
-  explicit MBioTracker(soc::Platform& platform);
+  /// `cache` shares assembled kernel images across application instances
+  /// (e.g. a fleet of runtime devices each hosting the app); `key_prefix`
+  /// namespaces the cache keys per architecture variant.
+  explicit MBioTracker(soc::Platform& platform,
+                       isa::ImageCache* cache = nullptr,
+                       std::string key_prefix = "");
 
-  /// One-time setup: twiddle/zero tables and band masks in system memory,
-  /// resident mask rows in the SPM. Charged separately from the windows.
-  void init();
+  /// Setup: twiddle/zero tables, band masks and SVM weights in system
+  /// memory starting at word `sys_base`, resident mask rows in the SPM.
+  /// Charged separately from the windows. Safe to call again to re-stage
+  /// the resident SPM state (e.g. after other kernels clobbered the mask
+  /// rows); repeated calls keep the same memory map.
+  void init(unsigned sys_base = 0);
 
   /// Processes one window of kWindow samples (natural units in [-1, 1])
   /// on the selected target.

@@ -90,6 +90,7 @@ Cycle Vwr2a::run_kernel(unsigned kernel_id) {
   while (busy()) step();
   meter_.add(Event::kIrq);
   advance(kIrqCycles);
+  ++launches_;
   return cycles_ - t0;
 }
 

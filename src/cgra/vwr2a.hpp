@@ -55,6 +55,9 @@ class Vwr2a {
   /// Local cycle counter (advances during DMA, configuration, execution).
   Cycle cycles() const { return cycles_; }
 
+  /// Kernel launches completed via run_kernel() since construction.
+  std::uint64_t launches() const { return launches_; }
+
   // --- host interface (slave port) -------------------------------------------
   /// Registers a kernel image in the configuration memory; returns its id.
   unsigned register_kernel(isa::KernelImage image) {
@@ -104,6 +107,7 @@ class Vwr2a {
   Column col0_;
   Column col1_;
   Cycle cycles_ = 0;
+  std::uint64_t launches_ = 0;
 };
 
 } // namespace vwr2a::cgra

@@ -316,6 +316,14 @@ std::int32_t rms_i32(const std::vector<std::int32_t>& v) {
   return static_cast<std::int32_t>(std::floor(std::sqrt(m)));
 }
 
+std::int32_t energy_fx(const std::vector<std::int32_t>& v) {
+  std::uint32_t acc = 0;
+  for (std::int32_t x : v) {
+    acc += static_cast<std::uint32_t>(fx::fxp_mul(x, x));
+  }
+  return static_cast<std::int32_t>(acc);
+}
+
 std::int32_t median_i32(const std::vector<std::int32_t>& v) {
   if (v.empty()) return 0;
   // The smallest m in v such that |{x <= m}| >= floor(n/2)+1 -- i.e., the

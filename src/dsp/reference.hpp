@@ -107,6 +107,11 @@ std::int32_t mean_i32(const std::vector<std::int32_t>& v);
 /// Integer RMS: floor(sqrt(sum(x^2) / n)) on 64-bit accumulation.
 std::int32_t rms_i32(const std::vector<std::int32_t>& v);
 
+/// Signal energy in exact VWR2A arithmetic: 32-bit wrap-around sum of the
+/// fixed-point squares fxp_mul(x, x) -- bit-for-bit what the sum-of-squares
+/// reduction kernel accumulates across the RCs.
+std::int32_t energy_fx(const std::vector<std::int32_t>& v);
+
 // --- delineation ----------------------------------------------------------------
 
 /// A detected extremum.

@@ -172,20 +172,17 @@ ColumnProgram scan_program(unsigned n, unsigned x_row0) {
 
 } // namespace
 
-DelineationKernels::DelineationKernels(Host host) : host_(host) {}
+DelineationKernels::DelineationKernels(Host host, isa::ImageCache* cache)
+    : host_(host), cache_(cache) {}
 
 unsigned DelineationKernels::flags_kernel(unsigned nrows) {
   auto it = flags_ids_.find(nrows);
   if (it != flags_ids_.end()) return it->second;
-  unsigned id;
-  if (nrows == 1) {
-    id = host_.acc().register_kernel(
-        make_kernel("delin_flags_r1", 0, flags_program(0, 1)));
-  } else {
-    id = host_.acc().register_kernel(
-        make_kernel2("delin_flags_r" + std::to_string(nrows),
-                     flags_program(0, nrows), flags_program(1, nrows)));
-  }
+  const std::string name = "delin_flags_r" + std::to_string(nrows);
+  const unsigned id = host_.register_image(cache_, name, [&] {
+    if (nrows == 1) return make_kernel(name, 0, flags_program(0, 1));
+    return make_kernel2(name, flags_program(0, nrows), flags_program(1, nrows));
+  });
   flags_ids_.emplace(nrows, id);
   return id;
 }
@@ -194,8 +191,11 @@ unsigned DelineationKernels::scan_kernel(unsigned n, unsigned x_row0) {
   const std::uint64_t key = (static_cast<std::uint64_t>(n) << 32) | x_row0;
   auto it = scan_ids_.find(key);
   if (it != scan_ids_.end()) return it->second;
-  const unsigned id = host_.acc().register_kernel(make_kernel(
-      "delin_scan_n" + std::to_string(n), 0, scan_program(n, x_row0)));
+  const std::string name = "delin_scan_n" + std::to_string(n) + "_r" +
+                           std::to_string(x_row0);
+  const unsigned id = host_.register_image(cache_, name, [&] {
+    return make_kernel(name, 0, scan_program(n, x_row0));
+  });
   scan_ids_.emplace(key, id);
   return id;
 }

@@ -24,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "dsp/reference.hpp"
+#include "isa/image_cache.hpp"
 #include "kernels/host.hpp"
 
 namespace vwr2a::kernels {
@@ -40,7 +41,9 @@ inline constexpr unsigned kMaxExtrema = 32;
 /// Delineation kernel family.
 class DelineationKernels {
  public:
-  explicit DelineationKernels(Host host);
+  /// `cache`, when given, shares assembled kernel images across instances
+  /// (keys are namespaced by the Host's key prefix).
+  explicit DelineationKernels(Host host, isa::ImageCache* cache = nullptr);
 
   /// Delineates n samples (n a multiple of 128, data resident in SPM rows
   /// [x_row0, x_row0 + n/128)), writing flag rows right above the data.
@@ -56,6 +59,7 @@ class DelineationKernels {
   unsigned scan_kernel(unsigned n, unsigned x_row0);
 
   Host host_;
+  isa::ImageCache* cache_ = nullptr;
   std::map<unsigned, unsigned> flags_ids_;
   std::map<std::uint64_t, unsigned> scan_ids_;
 };

@@ -9,6 +9,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cgra/vwr2a.hpp"
@@ -25,10 +26,16 @@ inline constexpr unsigned kHostProgramCycles = 18;
 inline constexpr unsigned kHostIrqCycles = 10;
 
 /// Driver context. Does not own anything.
+///
+/// `key_prefix` namespaces every image-cache key issued through this host
+/// (see register_image): devices of different architecture variants must
+/// not alias one another's cache entries, so a fleet prefixes keys with the
+/// device's soc::ArchConfig::name().
 class Host {
  public:
-  Host(cgra::Vwr2a& acc, mem::SystemSram& sram, cpu::M4Meter* cpu = nullptr)
-      : acc_(&acc), sram_(&sram), cpu_(cpu) {}
+  Host(cgra::Vwr2a& acc, mem::SystemSram& sram, cpu::M4Meter* cpu = nullptr,
+       std::string key_prefix = "")
+      : acc_(&acc), sram_(&sram), cpu_(cpu), key_prefix_(std::move(key_prefix)) {}
 
   cgra::Vwr2a& acc() { return *acc_; }
   mem::SystemSram& sram() { return *sram_; }
@@ -54,7 +61,7 @@ class Host {
   unsigned register_image(isa::ImageCache* cache, const std::string& key,
                           const std::function<isa::KernelImage()>& build) {
     if (cache != nullptr) {
-      return acc_->register_kernel(cache->get_or_build(key, build));
+      return acc_->register_kernel(cache->get_or_build(key_prefix_ + key, build));
     }
     return acc_->register_kernel(build());
   }
@@ -86,6 +93,7 @@ class Host {
   cgra::Vwr2a* acc_;
   mem::SystemSram* sram_;
   cpu::M4Meter* cpu_;
+  std::string key_prefix_;
 };
 
 } // namespace vwr2a::kernels

@@ -123,8 +123,8 @@ ColumnProgram dot_program(unsigned nf, unsigned w_base) {
 
 } // namespace
 
-ReduceKernels::ReduceKernels(Host host)
-    : host_(host), reduce_ids_(4, std::vector<int>(33, -1)) {}
+ReduceKernels::ReduceKernels(Host host, isa::ImageCache* cache)
+    : host_(host), cache_(cache), reduce_ids_(4, std::vector<int>(33, -1)) {}
 
 unsigned ReduceKernels::reduce_kernel(Reduce r, unsigned nrows) {
   if (nrows == 0 || nrows > 32) throw HostError("ReduceKernels: bad row count");
@@ -132,9 +132,11 @@ unsigned ReduceKernels::reduce_kernel(Reduce r, unsigned nrows) {
   if (slot < 0) {
     const char* names[] = {"reduce_sum", "reduce_sumsq", "reduce_countle",
                            "reduce_maskedsq"};
-    slot = static_cast<int>(host_.acc().register_kernel(make_kernel(
-        std::string(names[static_cast<unsigned>(r)]) + "_r" + std::to_string(nrows),
-        0, reduce_program(r, nrows))));
+    const std::string name = std::string(names[static_cast<unsigned>(r)]) +
+                             "_r" + std::to_string(nrows);
+    slot = static_cast<int>(host_.register_image(cache_, name, [&] {
+      return make_kernel(name, 0, reduce_program(r, nrows));
+    }));
   }
   return static_cast<unsigned>(slot);
 }
@@ -174,12 +176,10 @@ std::int32_t ReduceKernels::masked_power(unsigned row0, unsigned mask_row0,
                     cycles);
 }
 
-std::int32_t ReduceKernels::median_rows(unsigned row0, unsigned nrows,
-                                        Cycle* cycles) {
-  // Bisection: find the smallest m with count(x <= m) >= floor(n/2)+1.
-  // Signal range is (-2, 2) in 16.15, i.e. 18 significant bits.
-  const std::int32_t n = static_cast<std::int32_t>(nrows) * 128;
-  const std::int32_t need = n / 2 + 1;
+std::int32_t ReduceKernels::bisect_count(unsigned row0, unsigned nrows,
+                                         std::int32_t need, Cycle* cycles) {
+  // Bisection: find the smallest m with count(x <= m) >= need. Signal range
+  // is (-2, 2) in 16.15, i.e. 18 significant bits (kBisectLaunches probes).
   std::int32_t lo = -(1 << 17);
   std::int32_t hi = (1 << 17) - 1;
   while (lo < hi) {
@@ -194,11 +194,30 @@ std::int32_t ReduceKernels::median_rows(unsigned row0, unsigned nrows,
   return lo;
 }
 
+std::int32_t ReduceKernels::median_rows(unsigned row0, unsigned nrows,
+                                        Cycle* cycles) {
+  const std::int32_t n = static_cast<std::int32_t>(nrows) * 128;
+  return bisect_count(row0, nrows, n / 2 + 1, cycles);
+}
+
+std::int32_t ReduceKernels::min_rows(unsigned row0, unsigned nrows,
+                                     Cycle* cycles) {
+  return bisect_count(row0, nrows, 1, cycles);
+}
+
+std::int32_t ReduceKernels::max_rows(unsigned row0, unsigned nrows,
+                                     Cycle* cycles) {
+  const std::int32_t n = static_cast<std::int32_t>(nrows) * 128;
+  return bisect_count(row0, nrows, n, cycles);
+}
+
 void ReduceKernels::zero_rows(unsigned row0, unsigned nrows, Cycle* cycles) {
   if (nrows == 0 || nrows > 32) throw HostError("ReduceKernels: bad row count");
   if (zero_ids_[nrows] < 0) {
-    zero_ids_[nrows] = static_cast<int>(host_.acc().register_kernel(make_kernel(
-        "zero_rows" + std::to_string(nrows), 0, zero_program(nrows))));
+    const std::string name = "zero_rows" + std::to_string(nrows);
+    zero_ids_[nrows] = static_cast<int>(host_.register_image(cache_, name, [&] {
+      return make_kernel(name, 0, zero_program(nrows));
+    }));
   }
   const Cycle t0 = host_.acc().cycles();
   host_.srf(0, 0, row0);
@@ -209,9 +228,10 @@ void ReduceKernels::zero_rows(unsigned row0, unsigned nrows, Cycle* cycles) {
 unsigned ReduceKernels::dot_kernel(unsigned nf) {
   if (nf == 0 || nf > 16) throw HostError("ReduceKernels: bad feature count");
   if (dot_ids_[nf] < 0) {
-    dot_ids_[nf] = static_cast<int>(host_.acc().register_kernel(make_kernel(
-        "svm_dot" + std::to_string(nf), 0,
-        dot_program(nf, /*w_base=*/52 * arch::kVwrWords))));
+    const std::string name = "svm_dot" + std::to_string(nf);
+    dot_ids_[nf] = static_cast<int>(host_.register_image(cache_, name, [&] {
+      return make_kernel(name, 0, dot_program(nf, /*w_base=*/52 * arch::kVwrWords));
+    }));
   }
   return static_cast<unsigned>(dot_ids_[nf]);
 }

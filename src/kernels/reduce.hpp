@@ -13,9 +13,15 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "isa/image_cache.hpp"
 #include "kernels/host.hpp"
 
 namespace vwr2a::kernels {
+
+/// Kernel launches of one host-driven bisection over count_le (the signal
+/// range is (-2, 2) in 16.15 -- 18 significant bits, so 18 probes resolve
+/// any min/max/median exactly).
+inline constexpr unsigned kBisectLaunches = 18;
 
 /// Reduction flavour.
 enum class Reduce : std::uint8_t {
@@ -28,7 +34,9 @@ enum class Reduce : std::uint8_t {
 /// Reduction / SVM kernel family.
 class ReduceKernels {
  public:
-  explicit ReduceKernels(Host host);
+  /// `cache`, when given, shares assembled kernel images across instances
+  /// (keys are namespaced by the Host's key prefix).
+  explicit ReduceKernels(Host host, isa::ImageCache* cache = nullptr);
 
   /// Sum of `nrows` SPM rows starting at `row0`.
   std::int32_t sum_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
@@ -47,9 +55,18 @@ class ReduceKernels {
                             Cycle* cycles = nullptr);
 
   /// Median of n = nrows*128 values (16.15) resident in SPM rows, by
-  /// host-driven bisection over count_le (18 iterations for the [-2,2)
-  /// signal range). Matches dsp::median_i32 on the same data.
+  /// host-driven bisection over count_le (kBisectLaunches iterations for
+  /// the [-2,2) signal range). Matches dsp::median_i32 on the same data.
   std::int32_t median_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
+
+  /// Minimum of the resident values: the smallest m with count(x <= m) >= 1,
+  /// by the same bisection. Values must lie in the 18-bit signal range
+  /// [-2^17, 2^17). Matches *std::min_element on the same data.
+  std::int32_t min_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
+
+  /// Maximum of the resident values: the smallest m with count(x <= m) >= n.
+  /// Same range contract as min_rows; matches *std::max_element.
+  std::int32_t max_rows(unsigned row0, unsigned nrows, Cycle* cycles = nullptr);
 
   /// Zeroes `nrows` rows starting at row0 (used to clear the imaginary
   /// plane before a real-input resident FFT).
@@ -63,11 +80,15 @@ class ReduceKernels {
  private:
   std::int32_t run_reduce(unsigned kernel, unsigned row0, unsigned extra_srf1,
                           Cycle* cycles);
+  /// Smallest m in [-2^17, 2^17) with count(x <= m) >= need.
+  std::int32_t bisect_count(unsigned row0, unsigned nrows, std::int32_t need,
+                            Cycle* cycles);
   unsigned reduce_kernel(Reduce r, unsigned nrows);
   unsigned dot_kernel(unsigned nf);
   unsigned zero_kernel(unsigned nrows);
 
   Host host_;
+  isa::ImageCache* cache_ = nullptr;
   // Lazily built kernels keyed by (flavour, nrows) / nf.
   std::vector<std::vector<int>> reduce_ids_;
   std::vector<int> dot_ids_ = std::vector<int>(33, -1);

@@ -1,16 +1,32 @@
 #include "runtime/device.hpp"
 
+#include <algorithm>
 #include <span>
 
+#include "common/fixed_point.hpp"
 #include "common/status.hpp"
+#include "dma/dma.hpp"
 
 namespace vwr2a::runtime {
 
-Device::Device(unsigned id, isa::ImageCache& cache)
+namespace {
+
+/// 18-bit signal range the reduction bisection resolves (reduce.hpp).
+constexpr std::int32_t kReduceLo = -(1 << 17);
+constexpr std::int32_t kReduceHi = (1 << 17) - 1;
+
+} // namespace
+
+Device::Device(unsigned id, isa::ImageCache& cache, const soc::ArchConfig& arch)
     : id_(id),
-      host_(platform_.vwr2a(), platform_.sram(), &platform_.cpu()),
+      platform_(arch),
+      cache_(&cache),
+      host_(platform_.vwr2a(), platform_.sram(), &platform_.cpu(),
+            arch.name() + "/"),
       fir_(host_, &cache),
       fft_(host_, &cache),
+      reduce_(host_, &cache),
+      delin_(host_, &cache),
       data_base_(kFftTableBase + kernels::FftKernels::table_words()) {
   fir_.prepare(kFirScratchBase);
   fft_.prepare(kFftTableBase);
@@ -22,7 +38,15 @@ JobResult Device::run(const Job& job, std::uint64_t seq) {
       [this](const auto& w) -> JobResult {
         using T = std::decay_t<decltype(w)>;
         if constexpr (std::is_same_v<T, FirJob>) return run_fir(w);
-        else return run_cfft(w);
+        else if constexpr (std::is_same_v<T, CfftJob>) return run_cfft(w);
+        else if constexpr (std::is_same_v<T, RfftJob>) return run_rfft(w);
+        else if constexpr (std::is_same_v<T, IfftJob>) return run_ifft(w);
+        else if constexpr (std::is_same_v<T, ReduceJob>) return run_reduce(w);
+        else if constexpr (std::is_same_v<T, DelineationJob>) {
+          return run_delineation(w);
+        } else {
+          return run_bio(w);
+        }
       },
       job.work);
   r.cost = soc::Platform::delta(before, platform_.snapshot());
@@ -31,6 +55,12 @@ JobResult Device::run(const Job& job, std::uint64_t seq) {
   r.tag = job.tag;
   ++jobs_;
   return r;
+}
+
+void Device::stage_rows(const std::vector<std::int32_t>& data) {
+  host_.to_sram(data_base_, data);
+  host_.dma({dma::Dir::kSysToSpm, data_base_, 0,
+             static_cast<std::uint32_t>(data.size()), 1, 1});
 }
 
 JobResult Device::run_fir(const FirJob& job) {
@@ -63,6 +93,135 @@ JobResult Device::run_cfft(const CfftJob& job) {
   const kernels::FftRunStats stats = fft_.cfft(job.n, in, out, scratch);
   r.launches = stats.launches;
   r.output = host_.from_sram(out, 2 * job.n);
+  return r;
+}
+
+JobResult Device::run_rfft(const RfftJob& job) {
+  if (job.input == nullptr) throw HostError("Device: rFFT job with null input");
+  if (job.input->size() != job.n) {
+    throw HostError("Device: rFFT job input size != n");
+  }
+  const unsigned in = data_base_;
+  const unsigned out = in + job.n;
+  const unsigned scratch = out + job.n + 2;
+  host_.to_sram(in, *job.input);
+  JobResult r;
+  const kernels::FftRunStats stats = fft_.rfft(job.n, in, out, scratch);
+  r.launches = stats.launches;
+  r.output = host_.from_sram(out, job.n + 2);  // n/2+1 interleaved bins
+  return r;
+}
+
+JobResult Device::run_ifft(const IfftJob& job) {
+  if (job.input == nullptr) throw HostError("Device: iFFT job with null input");
+  if (job.input->size() != 2ull * job.n) {
+    throw HostError("Device: iFFT job input size != 2n");
+  }
+  const unsigned in = data_base_;
+  const unsigned out = in + 2 * job.n;
+  host_.to_sram(in, *job.input);
+  JobResult r;
+  const kernels::FftRunStats stats = fft_.cifft(job.n, in, out);
+  r.launches = stats.launches;
+  r.output = host_.from_sram(out, 2 * job.n);
+  return r;
+}
+
+JobResult Device::run_reduce(const ReduceJob& job) {
+  if (job.input == nullptr) {
+    throw HostError("Device: reduce job with null input");
+  }
+  if (job.n == 0 || job.n % arch::kVwrWords != 0 || job.n > 4096) {
+    throw HostError("Device: reduce job n must be a multiple of 128, <= 4096");
+  }
+  if (job.input->size() != job.n) {
+    throw HostError("Device: reduce job input size != n");
+  }
+  for (std::int32_t v : *job.input) {
+    if (v < kReduceLo || v > kReduceHi) {
+      throw HostError("Device: reduce job value outside the 18-bit range");
+    }
+  }
+  const unsigned nrows = job.n / arch::kVwrWords;
+  stage_rows(*job.input);
+  JobResult r;
+  std::int32_t value = 0;
+  switch (job.op) {
+    case ReduceOp::kMin:
+      value = reduce_.min_rows(0, nrows);
+      r.launches = kernels::kBisectLaunches;
+      break;
+    case ReduceOp::kMax:
+      value = reduce_.max_rows(0, nrows);
+      r.launches = kernels::kBisectLaunches;
+      break;
+    case ReduceOp::kMean:
+      // 32-bit wrap sum on the array (exact: |sum| < 2^29 for in-range
+      // inputs), truncating divide on the host -- dsp::mean_i32 semantics.
+      value = reduce_.sum_rows(0, nrows) / static_cast<std::int32_t>(job.n);
+      r.launches = 1;
+      break;
+    case ReduceOp::kEnergy:
+      value = reduce_.sumsq_rows(0, nrows);
+      r.launches = 1;
+      break;
+  }
+  r.output = {value};
+  return r;
+}
+
+JobResult Device::run_delineation(const DelineationJob& job) {
+  if (job.input == nullptr) {
+    throw HostError("Device: delineation job with null input");
+  }
+  if (job.n == 0 || job.n % arch::kVwrWords != 0 || job.n > 2048) {
+    throw HostError(
+        "Device: delineation job n must be a multiple of 128, <= 2048");
+  }
+  if (job.input->size() != job.n) {
+    throw HostError("Device: delineation job input size != n");
+  }
+  stage_rows(*job.input);
+  const unsigned scratch = data_base_ + job.n;
+  const auto ext = delin_.run(job.n, 0, job.threshold, (*job.input)[0], scratch);
+  JobResult r;
+  r.launches = 2;  // candidate-flags pass + serial scan
+  r.output.reserve(ext.size());
+  for (const dsp::Extremum& e : ext) {
+    r.output.push_back(static_cast<std::int32_t>((e.index << 1) |
+                                                 (e.is_max ? 1u : 0u)));
+  }
+  return r;
+}
+
+JobResult Device::run_bio(const BioTrackerJob& job) {
+  if (job.input == nullptr) {
+    throw HostError("Device: bio job with null input");
+  }
+  if (job.input->size() != app::kWindow) {
+    throw HostError("Device: bio job window must be app::kWindow samples");
+  }
+  if (bio_ == nullptr) {
+    bio_ = std::make_unique<app::MBioTracker>(platform_, cache_,
+                                              platform_.arch().name() + "/");
+  }
+  // Re-init every window: the resident SPM state (band-mask rows) may have
+  // been clobbered by interleaved kernel jobs, so each bio job pays the
+  // same deterministic staging cost and is self-contained.
+  const std::uint64_t launches0 = platform_.vwr2a().launches();
+  bio_->init(kBioBase);
+  std::vector<double> x(app::kWindow);
+  for (unsigned i = 0; i < app::kWindow; ++i) {
+    x[i] = fx::from_q16_15((*job.input)[i]);
+  }
+  const app::AppResult a = bio_->run(job.target, x);
+  JobResult r;
+  r.launches =
+      static_cast<unsigned>(platform_.vwr2a().launches() - launches0);
+  r.output.reserve(8);
+  r.output.push_back(a.svm_class);
+  r.output.push_back(static_cast<std::int32_t>(a.extrema));
+  for (double f : a.feat.as_vector()) r.output.push_back(fx::to_q16_15(f));
   return r;
 }
 

@@ -6,16 +6,27 @@
 // the max of the device-local clocks, exactly the semantics of N physical
 // VWR2A blocks working in parallel.
 //
+// A device can be built as an architecture variant (soc::ArchConfig: VWR
+// count, SIMD width); outputs stay bit-identical across variants while the
+// reported cycle/energy deltas follow the variant's cost model, which is
+// what lets one heterogeneous pool run an ablation sweep as a single batch.
+// Kernel-image cache keys are namespaced by the variant (Host key prefix),
+// so incompatible device configurations never alias cache entries.
+//
 // A Device is not thread-safe; the pool guarantees at most one worker
 // drives a device at a time and that a device's jobs run in submission
 // order.
 
 #include <cstdint>
+#include <memory>
 
+#include "app/mbiotracker.hpp"
 #include "isa/image_cache.hpp"
+#include "kernels/delineation.hpp"
 #include "kernels/fft.hpp"
 #include "kernels/fir.hpp"
 #include "kernels/host.hpp"
+#include "kernels/reduce.hpp"
 #include "runtime/job.hpp"
 #include "soc/platform.hpp"
 
@@ -25,12 +36,18 @@ namespace vwr2a::runtime {
 class Device {
  public:
   /// System-memory word layout: FIR staging scratch (zeros + taps) at 0,
-  /// FFT twiddle tables at kFftTableBase, job data after the tables.
+  /// FFT twiddle tables at kFftTableBase, job data after the tables, and
+  /// the resident MBioTracker image (its own tables, masks, weights and
+  /// window staging) at kBioBase -- above the largest kernel job's data
+  /// footprint (cfft-2048 tops out near word 22k).
   static constexpr unsigned kFirScratchBase = 0;
   static constexpr unsigned kFftTableBase = 32;
+  static constexpr unsigned kBioBase = 32768;
 
-  /// `cache` shares assembled kernel images across all devices of a pool.
-  Device(unsigned id, isa::ImageCache& cache);
+  /// `cache` shares assembled kernel images across all devices of a pool;
+  /// `arch` selects the architecture variant this device simulates.
+  Device(unsigned id, isa::ImageCache& cache,
+         const soc::ArchConfig& arch = {});
 
   /// Runs one job to completion on this device (synchronous, device-local
   /// time advances). Throws on malformed jobs; the caller routes the
@@ -39,6 +56,7 @@ class Device {
 
   unsigned id() const { return id_; }
   std::uint64_t jobs_run() const { return jobs_; }
+  const soc::ArchConfig& arch() const { return platform_.arch(); }
 
   /// Device-local snapshot (local time + energy since construction).
   soc::Platform::Snapshot snapshot() const { return platform_.snapshot(); }
@@ -46,12 +64,26 @@ class Device {
  private:
   JobResult run_fir(const FirJob& job);
   JobResult run_cfft(const CfftJob& job);
+  JobResult run_rfft(const RfftJob& job);
+  JobResult run_ifft(const IfftJob& job);
+  JobResult run_reduce(const ReduceJob& job);
+  JobResult run_delineation(const DelineationJob& job);
+  JobResult run_bio(const BioTrackerJob& job);
+
+  /// Stages `data` into system memory at data_base_ and DMAs it into whole
+  /// SPM rows starting at row 0 (row-resident kernel families).
+  void stage_rows(const std::vector<std::int32_t>& data);
 
   unsigned id_;
   soc::Platform platform_;
+  isa::ImageCache* cache_;
   kernels::Host host_;
   kernels::FirKernels fir_;
   kernels::FftKernels fft_;
+  kernels::ReduceKernels reduce_;
+  kernels::DelineationKernels delin_;
+  /// The resident application image, created on the first BioTrackerJob.
+  std::unique_ptr<app::MBioTracker> bio_;
   unsigned data_base_;  ///< first system word available for job data
   std::uint64_t jobs_ = 0;
 };

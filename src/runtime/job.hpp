@@ -5,6 +5,13 @@
 // batched submissions of the same signal or the same filter taps alias one
 // allocation across all jobs and devices.
 //
+// The catalog covers every kernel family of the reproduction (see README's
+// job-catalog table): FIR-11, complex FFT, real FFT, inverse FFT, the
+// scalar reductions (min/max/mean/energy), min/max delineation, and the
+// whole MBioTracker application window. Every variant is pinned to its
+// dsp::reference golden model by tests/test_runtime_jobs.cpp before it is
+// allowed in a fleet.
+//
 // Results carry the per-job simulated cost as a soc::Platform::Snapshot
 // delta, so callers get the same cycle/energy separation (CPU / VWR2A /
 // accelerator) as a standalone run. Per-job deltas are bit- and cycle-
@@ -19,6 +26,8 @@
 #include <variant>
 #include <vector>
 
+#include "app/mbiotracker.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "soc/platform.hpp"
 
@@ -46,10 +55,71 @@ struct CfftJob {
   SharedBuffer input;  ///< 2n interleaved words
 };
 
-/// One runtime request.
+/// Real FFT, n in {512, 1024, 2048}: n real samples (16.15) in, n/2+1
+/// complex bins out (n+2 interleaved words, natural order). Matches
+/// dsp::rfft_fx bit-for-bit.
+struct RfftJob {
+  unsigned n = 0;
+  SharedBuffer input;  ///< n real samples
+};
+
+/// Inverse complex FFT, n in {256, 512, 1024}; input/output are 2n words of
+/// interleaved re,im in 16.15, natural order. Matches dsp::pease_ifft_fx.
+struct IfftJob {
+  unsigned n = 0;
+  SharedBuffer input;  ///< 2n interleaved words
+};
+
+/// Scalar reduction flavour of a ReduceJob.
+enum class ReduceOp : std::uint8_t {
+  kMin = 0,  ///< minimum element (host-driven bisection over count_le)
+  kMax,      ///< maximum element (same bisection)
+  kMean,     ///< truncating integer mean (sum kernel + host divide)
+  kEnergy,   ///< 32-bit wrap sum of fixed-point squares (sum-of-squares kernel)
+};
+
+/// Scalar reduction over n samples, n a multiple of 128 (whole SPM rows),
+/// n <= 4096. Values must lie in the 18-bit signal range [-2^17, 2^17)
+/// (any 16.15 signal in (-2, 2) qualifies); min/max resolve it by
+/// bisection. Output is one word.
+struct ReduceJob {
+  ReduceOp op = ReduceOp::kMin;
+  unsigned n = 0;
+  SharedBuffer input;  ///< n samples
+};
+
+/// Threshold-hysteresis min/max delineation of n samples (16.15), n a
+/// multiple of 128, n <= 2048. Output is one record per detected extremum,
+/// encoded (index << 1) | is_max in submission order -- the kernel's native
+/// record format. At most kernels::kMaxExtrema records fit one run; inputs
+/// whose hysteresis fires more often fail the job (future rethrows).
+struct DelineationJob {
+  unsigned n = 0;
+  std::int32_t threshold = 0;  ///< hysteresis threshold (16.15)
+  SharedBuffer input;          ///< n samples
+};
+
+/// One whole MBioTracker application window (app::kWindow = 512 samples in
+/// 16.15, natural units in (-1, 1)) run end-to-end on the selected target:
+/// FIR preprocessing, delineation, feature extraction, SVM class. Output:
+///   word 0: SVM class (+1 / -1)
+///   word 1: detected extrema count
+///   words 2..7: the six features, quantized to 16.15
+struct BioTrackerJob {
+  app::Target target = app::Target::kCpuVwr2a;
+  SharedBuffer input;  ///< app::kWindow samples
+};
+
+/// One runtime request. `pin` selects the scheduling policy: -1 (default)
+/// lets the pool place the job on device `seq % devices`; 0..devices-1
+/// forces the job onto one device -- how an ablation sweep routes each
+/// variant's jobs to the device built with that soc::ArchConfig.
 struct Job {
-  std::variant<FirJob, CfftJob> work;
+  std::variant<FirJob, CfftJob, RfftJob, IfftJob, ReduceJob, DelineationJob,
+               BioTrackerJob>
+      work;
   std::string tag;  ///< caller label, echoed into the result
+  int pin = -1;     ///< pin_to_device: fixed device index, or -1 for round-robin
 };
 
 /// Completed-job report.
@@ -77,7 +147,18 @@ class JobHandle {
       const std::chrono::duration<Rep, Period>& d) const {
     return future_.wait_for(d);
   }
-  JobResult get() { return future_.get(); }
+
+  /// Blocks for the result (one-shot). Throws HostError -- instead of the
+  /// bare std::future_error the underlying future would raise -- when the
+  /// handle never held a job or was already consumed.
+  JobResult get() {
+    if (!future_.valid()) {
+      throw HostError(
+          "JobHandle: get() on an invalid handle (default-constructed, "
+          "moved-from, or result already retrieved)");
+    }
+    return future_.get();
+  }
 
  private:
   std::future<JobResult> future_;

@@ -7,14 +7,23 @@
 
 namespace vwr2a::runtime {
 
-DevicePool::DevicePool(Config cfg) : cfg_(cfg) {
+DevicePool::DevicePool(Config cfg) : cfg_(std::move(cfg)) {
   if (cfg_.devices == 0) throw HostError("DevicePool: need at least 1 device");
   if (cfg_.workers == 0) cfg_.workers = cfg_.devices;
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  if (!cfg_.device_arch.empty() && cfg_.device_arch.size() != 1 &&
+      cfg_.device_arch.size() != cfg_.devices) {
+    throw HostError(
+        "DevicePool: device_arch must be empty, one entry, or one per device");
+  }
 
   devices_.resize(cfg_.devices);
   for (unsigned d = 0; d < cfg_.devices; ++d) {
-    devices_[d].device = std::make_unique<Device>(d, cache_);
+    const soc::ArchConfig arch =
+        cfg_.device_arch.empty()
+            ? soc::ArchConfig{}
+            : cfg_.device_arch[cfg_.device_arch.size() == 1 ? 0 : d];
+    devices_[d].device = std::make_unique<Device>(d, cache_, arch);
   }
   workers_.reserve(cfg_.workers);
   for (unsigned w = 0; w < cfg_.workers; ++w) {
@@ -40,14 +49,25 @@ int DevicePool::find_work() const {
   return -1;
 }
 
+unsigned DevicePool::route(const Job& job, std::uint64_t seq) const {
+  if (job.pin >= 0) {
+    if (static_cast<std::size_t>(job.pin) >= devices_.size()) {
+      throw HostError("DevicePool: pin_to_device index out of range");
+    }
+    return static_cast<unsigned>(job.pin);
+  }
+  return static_cast<unsigned>(seq % devices_.size());
+}
+
 JobHandle DevicePool::submit(Job job) {
   std::promise<JobResult> promise;
   JobHandle handle(promise.get_future());
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw HostError("DevicePool: submit after shutdown");
-    const std::uint64_t seq = next_seq_++;
-    DeviceState& ds = devices_[seq % devices_.size()];
+    const std::uint64_t seq = next_seq_;
+    DeviceState& ds = devices_[route(job, seq)];  // throws before enqueuing
+    ++next_seq_;
     ds.queue.push_back(Pending{std::move(job), std::move(promise), seq});
     ++inflight_;
   }
@@ -61,11 +81,13 @@ std::vector<JobHandle> DevicePool::submit_batch(std::vector<Job> jobs) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw HostError("DevicePool: submit after shutdown");
+    // Validate every pin first: a bad pin must not enqueue half a batch.
+    for (const Job& job : jobs) (void)route(job, 0);
     for (Job& job : jobs) {
       std::promise<JobResult> promise;
       handles.emplace_back(promise.get_future());
       const std::uint64_t seq = next_seq_++;
-      DeviceState& ds = devices_[seq % devices_.size()];
+      DeviceState& ds = devices_[route(job, seq)];
       ds.queue.push_back(Pending{std::move(job), std::move(promise), seq});
       ++inflight_;
     }
@@ -133,10 +155,16 @@ FleetStats DevicePool::stats() {
   s.jobs_completed = completed_;
   s.jobs_failed = failed_;
   s.device_cycles.reserve(devices_.size());
+  s.device_pj.reserve(devices_.size());
+  s.device_jobs.reserve(devices_.size());
+  s.device_arch.reserve(devices_.size());
   for (const DeviceState& ds : devices_) {
     const soc::Platform::Snapshot snap = ds.device->snapshot();
     const Cycle local = snap.total_cycles();
     s.device_cycles.push_back(local);
+    s.device_pj.push_back(snap.total_pj());
+    s.device_jobs.push_back(ds.device->jobs_run());
+    s.device_arch.push_back(ds.device->arch());
     s.fleet_makespan = std::max(s.fleet_makespan, local);
     s.total_device_cycles += local;
     s.total_pj += snap.total_pj();

@@ -4,15 +4,25 @@
 // over many cores, Ara's clean runtime/lane split) -- scale comes from more
 // devices, not from touching the device model.
 //
-// Scheduling & determinism. Jobs are pinned to devices statically: global
-// submission index `seq` runs on device `seq % devices`. Each device keeps
-// a FIFO of its pending jobs and is driven by at most one worker at a time,
-// so the job stream a device sees -- and therefore every per-job cycle and
-// energy delta -- depends only on the submission order and the device
-// count, never on the number of workers or on thread scheduling. Workers
-// are interchangeable executors: with 1 worker the fleet is simulated
-// sequentially, with W workers up to W devices advance concurrently, and
-// the results are bit- and cycle-identical.
+// Scheduling & determinism. Jobs are placed on devices statically: global
+// submission index `seq` runs on device `seq % devices`, unless the job
+// carries an explicit `pin` (pin_to_device), which forces it onto that
+// device. Each device keeps a FIFO of its pending jobs and is driven by at
+// most one worker at a time, so the job stream a device sees -- and
+// therefore every per-job cycle and energy delta -- depends only on the
+// submission order, the device count and the pins, never on the number of
+// workers or on thread scheduling. Workers are interchangeable executors:
+// with 1 worker the fleet is simulated sequentially, with W workers up to
+// W devices advance concurrently, and the results are bit- and
+// cycle-identical.
+//
+// Heterogeneity. Config::device_arch gives each device its own
+// soc::ArchConfig (VWR count / SIMD width, the bench/ablation_* knobs), so
+// one pool can host a whole ablation sweep: pin each variant's jobs to the
+// device built with that variant and read per-device stats from
+// FleetStats. Kernel-image cache keys are namespaced per variant, so
+// incompatible device configs never share images while identical ones
+// still assemble each kernel once fleet-wide.
 //
 // Batched dispatch. submit_batch() enqueues a whole batch under one lock
 // round-trip, and a worker that claims a device drains up to
@@ -51,6 +61,9 @@ struct FleetStats {
   /// Fleet energy (all devices, all meters), in pJ / µJ.
   double total_pj = 0.0;
   std::vector<Cycle> device_cycles;  ///< per-device local time
+  std::vector<double> device_pj;     ///< per-device energy
+  std::vector<std::uint64_t> device_jobs;      ///< per-device jobs run
+  std::vector<soc::ArchConfig> device_arch;    ///< per-device variant
   isa::ImageCache::Stats image_cache;
 
   double total_uj() const { return total_pj * 1e-6; }
@@ -71,6 +84,10 @@ class DevicePool {
     unsigned devices = 1;
     unsigned workers = 0;    ///< 0: one worker per device
     unsigned max_batch = 32; ///< jobs drained per device claim
+    /// Per-device architecture overrides: empty = every device is the
+    /// paper's baseline; one entry = that variant fleet-wide; otherwise
+    /// exactly one entry per device.
+    std::vector<soc::ArchConfig> device_arch;
   };
 
   DevicePool() : DevicePool(Config()) {}
@@ -80,11 +97,13 @@ class DevicePool {
   DevicePool(const DevicePool&) = delete;
   DevicePool& operator=(const DevicePool&) = delete;
 
-  /// Enqueues one job; returns its future. Thread-safe.
+  /// Enqueues one job; returns its future. Thread-safe. Throws HostError if
+  /// the job's pin names a device outside the fleet.
   JobHandle submit(Job job);
 
   /// Enqueues a batch under a single lock round-trip; returns one future
-  /// per job, in order. Thread-safe.
+  /// per job, in order. Thread-safe. Pins are validated before anything is
+  /// enqueued (all-or-nothing).
   std::vector<JobHandle> submit_batch(std::vector<Job> jobs);
 
   /// Blocks until every submitted job has completed.
@@ -112,6 +131,8 @@ class DevicePool {
   void worker_loop();
   /// Index of a serviceable device (unclaimed, non-empty queue), or -1.
   int find_work() const;
+  /// Device a job routes to: its pin when set (validated), else seq-robin.
+  unsigned route(const Job& job, std::uint64_t seq) const;
 
   isa::ImageCache cache_;
   Config cfg_;

@@ -39,11 +39,64 @@ std::vector<Job> make_mixed_jobs(unsigned count, unsigned seed) {
   return jobs;
 }
 
+/// A reproducible batch spanning the whole catalog, with a deterministic
+/// mix of round-robin and pinned jobs.
+std::vector<Job> make_catalog_jobs(unsigned count, unsigned seed,
+                                   unsigned devices) {
+  Rng rng(seed);
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (unsigned j = 0; j < count; ++j) {
+    Job job;
+    switch (j % 5) {
+      case 0: {
+        std::vector<std::int32_t> x(128);
+        for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+        job.work = FirJob{128, taps, make_buffer(std::move(x))};
+        break;
+      }
+      case 1: {
+        std::vector<std::int32_t> x(2 * 256);
+        for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+        job.work = CfftJob{256, make_buffer(std::move(x))};
+        break;
+      }
+      case 2: {
+        std::vector<std::int32_t> x(512);
+        for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+        job.work = RfftJob{512, make_buffer(std::move(x))};
+        break;
+      }
+      case 3: {
+        std::vector<std::int32_t> x(256);
+        for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+        job.work = ReduceJob{static_cast<ReduceOp>(j % 4), 256,
+                             make_buffer(std::move(x))};
+        break;
+      }
+      default: {
+        dsp::RespirationParams p;
+        Rng sig(seed + j);
+        job.work = DelineationJob{256, fx::to_q16_15(0.1),
+                                  make_buffer(dsp::respiration_q16_15(256, p, sig))};
+        break;
+      }
+    }
+    job.tag = "job#" + std::to_string(j);
+    if (j % 3 == 0) job.pin = static_cast<int>(j % devices);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 std::vector<JobResult> run_all(unsigned devices, unsigned workers,
-                               const std::vector<Job>& jobs) {
+                               const std::vector<Job>& jobs,
+                               std::vector<soc::ArchConfig> device_arch = {}) {
   DevicePool::Config cfg;
   cfg.devices = devices;
   cfg.workers = workers;
+  cfg.device_arch = std::move(device_arch);
   DevicePool pool(cfg);
   auto handles = pool.submit_batch(jobs);
   std::vector<JobResult> results;
@@ -134,6 +187,120 @@ TEST(RuntimePool, CfftBitExactAgainstGolden) {
     EXPECT_EQ(r.output[2 * k], golden[k].re) << "bin " << k;
     EXPECT_EQ(r.output[2 * k + 1], golden[k].im) << "bin " << k;
   }
+}
+
+TEST(RuntimeDeterminism, HeterogeneousFleetIndependentOfWorkerCount) {
+  // A mixed-variant fleet (baseline, 2-VWR, 4-VWR, SIMD16) serving a
+  // catalog-wide batch with pinned and round-robin jobs must be bit- and
+  // cycle-identical for 1, 2 and 4 workers.
+  const std::vector<soc::ArchConfig> fleet = {
+      soc::ArchConfig{},
+      soc::ArchConfig{.vwr_count = 2},
+      soc::ArchConfig{.vwr_count = 4},
+      soc::ArchConfig{.simd_width = 16},
+  };
+  const auto jobs = make_catalog_jobs(20, 77, 4);
+  const auto base = run_all(4, 1, jobs, fleet);
+  for (unsigned workers : {2u, 4u}) {
+    const auto got = run_all(4, workers, jobs, fleet);
+    ASSERT_EQ(got.size(), base.size()) << workers << " workers";
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      SCOPED_TRACE("job " + std::to_string(j) + " with " +
+                   std::to_string(workers) + " workers");
+      EXPECT_EQ(got[j].seq, base[j].seq);
+      EXPECT_EQ(got[j].device, base[j].device);
+      EXPECT_EQ(got[j].output, base[j].output);  // bit-identical
+      EXPECT_EQ(got[j].cost.vwr2a_cycles, base[j].cost.vwr2a_cycles);
+      EXPECT_EQ(got[j].cost.cpu_cycles, base[j].cost.cpu_cycles);
+      EXPECT_EQ(got[j].cost.vwr2a_pj, base[j].cost.vwr2a_pj);
+      EXPECT_EQ(got[j].cost.sys_pj, base[j].cost.sys_pj);
+      EXPECT_EQ(got[j].launches, base[j].launches);
+      // Pinned jobs landed where they were pinned.
+      if (jobs[j].pin >= 0) {
+        EXPECT_EQ(got[j].device, static_cast<unsigned>(jobs[j].pin));
+      }
+    }
+  }
+}
+
+TEST(RuntimePool, PinnedJobsRouteToTheirDevice) {
+  DevicePool::Config cfg;
+  cfg.devices = 3;
+  DevicePool pool(cfg);
+  Rng rng(5);
+  std::vector<std::int32_t> x(64);
+  for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  const auto buf = make_buffer(std::move(x));
+
+  std::vector<JobHandle> handles;
+  for (int d = 2; d >= 0; --d) {
+    Job job{FirJob{64, taps, buf}, "pin" + std::to_string(d)};
+    job.pin = d;
+    handles.push_back(pool.submit(std::move(job)));
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_EQ(handles[i].get().device, 2 - i);
+  }
+
+  // Out-of-range pins are rejected up front, batch-atomically.
+  Job bad{FirJob{64, taps, buf}, "bad"};
+  bad.pin = 3;
+  EXPECT_THROW(pool.submit(bad), HostError);
+  std::vector<Job> batch(2, Job{FirJob{64, taps, buf}, "ok"});
+  batch.push_back(bad);
+  EXPECT_THROW(pool.submit_batch(std::move(batch)), HostError);
+  pool.wait_idle();
+  EXPECT_EQ(pool.stats().jobs_completed, 3u);  // nothing from the bad batch
+}
+
+TEST(RuntimePool, ImageCacheDoesNotLeakAcrossVariants) {
+  // The same pinned job set on a homogeneous and a mixed-variant 2-device
+  // fleet: variants must never alias cache entries (misses double, zero
+  // cross-variant hits), while a homogeneous fleet still assembles each
+  // image once and shares it.
+  auto pinned_jobs = [] {
+    Rng rng(13);
+    const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+    std::vector<std::int32_t> x(128);
+    for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+    const auto buf = make_buffer(std::move(x));
+    std::vector<Job> jobs;
+    for (int d = 0; d < 2; ++d) {
+      Job job{FirJob{128, taps, buf}, "d" + std::to_string(d)};
+      job.pin = d;
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+  auto run_fleet = [&](std::vector<soc::ArchConfig> arch) {
+    DevicePool::Config cfg;
+    cfg.devices = 2;
+    cfg.device_arch = std::move(arch);
+    DevicePool pool(cfg);
+    for (auto& h : pool.submit_batch(pinned_jobs())) h.get();
+    return pool.stats();
+  };
+
+  const FleetStats homo = run_fleet({});
+  const FleetStats hetero = run_fleet(
+      {soc::ArchConfig{}, soc::ArchConfig{.vwr_count = 2}});
+
+  // Homogeneous: device 1 reuses every image device 0 assembled.
+  EXPECT_EQ(homo.image_cache.misses, homo.image_cache.entries);
+  EXPECT_GT(homo.image_cache.hits, 0u);
+  // Heterogeneous: same job set, but every image is assembled once per
+  // variant under its own namespace -- no sharing, no aliasing.
+  EXPECT_EQ(hetero.image_cache.misses, hetero.image_cache.entries);
+  EXPECT_EQ(hetero.image_cache.hits, 0u);
+  EXPECT_EQ(hetero.image_cache.misses, 2 * homo.image_cache.misses);
+  // Per-variant bookkeeping reaches the fleet stats.
+  ASSERT_EQ(hetero.device_arch.size(), 2u);
+  EXPECT_EQ(hetero.device_arch[0].vwr_count, 3u);
+  EXPECT_EQ(hetero.device_arch[1].vwr_count, 2u);
+  ASSERT_EQ(hetero.device_jobs.size(), 2u);
+  EXPECT_EQ(hetero.device_jobs[0], 1u);
+  EXPECT_EQ(hetero.device_jobs[1], 1u);
 }
 
 TEST(RuntimePool, ImageCacheAssemblesOncePerKernel) {

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/fixed_point.hpp"
@@ -131,6 +134,133 @@ TEST(RuntimeQueue, DestructorDrainsPendingJobs) {
     ASSERT_TRUE(h.valid());
     EXPECT_EQ(h.get().output, golden);  // fulfilled, not broken_promise
   }
+}
+
+TEST(RuntimeQueueStress, MixedJobTypeFuzz) {
+  // Randomized mixed-catalog stress: random variant, size and pin per job.
+  // Every future must resolve (all inputs are valid by construction), tags
+  // must round-trip, and pinned jobs must land on their device.
+  constexpr unsigned kJobs = 96;
+  constexpr unsigned kDevices = 3;
+  Rng rng(2024);
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+
+  auto random_buf = [&rng](unsigned n, double lim) {
+    std::vector<std::int32_t> x(n);
+    for (auto& v : x) v = fx::to_q16_15(rng.next_range(-lim, lim));
+    return make_buffer(std::move(x));
+  };
+
+  DevicePool::Config cfg;
+  cfg.devices = kDevices;
+  cfg.workers = 2;  // deliberately != devices
+  cfg.max_batch = 4;
+  cfg.device_arch = {soc::ArchConfig{}, soc::ArchConfig{.vwr_count = 4},
+                     soc::ArchConfig{.simd_width = 16}};
+  DevicePool pool(cfg);
+
+  std::vector<Job> jobs;
+  jobs.reserve(kJobs);
+  for (unsigned j = 0; j < kJobs; ++j) {
+    Job job;
+    switch (rng.next_below(6)) {
+      case 0: {
+        const unsigned n = 64 * (1 + rng.next_below(4));
+        job.work = FirJob{n, taps, random_buf(n, 0.9)};
+        break;
+      }
+      case 1:
+        job.work = CfftJob{256, random_buf(512, 0.4)};
+        break;
+      case 2:
+        job.work = RfftJob{512, random_buf(512, 0.4)};
+        break;
+      case 3:
+        job.work = IfftJob{256, random_buf(512, 0.4)};
+        break;
+      case 4: {
+        const unsigned n = 128 * (1 + rng.next_below(4));
+        job.work = ReduceJob{static_cast<ReduceOp>(rng.next_below(4)), n,
+                             random_buf(n, 0.9)};
+        break;
+      }
+      default: {
+        dsp::RespirationParams p;
+        Rng sig(3000 + j);
+        const unsigned n = 128 * (1 + rng.next_below(3));
+        job.work = DelineationJob{n, fx::to_q16_15(0.1),
+                                  make_buffer(dsp::respiration_q16_15(n, p, sig))};
+        break;
+      }
+    }
+    job.tag = "fuzz#" + std::to_string(j);
+    job.pin = static_cast<int>(rng.next_below(kDevices + 1)) - 1;  // -1..2
+    jobs.push_back(std::move(job));
+  }
+
+  // Mix both enqueue paths, as the original stress does.
+  std::vector<JobHandle> handles;
+  handles.reserve(kJobs);
+  for (unsigned j = 0; j < kJobs;) {
+    if (rng.next_below(2) == 0) {
+      handles.push_back(pool.submit(jobs[j]));
+      ++j;
+    } else {
+      const unsigned take = std::min(1 + rng.next_below(16), kJobs - j);
+      std::vector<Job> batch(jobs.begin() + j, jobs.begin() + j + take);
+      for (auto& h : pool.submit_batch(std::move(batch))) {
+        handles.push_back(std::move(h));
+      }
+      j += take;
+    }
+  }
+  ASSERT_EQ(handles.size(), kJobs);
+
+  for (unsigned j = 0; j < kJobs; ++j) {
+    ASSERT_TRUE(handles[j].valid()) << "job " << j;
+    JobResult r = handles[j].get();  // throws if the job failed
+    EXPECT_EQ(r.seq, j);
+    EXPECT_EQ(r.tag, "fuzz#" + std::to_string(j));
+    EXPECT_FALSE(r.output.empty() &&
+                 !std::holds_alternative<DelineationJob>(jobs[j].work))
+        << "job " << j;
+    if (jobs[j].pin >= 0) {
+      EXPECT_EQ(r.device, static_cast<unsigned>(jobs[j].pin)) << "job " << j;
+    }
+  }
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.jobs_completed, kJobs);
+  EXPECT_EQ(s.jobs_failed, 0u);
+}
+
+TEST(RuntimeQueue, InvalidHandleGetThrowsClearError) {
+  // Default-constructed handle.
+  JobHandle empty;
+  EXPECT_THROW(empty.get(), HostError);
+  try {
+    empty.get();
+    FAIL() << "expected HostError";
+  } catch (const HostError& e) {
+    EXPECT_NE(std::string(e.what()).find("JobHandle"), std::string::npos);
+  }
+
+  // Consumed and moved-from handles degrade the same way.
+  DevicePool pool;
+  Rng rng(3);
+  std::vector<std::int32_t> x(64);
+  for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+  const auto taps = dsp::fir11_lowpass_q15();
+  JobHandle h =
+      pool.submit(Job{FirJob{64, make_buffer(taps), make_buffer(x)}, ""});
+  (void)h.get();
+  EXPECT_FALSE(h.valid());
+  EXPECT_THROW(h.get(), HostError);
+
+  JobHandle h2 =
+      pool.submit(Job{FirJob{64, make_buffer(taps), make_buffer(x)}, ""});
+  JobHandle moved = std::move(h2);
+  EXPECT_THROW(h2.get(), HostError);
+  (void)moved.get();
 }
 
 TEST(RuntimeQueue, IdlePoolIsWellBehaved) {
