@@ -1,0 +1,137 @@
+// Streaming soak: the headline scaling benchmark of the stream layer.
+// 16 tenant sessions (heavy whole-app BioTracker streams alternating with
+// lighter FIR->energy->rFFT feature pipelines) push a fixed number of
+// windows each onto a 4-device heterogeneous fleet, twice:
+//   * baseline: round-robin session placement, SPM residency tracking and
+//     cross-job staging dedup disabled (the PR-2 runtime);
+//   * tuned: shortest-local-clock placement + residency + dedup.
+// Same sample streams, same windows, bit-identical outputs -- the configs
+// differ only in placement and staging cost, so the makespan gap is pure
+// scheduling/residency win. Exit status enforces tuned < baseline.
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "stream/server.hpp"
+
+int main() {
+  using namespace vwr2a;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr unsigned kSessions = 16;
+  constexpr unsigned kWindowsPerSession = 12;
+  constexpr unsigned kChunk = 160;  // push granularity (samples)
+
+  // Fixed per-tenant streams: even sessions run the whole application
+  // (heavy), odd sessions the feature pipeline (light).
+  std::vector<std::vector<std::int32_t>> streams;
+  for (unsigned i = 0; i < kSessions; ++i) {
+    dsp::RespirationParams p;
+    p.breath_hz = 0.15 + 0.05 * (i % 8);
+    Rng rng(4000 + i);
+    streams.push_back(dsp::respiration_q16_15(
+        kWindowsPerSession * app::kWindow, p, rng));
+  }
+
+  struct Run {
+    stream::ServerStats stats;
+    /// FNV-1a over every delivered output word, per session in window
+    /// order: the configs must agree bit-for-bit.
+    std::vector<std::uint64_t> output_hash;
+    double wall_ms = 0.0;
+  };
+  auto soak = [&streams](runtime::Schedule sched, bool residency) {
+    stream::StreamServer::Config cfg;
+    cfg.pool.devices = 4;
+    cfg.pool.schedule = sched;
+    cfg.pool.device_opts.residency = residency;
+    cfg.pool.device_opts.dedup = residency;
+    cfg.pool.device_arch = {soc::ArchConfig{},
+                            soc::ArchConfig{.vwr_count = 2},
+                            soc::ArchConfig{.vwr_count = 4},
+                            soc::ArchConfig{.simd_width = 16}};
+    stream::StreamServer server(cfg);
+
+    // One shared taps buffer across every pipeline tenant: cross-job dedup
+    // stages it once per device per residency interval.
+    const auto taps = runtime::make_buffer(dsp::fir11_lowpass_q15());
+    std::vector<std::uint64_t> hashes(streams.size(), 1469598103934665603ull);
+    std::vector<stream::Session*> sessions;
+    for (unsigned i = 0; i < streams.size(); ++i) {
+      stream::SessionConfig scfg;
+      if (i % 2 == 1) {
+        scfg.kind = stream::SessionKind::kPipeline;
+        scfg.taps = taps;
+      }
+      sessions.push_back(
+          &server.open_session(scfg, [&hashes](const stream::WindowResult& r) {
+            std::uint64_t& h = hashes[r.session];
+            for (std::int32_t w : r.job.output) {
+              h = (h ^ static_cast<std::uint32_t>(w)) * 1099511628211ull;
+            }
+          }));
+    }
+
+    const auto t0 = Clock::now();
+    for (std::size_t off = 0;; off += kChunk) {
+      bool any = false;
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        if (off >= streams[i].size()) continue;
+        const std::size_t take =
+            std::min<std::size_t>(kChunk, streams[i].size() - off);
+        sessions[i]->push(
+            std::span<const std::int32_t>(streams[i]).subspan(off, take));
+        any = true;
+      }
+      if (!any) break;
+    }
+    server.finish();
+    Run r;
+    r.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    r.stats = server.stats();
+    r.output_hash = std::move(hashes);
+    return r;
+  };
+
+  bench::header("Stream soak: 16 sessions x 12 windows, 4-device mixed fleet");
+  std::printf("  %-28s | %13s %11s %9s %9s | %8s\n", "config", "makespan cyc",
+              "windows/s", "occup", "stagings", "wall ms");
+
+  const Run base = soak(runtime::Schedule::kRoundRobin, false);
+  const Run tuned = soak(runtime::Schedule::kShortestLocalClock, true);
+  auto row = [](const char* name, const Run& r) {
+    std::printf("  %-28s | %13llu %11.0f %9.2f %9llu | %8.1f\n", name,
+                static_cast<unsigned long long>(r.stats.fleet.fleet_makespan),
+                r.stats.windows_per_sim_second(), r.stats.fleet_occupancy(),
+                static_cast<unsigned long long>(r.stats.fleet.stagings),
+                r.wall_ms);
+  };
+  row("round-robin, no residency", base);
+  row("shortest-clock + residency", tuned);
+
+  const double gain =
+      base.stats.fleet.fleet_makespan > 0
+          ? 1.0 - static_cast<double>(tuned.stats.fleet.fleet_makespan) /
+                      static_cast<double>(base.stats.fleet.fleet_makespan)
+          : 0.0;
+  std::printf("\n  per-session mean latency (tuned, cycles):\n    ");
+  for (const auto& s : tuned.stats.sessions) {
+    std::printf("s%llu:%.0f ", static_cast<unsigned long long>(s.id),
+                s.mean_latency_cycles());
+  }
+  std::printf("\n\n  makespan reduction: %.1f%% (%s)\n", gain * 100.0,
+              gain > 0.0 ? "tuned wins" : "REGRESSION");
+
+  const bool identical = tuned.output_hash == base.output_hash;
+  if (!identical) std::printf("  OUTPUT MISMATCH between configs\n");
+  const bool ok =
+      identical &&
+      tuned.stats.fleet.fleet_makespan < base.stats.fleet.fleet_makespan &&
+      tuned.stats.fleet.stagings < base.stats.fleet.stagings &&
+      tuned.stats.windows_delivered == base.stats.windows_delivered;
+  return ok ? 0 : 1;
+}

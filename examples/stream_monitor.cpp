@@ -1,0 +1,121 @@
+// Streaming biosignal monitor: eight simulated patients feed continuous
+// respiration streams into a StreamServer over a 4-device heterogeneous
+// fleet. Each tenant's windows are classified by the resident MBioTracker
+// (relaxed vs loaded breathing); results arrive in order through the sink
+// and are checked bit-for-bit against an offline app::MBioTracker run over
+// the same samples. Exit status enforces the ordered, reference-identical
+// delivery the stream layer promises.
+//
+//   patient stream --push--> Session ring --window--> BioTrackerJob
+//     --soft-pin--> Device (resident app, SPM residency) --sink--> monitor
+
+#include <cstdio>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "app/mbiotracker.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dsp/signal.hpp"
+#include "stream/server.hpp"
+
+using namespace vwr2a;
+
+namespace {
+
+/// Offline golden: a fresh platform running the same window.
+std::vector<std::int32_t> offline_window(const std::vector<std::int32_t>& wq) {
+  soc::Platform plat;
+  app::MBioTracker tracker(plat);
+  tracker.init();
+  std::vector<double> x(app::kWindow);
+  for (unsigned i = 0; i < app::kWindow; ++i) x[i] = fx::from_q16_15(wq[i]);
+  const app::AppResult a = tracker.run(app::Target::kCpuVwr2a, x);
+  std::vector<std::int32_t> out{a.svm_class,
+                                static_cast<std::int32_t>(a.extrema)};
+  for (double f : a.feat.as_vector()) out.push_back(fx::to_q16_15(f));
+  return out;
+}
+
+} // namespace
+
+int main() {
+  constexpr unsigned kPatients = 8;
+  constexpr unsigned kWindows = 3;  // windows per patient stream
+
+  stream::StreamServer::Config cfg;
+  cfg.pool.devices = 4;
+  cfg.pool.device_arch = {soc::ArchConfig{},
+                          soc::ArchConfig{.vwr_count = 2},
+                          soc::ArchConfig{.vwr_count = 4},
+                          soc::ArchConfig{.simd_width = 16}};
+  stream::StreamServer server(cfg);
+
+  // Patients 0..3 breathe slowly ("relaxed"), 4..7 fast ("loaded").
+  std::vector<std::vector<std::int32_t>> streams;
+  for (unsigned i = 0; i < kPatients; ++i) {
+    dsp::RespirationParams p;
+    p.breath_hz = i < 4 ? 0.16 + 0.02 * i : 0.48 + 0.04 * (i - 4);
+    Rng rng(7100 + i);
+    streams.push_back(
+        dsp::respiration_q16_15(kWindows * app::kWindow, p, rng));
+  }
+
+  std::map<std::uint64_t, std::vector<stream::WindowResult>> delivered;
+  std::vector<stream::Session*> sessions;
+  for (unsigned i = 0; i < kPatients; ++i) {
+    sessions.push_back(&server.open_session(
+        stream::SessionConfig{}, [&delivered](const stream::WindowResult& r) {
+          delivered[r.session].push_back(r);
+        }));
+  }
+
+  // Interleaved ingest, as a telemetry gateway would deliver it.
+  for (std::size_t off = 0;; off += 224) {
+    bool any = false;
+    for (unsigned i = 0; i < kPatients; ++i) {
+      if (off >= streams[i].size()) continue;
+      const std::size_t take =
+          std::min<std::size_t>(224, streams[i].size() - off);
+      sessions[i]->push(
+          std::span<const std::int32_t>(streams[i]).subspan(off, take));
+      any = true;
+    }
+    if (!any) break;
+  }
+  server.finish();
+
+  // Verify ordered, reference-bit-identical delivery per patient.
+  bool ok = true;
+  std::printf("patient  device  windows  classes   mean-latency-cyc\n");
+  for (unsigned i = 0; i < kPatients; ++i) {
+    const auto& got = delivered[i];
+    std::string classes;
+    bool match = got.size() == kWindows;
+    for (std::size_t w = 0; w < got.size(); ++w) {
+      const std::vector<std::int32_t> ref = offline_window(
+          {streams[i].begin() + w * app::kWindow,
+           streams[i].begin() + (w + 1) * app::kWindow});
+      match = match && got[w].index == w && got[w].job.output == ref;
+      classes += got[w].job.output[0] > 0 ? '+' : '-';
+    }
+    const stream::SessionStats st = sessions[i]->stats();
+    std::printf("  %-6u %-7u %-8llu %-9s %.0f%s\n", i, st.device,
+                static_cast<unsigned long long>(st.windows_delivered),
+                classes.c_str(), st.mean_latency_cycles(),
+                match ? "" : "   MISMATCH");
+    ok = ok && match;
+  }
+
+  const stream::ServerStats st = server.stats();
+  std::printf("\nfleet: %llu windows, %.0f windows/sim-s, occupancy %.2f, "
+              "%.1f uJ\n",
+              static_cast<unsigned long long>(st.windows_delivered),
+              st.windows_per_sim_second(), st.fleet_occupancy(),
+              st.fleet.total_uj());
+  std::printf("%s\n", ok ? "all patient streams bit-identical to the offline "
+                           "reference"
+                         : "MISMATCH against the offline reference");
+  return ok ? 0 : 1;
+}

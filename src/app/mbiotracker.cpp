@@ -24,7 +24,8 @@ using fx::q15_t;
 //   50     feature vector (slice 0)
 //   51..53 delineation records / SVM weights / FIR taps
 //   54..63 per-column kernel scratch
-constexpr unsigned kMaskResp = 28, kMaskHf = 32, kMaskTot = 36;
+constexpr unsigned kMaskResp = kMaskRowFirst, kMaskHf = kMaskRowFirst + 4,
+                   kMaskTot = kMaskRowFirst + 8;
 constexpr unsigned kFeatRow = 50;
 
 /// Window bin of spectrum-plane position p (bit-reversed resident layout).

@@ -39,6 +39,14 @@ inline constexpr unsigned kRespLo = 1, kRespHi = 8;   // ~0.06..0.44 Hz @32 Hz
 inline constexpr unsigned kHfLo = 16, kHfHi = 64;     // ~1..4 Hz
 inline constexpr unsigned kTotLo = 1, kTotHi = 255;
 
+/// SPM rows owned by the resident band-mask image (resp / hf / total, 4
+/// rows each -- see the row map in mbiotracker.cpp). Everything else init()
+/// stages lives in system SRAM above the kernel-job region, so these rows
+/// are the only resident state another job can clobber; runtime::Device's
+/// residency tracking watches their write stamps to skip re-init.
+inline constexpr unsigned kMaskRowFirst = 28;
+inline constexpr unsigned kMaskRowCount = 12;
+
 /// Normalized feature vector (platform-independent semantics).
 struct Features {
   double mean = 0.0;        ///< mean of the filtered window

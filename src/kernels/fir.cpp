@@ -12,8 +12,8 @@ using namespace casm;
 using isa::ColumnProgram;
 
 constexpr unsigned kRowWords = arch::kVwrWords;
-/// SPM word region holding the 11 staged taps (row 53).
-constexpr unsigned kTapMem = 53 * kRowWords;
+/// SPM word region holding the 11 staged taps.
+constexpr unsigned kTapMem = kFirTapRow * kRowWords;
 
 /// Builds the FIR program for one column. `col` selects the starting staged
 /// row (host also writes SRF0 = col); `nrows_total` staged rows live at SPM
@@ -113,7 +113,8 @@ unsigned FirKernels::kernel_for_rows(unsigned nrows) {
 }
 
 FirRunStats FirKernels::fir11(unsigned n, const std::vector<std::int32_t>& taps,
-                              unsigned sys_in, unsigned sys_out) {
+                              unsigned sys_in, unsigned sys_out,
+                              bool taps_resident) {
   if (!prepared_) throw HostError("FirKernels: prepare() not called");
   if (taps.size() != kFirTaps) throw HostError("FirKernels: need 11 taps");
   if (n == 0 || n > 12 * kFirOutsPerRow) throw HostError("FirKernels: bad n");
@@ -121,11 +122,14 @@ FirRunStats FirKernels::fir11(unsigned n, const std::vector<std::int32_t>& taps,
   FirRunStats stats;
   const Cycle t0 = host_.acc().cycles();
 
-  // Tap constants live next to the zero block; place and stage them.
-  for (unsigned t = 0; t < kFirTaps; ++t) {
-    host_.sram().poke(zeros_base_ + 16 + t, static_cast<Word>(taps[t]));
+  // Tap constants live next to the zero block; place and stage them, unless
+  // the caller proved the staged copy is still resident.
+  if (!taps_resident) {
+    for (unsigned t = 0; t < kFirTaps; ++t) {
+      host_.sram().poke(zeros_base_ + 16 + t, static_cast<Word>(taps[t]));
+    }
+    host_.dma({dma::Dir::kSysToSpm, zeros_base_ + 16, kTapMem, kFirTaps, 1, 1});
   }
-  host_.dma({dma::Dir::kSysToSpm, zeros_base_ + 16, kTapMem, kFirTaps, 1, 1});
 
   // Stage the overlapped input windows.
   const unsigned rows = (n + kFirOutsPerRow - 1) / kFirOutsPerRow;

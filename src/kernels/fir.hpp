@@ -37,6 +37,10 @@ inline constexpr unsigned kFirOutsPerRow = 4 * kFirOutsPerSlice;
 /// Number of filter taps.
 inline constexpr unsigned kFirTaps = 11;
 
+/// SPM row the staged taps occupy (word region 53*128..): callers that
+/// track tap residency across runs watch this row's write stamp.
+inline constexpr unsigned kFirTapRow = 53;
+
 /// Run statistics.
 struct FirRunStats {
   Cycle cycles = 0;
@@ -57,8 +61,12 @@ class FirKernels {
 
   /// Filters n samples of 16.15 data at sys_in with the 11 coefficient-
   /// format taps, writing n outputs to sys_out. n up to 1024.
+  /// `taps_resident` skips the tap staging (poke + DMA into kFirTapRow):
+  /// only pass true when `taps` are the ones staged by the previous call
+  /// and the tap row's write stamp is unchanged since.
   FirRunStats fir11(unsigned n, const std::vector<std::int32_t>& taps,
-                    unsigned sys_in, unsigned sys_out);
+                    unsigned sys_in, unsigned sys_out,
+                    bool taps_resident = false);
 
  private:
   unsigned kernel_for_rows(unsigned nrows);

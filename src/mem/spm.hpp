@@ -30,6 +30,7 @@ class Spm {
 
   explicit Spm(energy::EnergyMeter& meter) : meter_(&meter) {
     data_.resize(arch::kSpmWords, 0);
+    row_version_.resize(arch::kSpmRows, 0);
   }
 
   /// Resets per-cycle port bookkeeping (array side).
@@ -51,6 +52,7 @@ class Spm {
     claim_array_port(col, "row write");
     check_row(row);
     meter_->add(energy::Event::kSpmRowWrite);
+    touch_row(row);
     std::copy_n(v.begin(), arch::kVwrWords, data_.begin() + row * arch::kVwrWords);
   }
 
@@ -67,6 +69,7 @@ class Spm {
     claim_array_port(col, "word write");
     check_word(word);
     meter_->add(energy::Event::kSpmRowWrite);
+    touch_row(word / arch::kVwrWords);
     data_[word] = v;
   }
 
@@ -81,6 +84,7 @@ class Spm {
   void write_word_system(unsigned word, Word v) {
     check_word(word);
     meter_->add(energy::Event::kSpmWordWrite);
+    touch_row(word / arch::kVwrWords);
     data_[word] = v;
   }
 
@@ -91,10 +95,39 @@ class Spm {
   }
   void poke(unsigned word, Word v) {
     check_word(word);
+    touch_row(word / arch::kVwrWords);
     data_[word] = v;
   }
 
+  // --- write stamps -----------------------------------------------------------
+  // Every write path bumps a monotone per-row stamp (a shared generation
+  // counter), so a driver that staged a region can later prove "nothing
+  // touched these rows since" by comparing stamps -- the mechanism behind
+  // runtime::Device's SPM residency tracking and cross-job staging dedup.
+  // Stamps are simulator bookkeeping, not architectural state: they cost no
+  // cycles or energy.
+
+  /// Write stamp of one row (0 = never written).
+  std::uint64_t row_version(unsigned row) const {
+    check_row(row);
+    return row_version_[row];
+  }
+
+  /// Newest write stamp over rows [first_row, first_row + nrows).
+  std::uint64_t region_version(unsigned first_row, unsigned nrows) const {
+    if (first_row + nrows > arch::kSpmRows) {
+      throw RangeError("SPM: region_version out of range");
+    }
+    std::uint64_t v = 0;
+    for (unsigned r = first_row; r < first_row + nrows; ++r) {
+      v = std::max(v, row_version_[r]);
+    }
+    return v;
+  }
+
  private:
+  void touch_row(unsigned row) { row_version_[row] = ++write_gen_; }
+
   void claim_array_port(unsigned col, const char* what) {
     if (col >= arch::kNumColumns) throw RangeError("SPM: bad column id");
     if (array_port_used_[col]) {
@@ -114,6 +147,8 @@ class Spm {
 
   energy::EnergyMeter* meter_;
   std::vector<Word> data_;
+  std::vector<std::uint64_t> row_version_;
+  std::uint64_t write_gen_ = 0;
   std::array<bool, arch::kNumColumns> array_port_used_{};
 };
 

@@ -17,7 +17,8 @@ constexpr std::int32_t kReduceHi = (1 << 17) - 1;
 
 } // namespace
 
-Device::Device(unsigned id, isa::ImageCache& cache, const soc::ArchConfig& arch)
+Device::Device(unsigned id, isa::ImageCache& cache, const soc::ArchConfig& arch,
+               const Options& opts)
     : id_(id),
       platform_(arch),
       cache_(&cache),
@@ -27,7 +28,8 @@ Device::Device(unsigned id, isa::ImageCache& cache, const soc::ArchConfig& arch)
       fft_(host_, &cache),
       reduce_(host_, &cache),
       delin_(host_, &cache),
-      data_base_(kFftTableBase + kernels::FftKernels::table_words()) {
+      data_base_(kFftTableBase + kernels::FftKernels::table_words()),
+      opts_(opts) {
   fir_.prepare(kFirScratchBase);
   fft_.prepare(kFftTableBase);
 }
@@ -44,6 +46,8 @@ JobResult Device::run(const Job& job, std::uint64_t seq) {
         else if constexpr (std::is_same_v<T, ReduceJob>) return run_reduce(w);
         else if constexpr (std::is_same_v<T, DelineationJob>) {
           return run_delineation(w);
+        } else if constexpr (std::is_same_v<T, PipelineJob>) {
+          return run_pipeline(w);
         } else {
           return run_bio(w);
         }
@@ -57,10 +61,49 @@ JobResult Device::run(const Job& job, std::uint64_t seq) {
   return r;
 }
 
-void Device::stage_rows(const std::vector<std::int32_t>& data) {
+void Device::check_sys_fit(unsigned end_word) const {
+  if (end_word > kBioBase) {
+    throw HostError(
+        "Device: job data region would overlap the resident app image at "
+        "kBioBase");
+  }
+}
+
+void Device::stage_rows(const SharedBuffer& buf) {
+  const std::vector<std::int32_t>& data = *buf;
+  check_sys_fit(data_base_ + static_cast<unsigned>(data.size()));
+  const unsigned nrows =
+      static_cast<unsigned>(data.size()) / arch::kVwrWords;
+  mem::Spm& spm = platform_.vwr2a().spm();
+  // Cross-job input dedup: the same shared buffer staged into rows whose
+  // write stamps are unchanged is still resident -- skip the copy and DMA.
+  // (Holding the shared_ptr pins the allocation, so pointer identity cannot
+  // be recycled under us.)
+  if (opts_.dedup && staged_buf_ == buf &&
+      spm.region_version(0, nrows) == staged_version_) {
+    return;
+  }
   host_.to_sram(data_base_, data);
   host_.dma({dma::Dir::kSysToSpm, data_base_, 0,
              static_cast<std::uint32_t>(data.size()), 1, 1});
+  ++stagings_;
+  staged_buf_ = buf;
+  staged_version_ = spm.region_version(0, nrows);
+}
+
+kernels::FirRunStats Device::run_fir11(unsigned n, const SharedBuffer& taps,
+                                       unsigned sys_in, unsigned sys_out) {
+  mem::Spm& spm = platform_.vwr2a().spm();
+  const bool resident = opts_.dedup && staged_taps_ == taps &&
+                        spm.row_version(kernels::kFirTapRow) == taps_version_;
+  const kernels::FirRunStats stats =
+      fir_.fir11(n, *taps, sys_in, sys_out, resident);
+  if (!resident) {
+    ++stagings_;
+    staged_taps_ = taps;
+    taps_version_ = spm.row_version(kernels::kFirTapRow);
+  }
+  return stats;
 }
 
 JobResult Device::run_fir(const FirJob& job) {
@@ -72,9 +115,11 @@ JobResult Device::run_fir(const FirJob& job) {
   }
   const unsigned in = data_base_;
   const unsigned out = data_base_ + job.n;
+  check_sys_fit(out + job.n);
   host_.to_sram(in, *job.input);
+  ++stagings_;
   JobResult r;
-  const kernels::FirRunStats stats = fir_.fir11(job.n, *job.taps, in, out);
+  const kernels::FirRunStats stats = run_fir11(job.n, job.taps, in, out);
   r.launches = stats.launches;
   r.output = host_.from_sram(out, job.n);
   return r;
@@ -88,7 +133,9 @@ JobResult Device::run_cfft(const CfftJob& job) {
   const unsigned in = data_base_;
   const unsigned out = in + 2 * job.n;
   const unsigned scratch = out + 2 * job.n;  // used only for n == 2048
+  check_sys_fit(scratch + 2 * job.n);
   host_.to_sram(in, *job.input);
+  ++stagings_;
   JobResult r;
   const kernels::FftRunStats stats = fft_.cfft(job.n, in, out, scratch);
   r.launches = stats.launches;
@@ -104,7 +151,9 @@ JobResult Device::run_rfft(const RfftJob& job) {
   const unsigned in = data_base_;
   const unsigned out = in + job.n;
   const unsigned scratch = out + job.n + 2;
+  check_sys_fit(scratch + 2 * job.n);
   host_.to_sram(in, *job.input);
+  ++stagings_;
   JobResult r;
   const kernels::FftRunStats stats = fft_.rfft(job.n, in, out, scratch);
   r.launches = stats.launches;
@@ -119,7 +168,9 @@ JobResult Device::run_ifft(const IfftJob& job) {
   }
   const unsigned in = data_base_;
   const unsigned out = in + 2 * job.n;
+  check_sys_fit(out + 2 * job.n);
   host_.to_sram(in, *job.input);
+  ++stagings_;
   JobResult r;
   const kernels::FftRunStats stats = fft_.cifft(job.n, in, out);
   r.launches = stats.launches;
@@ -143,7 +194,7 @@ JobResult Device::run_reduce(const ReduceJob& job) {
     }
   }
   const unsigned nrows = job.n / arch::kVwrWords;
-  stage_rows(*job.input);
+  stage_rows(job.input);
   JobResult r;
   std::int32_t value = 0;
   switch (job.op) {
@@ -181,8 +232,9 @@ JobResult Device::run_delineation(const DelineationJob& job) {
   if (job.input->size() != job.n) {
     throw HostError("Device: delineation job input size != n");
   }
-  stage_rows(*job.input);
+  stage_rows(job.input);
   const unsigned scratch = data_base_ + job.n;
+  check_sys_fit(scratch + 16);
   const auto ext = delin_.run(job.n, 0, job.threshold, (*job.input)[0], scratch);
   JobResult r;
   r.launches = 2;  // candidate-flags pass + serial scan
@@ -191,6 +243,44 @@ JobResult Device::run_delineation(const DelineationJob& job) {
     r.output.push_back(static_cast<std::int32_t>((e.index << 1) |
                                                  (e.is_max ? 1u : 0u)));
   }
+  return r;
+}
+
+JobResult Device::run_pipeline(const PipelineJob& job) {
+  if (job.taps == nullptr || job.input == nullptr) {
+    throw HostError("Device: pipeline job with null buffers");
+  }
+  if (job.n != 512 && job.n != 1024) {
+    throw HostError("Device: pipeline job n must be 512 or 1024");
+  }
+  if (job.input->size() != job.n) {
+    throw HostError("Device: pipeline job input size != n");
+  }
+  const unsigned in = data_base_;
+  const unsigned filt = in + job.n;
+  const unsigned spec = filt + job.n;
+  const unsigned scratch = spec + job.n + 2;
+  check_sys_fit(scratch + 2 * job.n);
+  host_.to_sram(in, *job.input);
+  ++stagings_;
+  JobResult r;
+  // FIR preprocessing (tap staging dedup'd across pipeline/FIR jobs).
+  const kernels::FirRunStats fs = run_fir11(job.n, job.taps, in, filt);
+  r.launches = fs.launches;
+  // Energy of the filtered window, before the rFFT clobbers the SPM planes.
+  const unsigned nrows = job.n / arch::kVwrWords;
+  host_.dma({dma::Dir::kSysToSpm, filt,  0,
+             static_cast<std::uint32_t>(job.n), 1, 1});
+  ++stagings_;
+  const std::int32_t energy = reduce_.sumsq_rows(0, nrows);
+  r.launches += 1;
+  // Real FFT of the filtered window.
+  const kernels::FftRunStats ffts = fft_.rfft(job.n, filt, spec, scratch);
+  r.launches += ffts.launches;
+  r.output.reserve(job.n + 3);
+  r.output.push_back(energy);
+  const auto bins = host_.from_sram(spec, job.n + 2);
+  r.output.insert(r.output.end(), bins.begin(), bins.end());
   return r;
 }
 
@@ -205,11 +295,24 @@ JobResult Device::run_bio(const BioTrackerJob& job) {
     bio_ = std::make_unique<app::MBioTracker>(platform_, cache_,
                                               platform_.arch().name() + "/");
   }
-  // Re-init every window: the resident SPM state (band-mask rows) may have
-  // been clobbered by interleaved kernel jobs, so each bio job pays the
+  // SPM residency: the resident image's only clobberable state is the
+  // band-mask rows; when their write stamps are unchanged since the last
+  // init(), the image is intact and the per-window re-init can be skipped.
+  // With residency off (or after a clobbering job) every window pays the
   // same deterministic staging cost and is self-contained.
+  mem::Spm& spm = platform_.vwr2a().spm();
+  const bool resident =
+      opts_.residency && bio_inited_ &&
+      spm.region_version(app::kMaskRowFirst, app::kMaskRowCount) ==
+          bio_rows_version_;
   const std::uint64_t launches0 = platform_.vwr2a().launches();
-  bio_->init(kBioBase);
+  if (!resident) {
+    bio_->init(kBioBase);
+    ++stagings_;
+    bio_inited_ = true;
+    bio_rows_version_ =
+        spm.region_version(app::kMaskRowFirst, app::kMaskRowCount);
+  }
   std::vector<double> x(app::kWindow);
   for (unsigned i = 0; i < app::kWindow; ++i) {
     x[i] = fx::from_q16_15((*job.input)[i]);

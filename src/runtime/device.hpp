@@ -13,6 +13,21 @@
 // Kernel-image cache keys are namespaced by the variant (Host key prefix),
 // so incompatible device configurations never alias cache entries.
 //
+// Residency & staging dedup. The SPM keeps a monotone write stamp per row
+// (mem::Spm::row_version); the device uses stamps to prove that resident
+// state survived intervening jobs and skip re-staging it:
+//   * the resident MBioTracker image owns the band-mask rows
+//     (app::kMaskRowFirst..+kMaskRowCount); a BioTrackerJob re-runs init()
+//     only when some job clobbered them since the last window;
+//   * consecutive jobs whose input is the *same* SharedBuffer skip the
+//     SRAM copy + DMA when the staged rows are untouched (cross-job input
+//     dedup, e.g. a batch of reductions over one signal);
+//   * FIR tap staging is skipped while the same taps buffer sits unclobbered
+//     in kernels::kFirTapRow.
+// All three depend only on the device's own job history, so worker-count
+// invariance is preserved; both can be disabled per-device (Options) to
+// measure the no-residency baseline.
+//
 // A Device is not thread-safe; the pool guarantees at most one worker
 // drives a device at a time and that a device's jobs run in submission
 // order.
@@ -32,6 +47,12 @@
 
 namespace vwr2a::runtime {
 
+/// Per-device feature switches (defaults match the pool's defaults).
+struct DeviceOptions {
+  bool residency = true;  ///< skip MBioTracker re-init while rows survive
+  bool dedup = true;      ///< skip re-staging of an unclobbered SharedBuffer
+};
+
 /// One pool member.
 class Device {
  public:
@@ -44,10 +65,12 @@ class Device {
   static constexpr unsigned kFftTableBase = 32;
   static constexpr unsigned kBioBase = 32768;
 
+  using Options = DeviceOptions;
+
   /// `cache` shares assembled kernel images across all devices of a pool;
   /// `arch` selects the architecture variant this device simulates.
   Device(unsigned id, isa::ImageCache& cache,
-         const soc::ArchConfig& arch = {});
+         const soc::ArchConfig& arch = {}, const Options& opts = {});
 
   /// Runs one job to completion on this device (synchronous, device-local
   /// time advances). Throws on malformed jobs; the caller routes the
@@ -57,6 +80,11 @@ class Device {
   unsigned id() const { return id_; }
   std::uint64_t jobs_run() const { return jobs_; }
   const soc::ArchConfig& arch() const { return platform_.arch(); }
+
+  /// Staging events since construction: SRAM/SPM regions actually staged
+  /// (job input rows, FIR taps, the resident MBioTracker image). Residency
+  /// tracking and dedup show up as this counter NOT advancing.
+  std::uint64_t stagings() const { return stagings_; }
 
   /// Device-local snapshot (local time + energy since construction).
   soc::Platform::Snapshot snapshot() const { return platform_.snapshot(); }
@@ -68,11 +96,20 @@ class Device {
   JobResult run_ifft(const IfftJob& job);
   JobResult run_reduce(const ReduceJob& job);
   JobResult run_delineation(const DelineationJob& job);
+  JobResult run_pipeline(const PipelineJob& job);
   JobResult run_bio(const BioTrackerJob& job);
 
-  /// Stages `data` into system memory at data_base_ and DMAs it into whole
-  /// SPM rows starting at row 0 (row-resident kernel families).
-  void stage_rows(const std::vector<std::int32_t>& data);
+  /// Stages `buf` (whole SPM rows' worth of samples) into system memory at
+  /// data_base_ and DMAs it into rows starting at row 0 -- unless the same
+  /// buffer is already resident in untouched rows (dedup).
+  void stage_rows(const SharedBuffer& buf);
+  /// FIR-11 via the device driver with tap-residency dedup.
+  kernels::FirRunStats run_fir11(unsigned n, const SharedBuffer& taps,
+                                 unsigned sys_in, unsigned sys_out);
+  /// Throws unless a job's system-memory footprint ends below kBioBase:
+  /// the residency skip assumes kernel jobs can never clobber the resident
+  /// app image's SRAM, so the layout invariant is enforced, not assumed.
+  void check_sys_fit(unsigned end_word) const;
 
   unsigned id_;
   soc::Platform platform_;
@@ -85,7 +122,17 @@ class Device {
   /// The resident application image, created on the first BioTrackerJob.
   std::unique_ptr<app::MBioTracker> bio_;
   unsigned data_base_;  ///< first system word available for job data
+  Options opts_;
   std::uint64_t jobs_ = 0;
+  std::uint64_t stagings_ = 0;
+
+  // Residency / dedup bookkeeping (SPM write stamps prove survival).
+  std::uint64_t bio_rows_version_ = 0;  ///< mask rows at the last init()
+  bool bio_inited_ = false;
+  SharedBuffer staged_buf_;             ///< last buffer staged into rows 0..
+  std::uint64_t staged_version_ = 0;
+  SharedBuffer staged_taps_;            ///< last taps staged into kFirTapRow
+  std::uint64_t taps_version_ = 0;
 };
 
 } // namespace vwr2a::runtime

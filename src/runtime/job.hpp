@@ -99,6 +99,20 @@ struct DelineationJob {
   SharedBuffer input;          ///< n samples
 };
 
+/// FIR -> rFFT -> reduce feature pipeline over one n-sample window, n in
+/// {512, 1024} (the FIR driver caps n at 1024): FIR-11 preprocessing of the
+/// window, the energy (32-bit wrap sum of fixed-point squares, matching
+/// dsp::energy_fx) of the filtered signal, and its real FFT. The wire-
+/// friendly spectral-feature job a streaming session emits when it is not
+/// running the whole MBioTracker application. Output:
+///   word 0:        energy of the filtered window
+///   words 1..n+2:  the n/2+1 interleaved re,im spectrum bins
+struct PipelineJob {
+  unsigned n = 0;
+  SharedBuffer taps;   ///< kernels::kFirTaps coefficients
+  SharedBuffer input;  ///< n samples (16.15)
+};
+
 /// One whole MBioTracker application window (app::kWindow = 512 samples in
 /// 16.15, natural units in (-1, 1)) run end-to-end on the selected target:
 /// FIR preprocessing, delineation, feature extraction, SVM class. Output:
@@ -116,7 +130,7 @@ struct BioTrackerJob {
 /// variant's jobs to the device built with that soc::ArchConfig.
 struct Job {
   std::variant<FirJob, CfftJob, RfftJob, IfftJob, ReduceJob, DelineationJob,
-               BioTrackerJob>
+               PipelineJob, BioTrackerJob>
       work;
   std::string tag;  ///< caller label, echoed into the result
   int pin = -1;     ///< pin_to_device: fixed device index, or -1 for round-robin

@@ -7,6 +7,33 @@
 
 namespace vwr2a::runtime {
 
+namespace {
+
+/// Integer log2 for the FFT-family estimates (n is a power of two).
+unsigned ilog2(unsigned n) {
+  unsigned lg = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++lg;
+  }
+  return lg;
+}
+
+/// Relative simulated-time factor of an architecture variant on a typical
+/// mixed job stream (1.0 = the paper's design point). Matches the
+/// direction and rough magnitude of Platform::apply_arch_model: 2 VWRs pay
+/// SPM round trips, 4 VWRs save twiddle reloads, the 16-bit dual lane
+/// halves elementwise ALU cycles.
+double arch_speed(const soc::ArchConfig& a) {
+  double s = 1.0;
+  if (a.vwr_count == 2) s *= 1.06;
+  if (a.vwr_count == 4) s *= 0.99;
+  if (a.simd_width == 16) s *= 0.84;
+  return s;
+}
+
+} // namespace
+
 DevicePool::DevicePool(Config cfg) : cfg_(std::move(cfg)) {
   if (cfg_.devices == 0) throw HostError("DevicePool: need at least 1 device");
   if (cfg_.workers == 0) cfg_.workers = cfg_.devices;
@@ -18,12 +45,16 @@ DevicePool::DevicePool(Config cfg) : cfg_(std::move(cfg)) {
   }
 
   devices_.resize(cfg_.devices);
+  sched_load_.resize(cfg_.devices, 0);
+  sched_speed_.reserve(cfg_.devices);
   for (unsigned d = 0; d < cfg_.devices; ++d) {
     const soc::ArchConfig arch =
         cfg_.device_arch.empty()
             ? soc::ArchConfig{}
             : cfg_.device_arch[cfg_.device_arch.size() == 1 ? 0 : d];
-    devices_[d].device = std::make_unique<Device>(d, cache_, arch);
+    devices_[d].device =
+        std::make_unique<Device>(d, cache_, arch, cfg_.device_opts);
+    sched_speed_.push_back(arch_speed(arch));
   }
   workers_.reserve(cfg_.workers);
   for (unsigned w = 0; w < cfg_.workers; ++w) {
@@ -49,14 +80,81 @@ int DevicePool::find_work() const {
   return -1;
 }
 
-unsigned DevicePool::route(const Job& job, std::uint64_t seq) const {
-  if (job.pin >= 0) {
-    if (static_cast<std::size_t>(job.pin) >= devices_.size()) {
-      throw HostError("DevicePool: pin_to_device index out of range");
-    }
-    return static_cast<unsigned>(job.pin);
+Cycle DevicePool::estimate_cost(const Job& job) {
+  // Coarse per-family models calibrated against measured baseline costs
+  // (e.g. fir-256 ~2.9k, cfft-1024 ~19.6k, bio window ~27k cycles). Only
+  // relative magnitudes matter: the shortest-local-clock policy balances
+  // load with these, and any monotone-in-work estimate keeps the placement
+  // deterministic.
+  return std::visit(
+      [](const auto& w) -> Cycle {
+        using T = std::decay_t<decltype(w)>;
+        if constexpr (std::is_same_v<T, FirJob>) {
+          return 500 + 9ull * w.n;
+        } else if constexpr (std::is_same_v<T, CfftJob>) {
+          return 500 + 2ull * w.n * ilog2(w.n);
+        } else if constexpr (std::is_same_v<T, RfftJob>) {
+          return 500 + 3ull * w.n * ilog2(w.n) / 2;
+        } else if constexpr (std::is_same_v<T, IfftJob>) {
+          return 500 + 2ull * w.n * ilog2(w.n);
+        } else if constexpr (std::is_same_v<T, ReduceJob>) {
+          const bool bisect =
+              w.op == ReduceOp::kMin || w.op == ReduceOp::kMax;
+          return 500 + (bisect ? 11ull : 1ull) * w.n;
+        } else if constexpr (std::is_same_v<T, DelineationJob>) {
+          return 500 + 17ull * w.n;
+        } else if constexpr (std::is_same_v<T, PipelineJob>) {
+          return 2500 + 24ull * w.n;
+        } else {  // BioTrackerJob: one whole application window
+          return 27000;
+        }
+      },
+      job.work);
+}
+
+void DevicePool::validate_pin(const Job& job) const {
+  if (job.pin >= 0 && static_cast<std::size_t>(job.pin) >= devices_.size()) {
+    throw HostError("DevicePool: pin_to_device index out of range");
   }
-  return static_cast<unsigned>(seq % devices_.size());
+}
+
+Cycle DevicePool::scaled_estimate(Cycle estimate, unsigned d) const {
+  return static_cast<Cycle>(static_cast<double>(estimate) * sched_speed_[d]);
+}
+
+unsigned DevicePool::pick_shortest(Cycle estimate) const {
+  unsigned best = 0;
+  Cycle best_done = sched_load_[0] + scaled_estimate(estimate, 0);
+  for (unsigned i = 1; i < sched_load_.size(); ++i) {
+    const Cycle done = sched_load_[i] + scaled_estimate(estimate, i);
+    if (done < best_done) {
+      best = i;
+      best_done = done;
+    }
+  }
+  return best;
+}
+
+unsigned DevicePool::route(const Job& job, std::uint64_t seq) {
+  validate_pin(job);
+  const Cycle est = estimate_cost(job);
+  unsigned d;
+  if (job.pin >= 0) {
+    d = static_cast<unsigned>(job.pin);
+  } else if (cfg_.schedule == Schedule::kShortestLocalClock) {
+    d = pick_shortest(est);
+  } else {
+    d = static_cast<unsigned>(seq % devices_.size());
+  }
+  sched_load_[d] += scaled_estimate(est, d);
+  return d;
+}
+
+unsigned DevicePool::place_load(Cycle estimate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const unsigned d = pick_shortest(estimate);
+  sched_load_[d] += scaled_estimate(estimate, d);
+  return d;
 }
 
 JobHandle DevicePool::submit(Job job) {
@@ -82,7 +180,7 @@ std::vector<JobHandle> DevicePool::submit_batch(std::vector<Job> jobs) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw HostError("DevicePool: submit after shutdown");
     // Validate every pin first: a bad pin must not enqueue half a batch.
-    for (const Job& job : jobs) (void)route(job, 0);
+    for (const Job& job : jobs) validate_pin(job);
     for (Job& job : jobs) {
       std::promise<JobResult> promise;
       handles.emplace_back(promise.get_future());
@@ -164,6 +262,8 @@ FleetStats DevicePool::stats() {
     s.device_cycles.push_back(local);
     s.device_pj.push_back(snap.total_pj());
     s.device_jobs.push_back(ds.device->jobs_run());
+    s.device_stagings.push_back(ds.device->stagings());
+    s.stagings += ds.device->stagings();
     s.device_arch.push_back(ds.device->arch());
     s.fleet_makespan = std::max(s.fleet_makespan, local);
     s.total_device_cycles += local;

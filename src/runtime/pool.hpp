@@ -4,17 +4,28 @@
 // over many cores, Ara's clean runtime/lane split) -- scale comes from more
 // devices, not from touching the device model.
 //
-// Scheduling & determinism. Jobs are placed on devices statically: global
-// submission index `seq` runs on device `seq % devices`, unless the job
-// carries an explicit `pin` (pin_to_device), which forces it onto that
-// device. Each device keeps a FIFO of its pending jobs and is driven by at
+// Scheduling & determinism. Jobs are placed on devices statically at
+// submission time, under one policy (Config::schedule):
+//   * kRoundRobin (default): global submission index `seq` runs on device
+//     `seq % devices` -- the original blind placement;
+//   * kShortestLocalClock: the job goes to the device that would *finish*
+//     it first under the estimated local clocks -- argmin over devices of
+//     (estimated clock + job estimate scaled by the device's architecture
+//     speed factor), ties broken by the lowest device index. The clock
+//     estimates accumulate deterministic per-job cost estimates of
+//     everything already placed (plus stream-session reservations via
+//     place_load), so the policy is load- and heterogeneity-aware, yet
+//     still a pure function of the submission order.
+// An explicit `pin` (pin_to_device) overrides either policy and forces the
+// job onto that device (its estimate still counts toward the device's
+// clock). Each device keeps a FIFO of its pending jobs and is driven by at
 // most one worker at a time, so the job stream a device sees -- and
 // therefore every per-job cycle and energy delta -- depends only on the
-// submission order, the device count and the pins, never on the number of
-// workers or on thread scheduling. Workers are interchangeable executors:
-// with 1 worker the fleet is simulated sequentially, with W workers up to
-// W devices advance concurrently, and the results are bit- and
-// cycle-identical.
+// submission order, the device count, the policy and the pins, never on the
+// number of workers or on thread scheduling. Workers are interchangeable
+// executors: with 1 worker the fleet is simulated sequentially, with W
+// workers up to W devices advance concurrently, and the results are bit-
+// and cycle-identical.
 //
 // Heterogeneity. Config::device_arch gives each device its own
 // soc::ArchConfig (VWR count / SIMD width, the bench/ablation_* knobs), so
@@ -47,6 +58,12 @@
 
 namespace vwr2a::runtime {
 
+/// Device-placement policy of a pool (see the header comment).
+enum class Schedule : std::uint8_t {
+  kRoundRobin = 0,       ///< seq % devices (blind, the original policy)
+  kShortestLocalClock,   ///< least estimated device-local clock, tie: lowest id
+};
+
 /// Fleet-wide aggregate over all devices of a pool.
 struct FleetStats {
   std::uint64_t jobs_completed = 0;
@@ -60,9 +77,14 @@ struct FleetStats {
   Cycle total_device_cycles = 0;
   /// Fleet energy (all devices, all meters), in pJ / µJ.
   double total_pj = 0.0;
+  /// Staging events fleet-wide (regions copied + DMA'd: job inputs, FIR
+  /// taps, resident app images). Residency tracking and cross-job dedup
+  /// show up as this number shrinking for the same job stream.
+  std::uint64_t stagings = 0;
   std::vector<Cycle> device_cycles;  ///< per-device local time
   std::vector<double> device_pj;     ///< per-device energy
   std::vector<std::uint64_t> device_jobs;      ///< per-device jobs run
+  std::vector<std::uint64_t> device_stagings;  ///< per-device staging events
   std::vector<soc::ArchConfig> device_arch;    ///< per-device variant
   isa::ImageCache::Stats image_cache;
 
@@ -88,6 +110,11 @@ class DevicePool {
     /// paper's baseline; one entry = that variant fleet-wide; otherwise
     /// exactly one entry per device.
     std::vector<soc::ArchConfig> device_arch;
+    /// Placement policy for unpinned jobs.
+    Schedule schedule = Schedule::kRoundRobin;
+    /// Per-device feature switches (SPM residency tracking, cross-job
+    /// staging dedup); on by default, off reproduces the PR-2 baseline.
+    Device::Options device_opts;
   };
 
   DevicePool() : DevicePool(Config()) {}
@@ -115,6 +142,19 @@ class DevicePool {
   unsigned num_devices() const { return static_cast<unsigned>(devices_.size()); }
   unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
   isa::ImageCache& image_cache() { return cache_; }
+  Schedule schedule() const { return cfg_.schedule; }
+
+  /// Deterministic per-job cost estimate (cycles on the baseline variant)
+  /// used by the shortest-local-clock policy -- a coarse analytic model
+  /// calibrated against measured per-family costs; placement only needs
+  /// relative magnitudes, never exact costs.
+  static Cycle estimate_cost(const Job& job);
+
+  /// Picks the device that would finish `estimate` extra cycles first
+  /// (shortest-local-clock rule) and reserves that load on it without
+  /// submitting work. Thread-safe. How a stream session soft-pins itself:
+  /// the reservation makes the claim visible to the next placement.
+  unsigned place_load(Cycle estimate);
 
  private:
   struct Pending {
@@ -131,12 +171,22 @@ class DevicePool {
   void worker_loop();
   /// Index of a serviceable device (unclaimed, non-empty queue), or -1.
   int find_work() const;
-  /// Device a job routes to: its pin when set (validated), else seq-robin.
-  unsigned route(const Job& job, std::uint64_t seq) const;
+  /// Throws unless the job's pin (if any) names a device of the fleet.
+  void validate_pin(const Job& job) const;
+  /// `estimate` scaled by device d's architecture speed factor.
+  Cycle scaled_estimate(Cycle estimate, unsigned d) const;
+  /// Shortest-completion device for `estimate` extra cycles (ties: lowest
+  /// index). Caller holds mu_.
+  unsigned pick_shortest(Cycle estimate) const;
+  /// Device a job routes to -- pin, round-robin or shortest-local-clock --
+  /// and charges its cost estimate to that device's clock. Caller holds mu_.
+  unsigned route(const Job& job, std::uint64_t seq);
 
   isa::ImageCache cache_;
   Config cfg_;
   std::vector<DeviceState> devices_;
+  std::vector<Cycle> sched_load_;    ///< estimated local clock per device
+  std::vector<double> sched_speed_;  ///< per-device arch speed factor
   std::vector<std::thread> workers_;
 
   mutable std::mutex mu_;

@@ -1,0 +1,69 @@
+#include "stream/server.hpp"
+
+#include <utility>
+
+namespace vwr2a::stream {
+
+StreamServer::StreamServer(Config cfg)
+    : cfg_(std::move(cfg)), pool_(cfg_.pool) {}
+
+Session& StreamServer::open_session(SessionConfig cfg, Session::Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = sessions_.size();
+  unsigned device;
+  if (pool_.schedule() == runtime::Schedule::kShortestLocalClock) {
+    // Shortest-local-clock placement with a reservation of the session's
+    // expected per-window cost, so the next open_session (or unpinned job)
+    // sees the claim -- deterministic greedy spreading by tenant weight,
+    // refined later by the real submissions.
+    device = pool_.place_load(Session::window_estimate(cfg));
+  } else {
+    device = static_cast<unsigned>(id % pool_.num_devices());
+  }
+  sessions_.push_back(std::make_unique<Session>(id, pool_, device,
+                                                std::move(cfg),
+                                                std::move(sink)));
+  return *sessions_.back();
+}
+
+void StreamServer::finish() {
+  // Snapshot under the lock, reap outside it: finishing a session runs its
+  // sink on this thread, and a sink is allowed to call back into the
+  // server (stats, open_session). sessions_ only grows and the pointers
+  // are stable, so we loop until no session opened by a sink mid-finish is
+  // left unfinished.
+  std::size_t done = 0;
+  for (;;) {
+    std::vector<Session*> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = done; i < sessions_.size(); ++i) {
+        pending.push_back(sessions_[i].get());
+      }
+    }
+    if (pending.empty()) break;
+    done += pending.size();
+    for (Session* s : pending) s->finish();
+  }
+  pool_.wait_idle();
+}
+
+ServerStats StreamServer::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats out;
+  out.sessions.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    out.sessions.push_back(s->stats());
+    out.windows_delivered += out.sessions.back().windows_delivered;
+    out.dropped_samples += out.sessions.back().dropped_samples;
+  }
+  out.fleet = pool_.stats();
+  return out;
+}
+
+std::size_t StreamServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+} // namespace vwr2a::stream

@@ -1,0 +1,161 @@
+#include "stream/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/status.hpp"
+#include "dsp/signal.hpp"
+
+namespace vwr2a::stream {
+
+namespace {
+
+SessionConfig validate(SessionConfig cfg) {
+  if (cfg.kind == SessionKind::kBioTracker && cfg.window != app::kWindow) {
+    throw HostError("Session: bio-tracker sessions need window == 512");
+  }
+  if (cfg.kind == SessionKind::kPipeline && cfg.window != 512 &&
+      cfg.window != 1024) {
+    throw HostError("Session: pipeline sessions need window 512 or 1024");
+  }
+  if (cfg.hop == 0 || cfg.hop > cfg.window) {
+    throw HostError("Session: need 1 <= hop <= window");
+  }
+  if (cfg.max_inflight == 0) {
+    throw HostError("Session: max_inflight must be positive");
+  }
+  if (cfg.buffer_capacity == 0) cfg.buffer_capacity = 4ull * cfg.window;
+  if (cfg.kind == SessionKind::kPipeline && cfg.taps == nullptr) {
+    cfg.taps = runtime::make_buffer(dsp::fir11_lowpass_q15());
+  }
+  return cfg;
+}
+
+} // namespace
+
+Session::Session(std::uint64_t id, runtime::DevicePool& pool, unsigned device,
+                 SessionConfig cfg, Sink sink)
+    : id_(id),
+      pool_(&pool),
+      device_(device),
+      cfg_(validate(std::move(cfg))),
+      sink_(std::move(sink)),
+      win_(cfg_.window, cfg_.hop, cfg_.buffer_capacity) {
+  stats_.id = id_;
+  stats_.device = device_;
+}
+
+Cycle Session::window_estimate(const SessionConfig& cfg) {
+  runtime::Job job;
+  if (cfg.kind == SessionKind::kPipeline) {
+    job.work = runtime::PipelineJob{cfg.window, nullptr, nullptr};
+  } else {
+    job.work = runtime::BioTrackerJob{cfg.target, nullptr};
+  }
+  return runtime::DevicePool::estimate_cost(job);
+}
+
+runtime::Job Session::make_job(std::vector<std::int32_t> window) {
+  runtime::Job job;
+  const auto buf = runtime::make_buffer(std::move(window));
+  if (cfg_.kind == SessionKind::kPipeline) {
+    job.work = runtime::PipelineJob{cfg_.window, cfg_.taps, buf};
+  } else {
+    job.work = runtime::BioTrackerJob{cfg_.target, buf};
+  }
+  job.tag = "s" + std::to_string(id_) + "/w" +
+            std::to_string(stats_.windows_submitted);
+  job.pin = static_cast<int>(device_);
+  return job;
+}
+
+void Session::submit_window(std::vector<std::int32_t> window) {
+  inflight_.push_back(pool_->submit(make_job(std::move(window))));
+  ++stats_.windows_submitted;
+}
+
+void Session::reap_front() {
+  if (inflight_.empty()) throw HostError("Session: nothing in flight");
+  runtime::JobHandle h = std::move(inflight_.front());
+  inflight_.pop_front();
+  WindowResult r;
+  r.session = id_;
+  r.index = stats_.windows_delivered;
+  r.job = h.get();  // rethrows job failures on the producer thread
+  const Cycle lat = r.job.cost.total_cycles();
+  stats_.latency_cycles_total += lat;
+  stats_.latency_cycles_max = std::max(stats_.latency_cycles_max, lat);
+  ++stats_.windows_delivered;
+  if (sink_) sink_(r);
+}
+
+void Session::reap_ready() {
+  using namespace std::chrono_literals;
+  while (!inflight_.empty() &&
+         inflight_.front().wait_for(0s) == std::future_status::ready) {
+    reap_front();
+  }
+}
+
+bool Session::pump(bool may_block) {
+  while (win_.has_window()) {
+    if (inflight_.size() >= cfg_.max_inflight) {
+      if (!may_block) return false;
+      reap_front();  // backpressure: deliver the oldest window first
+    }
+    submit_window(win_.pop_window());
+  }
+  return true;
+}
+
+void Session::push(std::span<const std::int32_t> samples) {
+  std::size_t off = 0;
+  while (off < samples.size()) {
+    reap_ready();
+    pump(/*may_block=*/true);  // frees at least `hop` ring samples per window
+    const std::size_t take =
+        std::min(samples.size() - off, win_.free_space());
+    win_.push(samples.subspan(off, take));
+    stats_.samples_in += take;
+    off += take;
+  }
+  pump(/*may_block=*/true);
+  reap_ready();
+}
+
+bool Session::try_push(std::span<const std::int32_t> samples) {
+  reap_ready();
+  pump(/*may_block=*/false);
+  if (win_.free_space() < samples.size()) {
+    stats_.dropped_samples += samples.size();
+    ++stats_.dropped_pushes;
+    return false;
+  }
+  win_.push(samples);
+  stats_.samples_in += samples.size();
+  pump(/*may_block=*/false);
+  return true;
+}
+
+void Session::flush() {
+  pump(/*may_block=*/true);
+  if (win_.has_tail()) {
+    if (inflight_.size() >= cfg_.max_inflight) reap_front();
+    submit_window(win_.pop_tail());
+  }
+}
+
+void Session::drain() {
+  while (!inflight_.empty()) reap_front();
+}
+
+void Session::finish() {
+  flush();
+  drain();
+}
+
+SessionStats Session::stats() const { return stats_; }
+
+} // namespace vwr2a::stream

@@ -1,0 +1,130 @@
+#pragma once
+// One streaming tenant (a simulated patient feeding a biosignal): accepts
+// arbitrary-length sample pushes, slices them into (possibly overlapping)
+// windows, turns each window into a runtime job soft-pinned to the
+// session's device, and delivers results in window order through a sink
+// callback.
+//
+// Ordering. Every job of a session is pinned to one device, and a device
+// runs its FIFO in submission order, so the session's futures complete in
+// window order; the session reaps them front-first, which makes sink
+// delivery ordered by construction. Soft-pinning also keeps the device's
+// resident MBioTracker state (band masks, tables) local, so consecutive
+// windows hit the SPM-residency fast path.
+//
+// Backpressure. At most `max_inflight` windows of a session are queued or
+// running at once, and the ring buffer bounds the buffered samples:
+//   * push() blocks -- when the bound is hit it reaps the oldest result
+//     (delivering it to the sink) before submitting more;
+//   * try_push() never blocks -- samples that do not fit the ring are
+//     dropped whole and counted (SessionStats::dropped_*).
+//
+// Threading. A session is single-producer: push/try_push/flush/drain must
+// come from one thread at a time (different sessions are independent; the
+// pool underneath is thread-safe). The sink runs on the producer's thread,
+// during push/flush/drain calls.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "app/mbiotracker.hpp"
+#include "runtime/pool.hpp"
+#include "stream/stats.hpp"
+#include "stream/windower.hpp"
+
+namespace vwr2a::stream {
+
+/// What a session runs per window.
+enum class SessionKind : std::uint8_t {
+  kBioTracker = 0,  ///< whole MBioTracker application window (default)
+  kPipeline,        ///< FIR -> energy -> rFFT feature pipeline
+};
+
+/// Per-session configuration.
+struct SessionConfig {
+  unsigned window = app::kWindow;  ///< samples per analysis window
+  unsigned hop = app::kWindow;     ///< stream advance per window (<= window)
+  SessionKind kind = SessionKind::kBioTracker;
+  app::Target target = app::Target::kCpuVwr2a;  ///< bio-tracker target
+  runtime::SharedBuffer taps;  ///< pipeline FIR taps; null = paper's FIR-11
+  std::size_t max_inflight = 4;       ///< queued-or-running window bound
+  std::size_t buffer_capacity = 0;    ///< ring samples; 0 = 4 * window
+};
+
+/// One delivered window.
+struct WindowResult {
+  std::uint64_t session = 0;  ///< owning session id
+  std::uint64_t index = 0;    ///< window index within the session, from 0
+  runtime::JobResult job;     ///< output words + cycle/energy cost
+};
+
+/// The session. Created by StreamServer::open_session().
+class Session {
+ public:
+  using Sink = std::function<void(const WindowResult&)>;
+
+  /// `device` is the soft-pin target (the server places sessions).
+  Session(std::uint64_t id, runtime::DevicePool& pool, unsigned device,
+          SessionConfig cfg, Sink sink);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Blocking ingest: accepts every sample, reaping completed windows (and
+  /// running the sink) whenever the ring or the in-flight bound requires.
+  void push(std::span<const std::int32_t> samples);
+
+  /// Non-blocking ingest: submits whatever full windows fit under the
+  /// in-flight bound, then accepts the samples only if the ring has room --
+  /// otherwise the whole push is dropped and counted. Returns false on a
+  /// drop.
+  bool try_push(std::span<const std::int32_t> samples);
+
+  /// Submits all buffered full windows, then the zero-padded partial tail
+  /// (if any samples past the last window remain). Blocking.
+  void flush();
+
+  /// Blocks until every submitted window has been delivered to the sink.
+  void drain();
+
+  /// flush() + drain(): end-of-stream.
+  void finish();
+
+  std::uint64_t id() const { return id_; }
+  unsigned device() const { return device_; }
+  const SessionConfig& config() const { return cfg_; }
+  std::size_t inflight() const { return inflight_.size(); }
+
+  /// Counter snapshot (call from the producer thread, or quiesced).
+  SessionStats stats() const;
+
+  /// The shortest-local-clock reservation one window of this session is
+  /// worth (what the server charges the chosen device at placement).
+  static Cycle window_estimate(const SessionConfig& cfg);
+
+ private:
+  /// Builds the per-window job (kind-dependent), pinned to device_.
+  runtime::Job make_job(std::vector<std::int32_t> window);
+  void submit_window(std::vector<std::int32_t> window);
+  /// Delivers the oldest in-flight result to the sink (blocking).
+  void reap_front();
+  /// Delivers every already-completed front result without blocking.
+  void reap_ready();
+  /// Submits buffered full windows; blocks on backpressure when allowed,
+  /// stops early otherwise. Returns false if it stopped early.
+  bool pump(bool may_block);
+
+  std::uint64_t id_;
+  runtime::DevicePool* pool_;
+  unsigned device_;
+  SessionConfig cfg_;
+  Sink sink_;
+  Windower win_;
+  std::deque<runtime::JobHandle> inflight_;
+  SessionStats stats_;
+};
+
+} // namespace vwr2a::stream

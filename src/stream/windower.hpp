@@ -1,0 +1,103 @@
+#pragma once
+// Sample ring buffer + window slicer of one streaming session: arbitrary-
+// length pushes of 16.15 samples in, fixed-size (possibly overlapping)
+// analysis windows out. Window w covers absolute sample indices
+// [w * hop, w * hop + window); hop < window overlaps consecutive windows,
+// hop == window tiles the stream. A final partial window (samples past the
+// last full window's end) can be flushed zero-padded.
+//
+// The ring is the session's backpressure boundary: free_space() is what a
+// non-blocking push may accept; everything else is dropped and accounted
+// upstream. Single-producer; not thread-safe.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vwr2a::stream {
+
+/// The ring buffer / slicer.
+class Windower {
+ public:
+  /// `capacity` is the ring size in samples and must hold at least one
+  /// window; 1 <= hop <= window.
+  Windower(unsigned window, unsigned hop, std::size_t capacity)
+      : window_(window), hop_(hop), buf_(capacity) {
+    if (window == 0) throw HostError("Windower: window must be positive");
+    if (hop == 0 || hop > window) {
+      throw HostError("Windower: need 1 <= hop <= window");
+    }
+    if (capacity < window) {
+      throw HostError("Windower: capacity must hold one window");
+    }
+  }
+
+  unsigned window() const { return window_; }
+  unsigned hop() const { return hop_; }
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return count_; }
+  std::size_t free_space() const { return buf_.size() - count_; }
+  std::uint64_t windows_emitted() const { return emitted_; }
+
+  /// Appends samples; the caller must have checked free_space().
+  void push(std::span<const std::int32_t> samples) {
+    if (samples.size() > free_space()) {
+      throw HostError("Windower: push past capacity");
+    }
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      buf_[(head_ + count_ + i) % buf_.size()] = samples[i];
+    }
+    count_ += samples.size();
+  }
+
+  /// True when a full window is buffered.
+  bool has_window() const { return count_ >= window_; }
+
+  /// Copies out the next window and advances the stream by `hop` samples
+  /// (overlap stays buffered).
+  std::vector<std::int32_t> pop_window() {
+    if (!has_window()) throw HostError("Windower: no full window buffered");
+    std::vector<std::int32_t> w(window_);
+    for (unsigned i = 0; i < window_; ++i) {
+      w[i] = buf_[(head_ + i) % buf_.size()];
+    }
+    head_ = (head_ + hop_) % buf_.size();
+    count_ -= hop_;
+    covered_ = window_ - hop_;  // the overlap stays buffered, already seen
+    ++emitted_;
+    return w;
+  }
+
+  /// True when buffered samples exist that no emitted window has covered
+  /// (more than the overlap the last pop_window left behind; a tail flush
+  /// empties the ring, so after one the next segment starts fresh).
+  bool has_tail() const { return count_ > covered_; }
+
+  /// Flushes the remaining samples as one zero-padded window and empties
+  /// the ring.
+  std::vector<std::int32_t> pop_tail() {
+    if (!has_tail()) throw HostError("Windower: no tail to flush");
+    std::vector<std::int32_t> w(window_, 0);
+    for (std::size_t i = 0; i < count_; ++i) {
+      w[i] = buf_[(head_ + i) % buf_.size()];
+    }
+    head_ = (head_ + count_) % buf_.size();
+    count_ = 0;
+    covered_ = 0;  // the ring is empty: nothing buffered is pre-covered
+    ++emitted_;
+    return w;
+  }
+
+ private:
+  unsigned window_;
+  unsigned hop_;
+  std::vector<std::int32_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t covered_ = 0;  ///< leading buffered samples a window covered
+  std::uint64_t emitted_ = 0;
+};
+
+} // namespace vwr2a::stream

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -194,6 +195,168 @@ TEST(RuntimeJobs, BioTrackerCpuTargetsAgreeOnClass) {
   // Only the accelerated target touches the fixed-function FFT engine.
   EXPECT_GT(acc.cost.accel_cycles, 0u);
   EXPECT_EQ(cpu.cost.accel_cycles, 0u);
+}
+
+TEST(RuntimeJobs, PipelineBitExactAgainstGolden) {
+  Rng rng(111);
+  const auto taps_vec = dsp::fir11_lowpass_q15();
+  const auto taps = make_buffer(taps_vec);
+  for (unsigned n : {512u, 1024u}) {
+    const auto x = random_q15(n, rng, 0.4);
+    const JobResult r =
+        run_one(Job{PipelineJob{n, taps, make_buffer(x)}, "pipe"});
+    const auto filt = dsp::fir_fx(x, taps_vec);
+    const auto spec = dsp::rfft_fx(filt);
+    ASSERT_EQ(r.output.size(), n + 3) << "n " << n;
+    EXPECT_EQ(r.output[0], dsp::energy_fx(filt)) << "n " << n;
+    for (unsigned k = 0; k <= n / 2; ++k) {
+      ASSERT_EQ(r.output[1 + 2 * k], spec[k].re) << "n " << n << " bin " << k;
+      ASSERT_EQ(r.output[2 + 2 * k], spec[k].im) << "n " << n << " bin " << k;
+    }
+    EXPECT_GT(r.cost.vwr2a_cycles, 0u);
+  }
+}
+
+/// SPM residency: a second BioTracker window on the same device skips the
+/// resident-image re-init -- outputs stay bit-identical and the cost drops
+/// by *exactly* the re-init delta -- unless an intervening job clobbered
+/// the mask rows, in which case the full re-init price returns.
+TEST(RuntimeJobs, BioResidencySkipsReinitWithExactDelta) {
+  Rng rng(112);
+  auto window = [&rng](double hz, unsigned seed) {
+    dsp::RespirationParams p;
+    p.breath_hz = hz;
+    Rng sig(seed);
+    const auto xd = dsp::respiration(app::kWindow, p, sig);
+    std::vector<std::int32_t> xq(app::kWindow);
+    for (unsigned i = 0; i < app::kWindow; ++i) xq[i] = fx::to_q16_15(xd[i]);
+    return make_buffer(xq);
+  };
+  const auto w1 = window(0.2, 41), w2 = window(0.5, 42);
+
+  auto run_two = [&](bool residency, std::optional<Job> middle = {}) {
+    DevicePool::Config cfg;
+    cfg.device_opts.residency = residency;
+    DevicePool pool(cfg);
+    std::vector<Job> jobs;
+    jobs.push_back(Job{BioTrackerJob{app::Target::kCpuVwr2a, w1}, "bio1"});
+    if (middle) jobs.push_back(*middle);
+    jobs.push_back(Job{BioTrackerJob{app::Target::kCpuVwr2a, w2}, "bio2"});
+    auto handles = pool.submit_batch(std::move(jobs));
+    std::vector<JobResult> rs;
+    for (auto& h : handles) rs.push_back(h.get());
+    return rs;
+  };
+
+  // The exact re-init cost, measured on a direct platform with the same
+  // history (init + one window, then a second init).
+  soc::Platform plat;
+  app::MBioTracker tracker(plat);
+  tracker.init();
+  {
+    std::vector<double> x(app::kWindow);
+    for (unsigned i = 0; i < app::kWindow; ++i) {
+      x[i] = fx::from_q16_15((*w1)[i]);
+    }
+    tracker.run(app::Target::kCpuVwr2a, x);
+  }
+  const auto s0 = plat.snapshot();
+  tracker.init();
+  const auto reinit = soc::Platform::delta(s0, plat.snapshot());
+  ASSERT_GT(reinit.total_cycles(), 0u);
+
+  const auto on = run_two(true);
+  const auto off = run_two(false);
+  ASSERT_EQ(on.size(), 2u);
+  // Window 1 always stages; outputs never depend on residency.
+  EXPECT_EQ(on[0].output, off[0].output);
+  EXPECT_EQ(on[0].cost.cpu_cycles, off[0].cost.cpu_cycles);
+  EXPECT_EQ(on[0].cost.vwr2a_cycles, off[0].cost.vwr2a_cycles);
+  EXPECT_EQ(on[1].output, off[1].output);
+  // Window 2 skipped the re-init: exactly the measured delta, cycle and
+  // energy, engine by engine.
+  EXPECT_EQ(off[1].cost.cpu_cycles - on[1].cost.cpu_cycles,
+            reinit.cpu_cycles);
+  EXPECT_EQ(off[1].cost.vwr2a_cycles - on[1].cost.vwr2a_cycles,
+            reinit.vwr2a_cycles);
+  EXPECT_EQ(off[1].cost.sys_pj - on[1].cost.sys_pj, reinit.sys_pj);
+  EXPECT_EQ(off[1].cost.vwr2a_pj - on[1].cost.vwr2a_pj, reinit.vwr2a_pj);
+
+  // A 4096-point reduction stages SPM rows 0..31, clobbering the resp-band
+  // mask rows: the next window must pay the re-init again.
+  Rng rng2(43);
+  std::vector<std::int32_t> big(4096);
+  for (auto& v : big) v = fx::to_q16_15(rng2.next_range(-0.9, 0.9));
+  Job clobber{ReduceJob{ReduceOp::kEnergy, 4096, make_buffer(big)}, "clobber"};
+  const auto clobbered = run_two(true, clobber);
+  ASSERT_EQ(clobbered.size(), 3u);
+  EXPECT_EQ(clobbered[2].output, on[1].output);
+  EXPECT_EQ(clobbered[2].cost.vwr2a_cycles,
+            on[1].cost.vwr2a_cycles + reinit.vwr2a_cycles);
+
+  // A small FIR job (rows 0..1) does not touch the mask rows: the skip
+  // survives it.
+  Rng rng3(44);
+  std::vector<std::int32_t> small(128);
+  for (auto& v : small) v = fx::to_q16_15(rng3.next_range(-0.9, 0.9));
+  Job benign{FirJob{128, make_buffer(dsp::fir11_lowpass_q15()),
+                    make_buffer(small)},
+             "benign"};
+  const auto survived = run_two(true, benign);
+  ASSERT_EQ(survived.size(), 3u);
+  EXPECT_EQ(survived[2].output, on[1].output);
+  EXPECT_EQ(survived[2].cost.vwr2a_cycles, on[1].cost.vwr2a_cycles);
+}
+
+/// Cross-job SRAM dedup: jobs of one batch sharing the same SharedBuffer
+/// stage the region once per device; distinct (even identical-content)
+/// buffers stage every time.
+TEST(RuntimeJobs, SharedBufferStagedOncePerDevice) {
+  Rng rng(113);
+  const auto x = random_q15(512, rng, 0.9);
+
+  auto staging_count = [](const std::vector<Job>& jobs, bool dedup) {
+    DevicePool::Config cfg;
+    cfg.device_opts.dedup = dedup;
+    DevicePool pool(cfg);
+    std::vector<std::vector<std::int32_t>> outs;
+    for (auto& h : pool.submit_batch(jobs)) outs.push_back(h.get().output);
+    return std::make_pair(pool.stats().stagings, std::move(outs));
+  };
+
+  // Four energy reductions over ONE shared buffer: staged once.
+  const auto shared = make_buffer(x);
+  std::vector<Job> same(4, Job{ReduceJob{ReduceOp::kEnergy, 512, shared}, ""});
+  const auto [shared_stagings, shared_outs] = staging_count(same, true);
+  EXPECT_EQ(shared_stagings, 1u);
+
+  // The same four jobs with per-job buffers (identical content): staged
+  // every time -- and identical outputs either way.
+  std::vector<Job> distinct;
+  for (int j = 0; j < 4; ++j) {
+    distinct.push_back(Job{ReduceJob{ReduceOp::kEnergy, 512, make_buffer(x)}, ""});
+  }
+  const auto [distinct_stagings, distinct_outs] = staging_count(distinct, true);
+  EXPECT_EQ(distinct_stagings, 4u);
+  EXPECT_EQ(shared_outs, distinct_outs);
+  // Dedup off: the shared batch pays full price too.
+  const auto [nodedup_stagings, nodedup_outs] = staging_count(same, false);
+  EXPECT_EQ(nodedup_stagings, 4u);
+  EXPECT_EQ(nodedup_outs, shared_outs);
+
+  // FIR taps: three jobs sharing one taps buffer stage taps once (inputs
+  // are distinct, so 3 input stagings + 1 tap staging).
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  std::vector<Job> firs;
+  for (unsigned j = 0; j < 3; ++j) {
+    firs.push_back(
+        Job{FirJob{128, taps, make_buffer(random_q15(128, rng, 0.9))}, ""});
+  }
+  const auto [fir_stagings, fir_outs] = staging_count(firs, true);
+  EXPECT_EQ(fir_stagings, 4u);
+  const auto [fir_full, fir_full_outs] = staging_count(firs, false);
+  EXPECT_EQ(fir_full, 6u);
+  EXPECT_EQ(fir_outs, fir_full_outs);
 }
 
 /// The pool must be a transparent executor: a job served by a 1-device pool

@@ -303,6 +303,67 @@ TEST(RuntimePool, ImageCacheDoesNotLeakAcrossVariants) {
   EXPECT_EQ(hetero.device_jobs[1], 1u);
 }
 
+/// Load-aware scheduling: a batch alternating heavy (cfft-1024) and light
+/// (fir-64) jobs is pathological for round-robin on two devices (every
+/// heavy job lands on device 0). Shortest-local-clock must (a) leave
+/// per-job outputs bit-identical, (b) stay worker-count invariant, and
+/// (c) strictly tighten the fleet makespan.
+TEST(RuntimeSchedule, ShortestLocalClockTightensSkewedBatch) {
+  Rng rng(314);
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  std::vector<Job> jobs;
+  for (unsigned j = 0; j < 16; ++j) {
+    if (j % 2 == 0) {
+      std::vector<std::int32_t> x(2 * 1024);
+      for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+      jobs.push_back(Job{CfftJob{1024, make_buffer(std::move(x))},
+                         "heavy#" + std::to_string(j)});
+    } else {
+      std::vector<std::int32_t> x(64);
+      for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+      jobs.push_back(Job{FirJob{64, taps, make_buffer(std::move(x))},
+                         "light#" + std::to_string(j)});
+    }
+  }
+
+  auto run_sched = [&jobs](Schedule sched, unsigned workers) {
+    DevicePool::Config cfg;
+    cfg.devices = 2;
+    cfg.workers = workers;
+    cfg.schedule = sched;
+    DevicePool pool(cfg);
+    auto handles = pool.submit_batch(jobs);
+    std::vector<JobResult> results;
+    for (auto& h : handles) results.push_back(h.get());
+    return std::make_pair(std::move(results), pool.stats());
+  };
+
+  const auto [rr, rr_stats] = run_sched(Schedule::kRoundRobin, 2);
+  const auto [slc, slc_stats] = run_sched(Schedule::kShortestLocalClock, 2);
+  const auto [slc1, slc1_stats] = run_sched(Schedule::kShortestLocalClock, 1);
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    SCOPED_TRACE("job " + jobs[j].tag);
+    // Round-robin placement is unchanged: seq % devices.
+    EXPECT_EQ(rr[j].device, j % 2);
+    // Outputs are placement-independent (homogeneous fleet)...
+    EXPECT_EQ(slc[j].output, rr[j].output);
+    // ...and shortest-local-clock is still worker-count deterministic.
+    EXPECT_EQ(slc[j].device, slc1[j].device);
+    EXPECT_EQ(slc[j].output, slc1[j].output);
+    EXPECT_EQ(slc[j].cost.vwr2a_cycles, slc1[j].cost.vwr2a_cycles);
+  }
+  // Round-robin put all heavy jobs on device 0; the load-aware policy must
+  // have split them, strictly tightening the makespan.
+  std::uint64_t slc_heavy_dev1 = 0;
+  for (std::size_t j = 0; j < jobs.size(); j += 2) {
+    if (slc[j].device == 1) ++slc_heavy_dev1;
+  }
+  EXPECT_GT(slc_heavy_dev1, 0u);
+  EXPECT_LT(slc_stats.fleet_makespan, rr_stats.fleet_makespan);
+  EXPECT_EQ(slc_stats.fleet_makespan, slc1_stats.fleet_makespan);
+}
+
 TEST(RuntimePool, ImageCacheAssemblesOncePerKernel) {
   const auto jobs = make_mixed_jobs(16, 31);
   DevicePool::Config cfg;

@@ -1,0 +1,380 @@
+// Streaming session layer: windowing edge cases, per-session outputs
+// bit-identical to an offline app::MBioTracker / dsp::reference run over
+// the same samples, ordered delivery, worker-count invariance, and
+// backpressure drop accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "app/mbiotracker.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "dsp/reference.hpp"
+#include "dsp/signal.hpp"
+#include "stream/server.hpp"
+
+namespace vwr2a::stream {
+namespace {
+
+/// A reproducible synthetic respiration stream in 16.15.
+std::vector<std::int32_t> make_stream(std::size_t n, double breath_hz,
+                                      unsigned seed) {
+  dsp::RespirationParams p;
+  p.breath_hz = breath_hz;
+  Rng rng(seed);
+  return dsp::respiration_q16_15(static_cast<unsigned>(n), p, rng);
+}
+
+/// The windows the stream layer must emit for `samples`: full windows every
+/// `hop` samples, then the zero-padded tail (when flushed).
+std::vector<std::vector<std::int32_t>> slice_windows(
+    const std::vector<std::int32_t>& samples, unsigned window, unsigned hop,
+    bool flush_tail) {
+  std::vector<std::vector<std::int32_t>> out;
+  std::size_t start = 0;
+  while (start + window <= samples.size()) {
+    out.emplace_back(samples.begin() + start, samples.begin() + start + window);
+    start += hop;
+  }
+  if (flush_tail && start < samples.size()) {
+    std::vector<std::int32_t> tail(samples.begin() + start, samples.end());
+    tail.resize(window, 0);
+    out.push_back(std::move(tail));
+  }
+  return out;
+}
+
+/// Offline golden for one BioTrackerJob window: a fresh platform + app,
+/// exactly Device::run_bio's output word format.
+std::vector<std::int32_t> offline_bio(const std::vector<std::int32_t>& wq) {
+  soc::Platform plat;
+  app::MBioTracker tracker(plat);
+  tracker.init();
+  std::vector<double> x(app::kWindow);
+  for (unsigned i = 0; i < app::kWindow; ++i) x[i] = fx::from_q16_15(wq[i]);
+  const app::AppResult a = tracker.run(app::Target::kCpuVwr2a, x);
+  std::vector<std::int32_t> out;
+  out.push_back(a.svm_class);
+  out.push_back(static_cast<std::int32_t>(a.extrema));
+  for (double f : a.feat.as_vector()) out.push_back(fx::to_q16_15(f));
+  return out;
+}
+
+/// Offline golden for one PipelineJob window.
+std::vector<std::int32_t> offline_pipeline(
+    const std::vector<std::int32_t>& wq,
+    const std::vector<std::int32_t>& taps) {
+  const auto filt = dsp::fir_fx(wq, taps);
+  std::vector<std::int32_t> out;
+  out.push_back(dsp::energy_fx(filt));
+  for (const dsp::CplxFx& b : dsp::rfft_fx(filt)) {
+    out.push_back(b.re);
+    out.push_back(b.im);
+  }
+  return out;
+}
+
+TEST(Windower, SlicesOverlappingWindowsAndTail) {
+  Windower w(8, 4, 32);  // window 8, hop 4
+  std::vector<std::int32_t> stream(19);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::int32_t>(i + 1);
+  }
+  // Push in awkward chunks: 5, 7, 7.
+  w.push(std::span<const std::int32_t>(stream).subspan(0, 5));
+  EXPECT_FALSE(w.has_window());
+  w.push(std::span<const std::int32_t>(stream).subspan(5, 7));
+  ASSERT_TRUE(w.has_window());
+  w.push(std::span<const std::int32_t>(stream).subspan(12, 7));
+
+  const auto want = slice_windows(stream, 8, 4, /*flush_tail=*/true);
+  ASSERT_EQ(want.size(), 4u);  // starts 0, 4, 8, then tail at 12
+  std::vector<std::vector<std::int32_t>> got;
+  while (w.has_window()) got.push_back(w.pop_window());
+  ASSERT_TRUE(w.has_tail());  // samples 16..18 were never covered
+  got.push_back(w.pop_tail());
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(w.has_tail());
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(Windower, NoTailWhenHopLeftoversOnlyOverlap) {
+  Windower w(8, 4, 32);
+  std::vector<std::int32_t> stream(12);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::int32_t>(i);
+  }
+  w.push(stream);
+  (void)w.pop_window();  // covers 0..7
+  (void)w.pop_window();  // covers 4..11: everything is covered now
+  EXPECT_EQ(w.size(), 4u);  // samples 8..11 buffered, but already emitted
+  EXPECT_FALSE(w.has_tail());
+}
+
+TEST(Windower, SamplesAfterMidStreamFlushAreNotLost) {
+  // A tail flush empties the ring; with hop < window the next segment must
+  // NOT inherit the old window-hop overlap credit, or small late pushes
+  // would never flush.
+  Windower w(8, 4, 32);
+  std::vector<std::int32_t> first(10, 1);
+  w.push(first);
+  (void)w.pop_window();        // covers 0..7
+  ASSERT_TRUE(w.has_tail());   // samples 8..9
+  (void)w.pop_tail();
+  std::vector<std::int32_t> late(3, 2);  // fewer than window - hop samples
+  w.push(late);
+  ASSERT_TRUE(w.has_tail());   // nothing ever covered these
+  const auto tail = w.pop_tail();
+  const std::vector<std::int32_t> want = {2, 2, 2, 0, 0, 0, 0, 0};
+  EXPECT_EQ(tail, want);
+}
+
+TEST(Windower, RejectsBadGeometry) {
+  EXPECT_THROW(Windower(0, 1, 8), HostError);
+  EXPECT_THROW(Windower(8, 0, 8), HostError);
+  EXPECT_THROW(Windower(8, 9, 32), HostError);   // hop > window
+  EXPECT_THROW(Windower(8, 4, 4), HostError);    // capacity < window
+  Windower w(8, 8, 8);
+  std::vector<std::int32_t> nine(9, 0);
+  EXPECT_THROW(w.push(nine), HostError);
+}
+
+TEST(StreamSession, BioOutputsBitIdenticalToOfflineRun) {
+  // One tenant on a 2-device server; the stream arrives in awkward chunk
+  // sizes. Every delivered window must match an offline MBioTracker run on
+  // the identical sample slice, in order.
+  const auto samples = make_stream(3 * app::kWindow + 137, 0.25, 901);
+  StreamServer::Config scfg;
+  scfg.pool.devices = 2;
+  StreamServer server(scfg);
+
+  std::vector<WindowResult> delivered;
+  Session& s = server.open_session(
+      SessionConfig{}, [&](const WindowResult& r) { delivered.push_back(r); });
+
+  std::size_t off = 0;
+  unsigned chunk = 61;
+  while (off < samples.size()) {
+    const std::size_t take = std::min<std::size_t>(chunk, samples.size() - off);
+    s.push(std::span<const std::int32_t>(samples).subspan(off, take));
+    off += take;
+    chunk = 37 + (chunk * 7) % 211;  // deterministic odd sizes
+  }
+  server.finish();
+
+  const auto want =
+      slice_windows(samples, app::kWindow, app::kWindow, /*flush_tail=*/true);
+  ASSERT_EQ(delivered.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("window " + std::to_string(i));
+    EXPECT_EQ(delivered[i].index, i);  // ordered delivery
+    EXPECT_EQ(delivered[i].job.output, offline_bio(want[i]));
+  }
+  const SessionStats st = s.stats();
+  EXPECT_EQ(st.samples_in, samples.size());
+  EXPECT_EQ(st.dropped_samples, 0u);
+  EXPECT_EQ(st.windows_submitted, want.size());
+  EXPECT_EQ(st.windows_delivered, want.size());
+  EXPECT_GT(st.latency_cycles_max, 0u);
+}
+
+TEST(StreamSession, OverlappingWindowsMatchOfflineSlicing) {
+  // hop < window: 50%-overlapped pipeline windows against the dsp golden.
+  const unsigned kWin = 512, kHop = 256;
+  const auto samples = make_stream(5 * kHop + 100, 0.4, 902);
+  const auto taps = dsp::fir11_lowpass_q15();
+
+  StreamServer server;
+  SessionConfig cfg;
+  cfg.kind = SessionKind::kPipeline;
+  cfg.window = kWin;
+  cfg.hop = kHop;
+  std::vector<WindowResult> delivered;
+  Session& s = server.open_session(
+      cfg, [&](const WindowResult& r) { delivered.push_back(r); });
+  s.push(samples);
+  server.finish();
+
+  const auto want = slice_windows(samples, kWin, kHop, /*flush_tail=*/true);
+  ASSERT_EQ(delivered.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("window " + std::to_string(i));
+    EXPECT_EQ(delivered[i].index, i);
+    EXPECT_EQ(delivered[i].job.output, offline_pipeline(want[i], taps));
+  }
+}
+
+TEST(StreamServer, MultiTenantOrderedAndBitIdentical) {
+  // 8 tenants (bio and pipeline mixed) on a 4-device heterogeneous fleet,
+  // fed round-robin from one thread: per-session delivery must stay
+  // ordered and every window must match its offline golden.
+  constexpr unsigned kSessions = 8;
+  const auto taps = dsp::fir11_lowpass_q15();
+
+  StreamServer::Config scfg;
+  scfg.pool.devices = 4;
+  scfg.pool.device_arch = {soc::ArchConfig{},
+                           soc::ArchConfig{.vwr_count = 2},
+                           soc::ArchConfig{.vwr_count = 4},
+                           soc::ArchConfig{.simd_width = 16}};
+  StreamServer server(scfg);
+
+  std::vector<std::vector<std::int32_t>> streams;
+  std::map<std::uint64_t, std::vector<WindowResult>> delivered;
+  std::vector<Session*> sessions;
+  for (unsigned i = 0; i < kSessions; ++i) {
+    streams.push_back(
+        make_stream(2 * app::kWindow + 31 * i, 0.15 + 0.06 * i, 910 + i));
+    SessionConfig cfg;
+    if (i % 2 == 1) cfg.kind = SessionKind::kPipeline;
+    sessions.push_back(&server.open_session(
+        cfg, [&](const WindowResult& r) { delivered[r.session].push_back(r); }));
+  }
+
+  // Interleave pushes across tenants in fixed chunks.
+  for (std::size_t off = 0; ; off += 97) {
+    bool any = false;
+    for (unsigned i = 0; i < kSessions; ++i) {
+      if (off >= streams[i].size()) continue;
+      const std::size_t take = std::min<std::size_t>(97, streams[i].size() - off);
+      sessions[i]->push(
+          std::span<const std::int32_t>(streams[i]).subspan(off, take));
+      any = true;
+    }
+    if (!any) break;
+  }
+  server.finish();
+
+  for (unsigned i = 0; i < kSessions; ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    const auto want = slice_windows(streams[i], app::kWindow, app::kWindow,
+                                    /*flush_tail=*/true);
+    const auto& got = delivered[i];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      SCOPED_TRACE("window " + std::to_string(w));
+      EXPECT_EQ(got[w].index, w);
+      EXPECT_EQ(got[w].job.output, i % 2 == 1 ? offline_pipeline(want[w], taps)
+                                              : offline_bio(want[w]));
+      // Soft-pinning: every window of a session ran on its device.
+      EXPECT_EQ(got[w].job.device, sessions[i]->device());
+    }
+  }
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.fleet.jobs_failed, 0u);
+  EXPECT_GT(st.windows_per_sim_second(), 0.0);
+  EXPECT_GT(st.fleet_occupancy(), 0.0);
+}
+
+TEST(StreamServer, DeliveredResultsInvariantToWorkerCount) {
+  // The same tenant streams on 1-worker and 4-worker servers must deliver
+  // bit- and cycle-identical windows: worker threads are interchangeable
+  // executors of the simulated fleet.
+  auto run_with_workers = [](unsigned workers) {
+    StreamServer::Config scfg;
+    scfg.pool.devices = 4;
+    scfg.pool.workers = workers;
+    StreamServer server(scfg);
+    std::map<std::uint64_t, std::vector<WindowResult>> delivered;
+    std::vector<Session*> sessions;
+    std::vector<std::vector<std::int32_t>> streams;
+    for (unsigned i = 0; i < 6; ++i) {
+      streams.push_back(make_stream(2 * app::kWindow + 101 * i,
+                                    0.2 + 0.05 * i, 950 + i));
+      SessionConfig cfg;
+      if (i >= 4) cfg.kind = SessionKind::kPipeline;
+      sessions.push_back(&server.open_session(cfg, [&](const WindowResult& r) {
+        delivered[r.session].push_back(r);
+      }));
+    }
+    for (unsigned i = 0; i < 6; ++i) sessions[i]->push(streams[i]);
+    server.finish();
+    return delivered;
+  };
+
+  const auto base = run_with_workers(1);
+  const auto got = run_with_workers(4);
+  ASSERT_EQ(got.size(), base.size());
+  for (const auto& [sid, results] : base) {
+    SCOPED_TRACE("session " + std::to_string(sid));
+    const auto& g = got.at(sid);
+    ASSERT_EQ(g.size(), results.size());
+    for (std::size_t w = 0; w < results.size(); ++w) {
+      SCOPED_TRACE("window " + std::to_string(w));
+      EXPECT_EQ(g[w].job.output, results[w].job.output);
+      EXPECT_EQ(g[w].job.device, results[w].job.device);
+      EXPECT_EQ(g[w].job.cost.cpu_cycles, results[w].job.cost.cpu_cycles);
+      EXPECT_EQ(g[w].job.cost.vwr2a_cycles, results[w].job.cost.vwr2a_cycles);
+      EXPECT_EQ(g[w].job.cost.vwr2a_pj, results[w].job.cost.vwr2a_pj);
+      EXPECT_EQ(g[w].job.cost.sys_pj, results[w].job.cost.sys_pj);
+    }
+  }
+}
+
+TEST(StreamSession, TryPushDropsAreAccounted) {
+  StreamServer server;
+  SessionConfig cfg;
+  cfg.buffer_capacity = app::kWindow;  // one-window ring
+  std::uint64_t delivered = 0;
+  Session& s = server.open_session(cfg,
+                                   [&](const WindowResult&) { ++delivered; });
+
+  // A push larger than the whole ring can never fit: guaranteed drop,
+  // independent of worker timing.
+  std::vector<std::int32_t> big(app::kWindow + 64, 0);
+  EXPECT_FALSE(s.try_push(big));
+  SessionStats st = s.stats();
+  EXPECT_EQ(st.dropped_pushes, 1u);
+  EXPECT_EQ(st.dropped_samples, big.size());
+  EXPECT_EQ(st.samples_in, 0u);
+
+  // Fitting pushes are accepted and eventually delivered; accounting must
+  // balance exactly: accepted = delivered windows * window (hop == window,
+  // stream length divisible by the window, no tail).
+  const auto samples = make_stream(2 * app::kWindow, 0.3, 977);
+  std::size_t off = 0;
+  std::uint64_t accepted = 0, dropped_pushes = 1, dropped_samples = big.size();
+  while (off < samples.size()) {
+    const std::size_t take = std::min<std::size_t>(128, samples.size() - off);
+    const auto chunk = std::span<const std::int32_t>(samples).subspan(off, take);
+    if (s.try_push(chunk)) {
+      accepted += take;
+      off += take;
+    } else {
+      // Ring full while windows are in flight: retry after a blocking
+      // drain of one result. (Drops stay counted.)
+      ++dropped_pushes;
+      dropped_samples += take;
+      s.drain();
+    }
+  }
+  s.finish();
+  st = s.stats();
+  EXPECT_EQ(st.samples_in, accepted);
+  EXPECT_EQ(st.dropped_pushes, dropped_pushes);
+  EXPECT_EQ(st.dropped_samples, dropped_samples);
+  EXPECT_EQ(st.windows_submitted, accepted / app::kWindow);
+  EXPECT_EQ(st.windows_delivered, st.windows_submitted);
+  EXPECT_EQ(delivered, st.windows_delivered);
+}
+
+TEST(StreamServer, SessionsSpreadAcrossDevices) {
+  // Shortest-local-clock placement with reservations: equally-weighted
+  // sessions opened back-to-back must spread over the fleet instead of
+  // clustering on device 0.
+  StreamServer::Config scfg;
+  scfg.pool.devices = 4;
+  StreamServer server(scfg);
+  std::map<unsigned, unsigned> per_device;
+  for (unsigned i = 0; i < 8; ++i) {
+    per_device[server.open_session().device()]++;
+  }
+  ASSERT_EQ(per_device.size(), 4u);
+  for (const auto& [dev, count] : per_device) EXPECT_EQ(count, 2u) << dev;
+}
+
+} // namespace
+} // namespace vwr2a::stream
