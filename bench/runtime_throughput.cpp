@@ -1,11 +1,19 @@
-// Runtime-pool throughput: a 1000-job FIR-11 batch (256 points each) served
-// by fleets of 1/2/4/8 devices, one worker per device. Reports fleet
-// throughput in jobs per *simulated* second -- the architectural metric: N
-// independent VWR2A blocks advance their local clocks in parallel, so the
-// fleet makespan is the max device-local time and throughput scales with
-// the device count regardless of how many host cores execute the
-// simulation. Host wall-clock time is reported alongside (it additionally
-// scales with host cores, which is the worker threads' job).
+// Runtime-pool throughput, two experiments:
+//
+//  1. Fleet scaling (simulated metric): a 1000-job FIR-11 batch (256 points
+//     each) served by fleets of 1/2/4/8 devices, one worker per device.
+//     Fleet throughput in jobs per *simulated* second scales with the
+//     device count regardless of host cores (N independent VWR2A blocks).
+//
+//  2. Execution-engine speedup (host metric): the same batch on one device,
+//     interpreted vs trace-cached. The trace cache must be bit-identical
+//     (outputs), exactly cycle/energy-equal, and >= 5x faster in host
+//     wall-clock -- the ceiling for every simulated cycle the fleet and
+//     stream layers can deliver.
+//
+// Both experiments append machine-readable records to BENCH_runtime.json
+// (host wall-clock, simulated cycles per host second, makespan) for the
+// nightly perf-trajectory artifact.
 
 #include <chrono>
 #include <cstdio>
@@ -31,51 +39,118 @@ int main() {
     for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
     inputs.push_back(runtime::make_buffer(std::move(x)));
   }
-
-  bench::header("Runtime pool: 1000-job FIR-11/256 batch");
-  std::printf("  %-8s | %12s %14s | %10s %12s | %8s\n", "workers",
-              "makespan cyc", "sim jobs/s", "wall ms", "wall jobs/s",
-              "speedup");
-
-  double base_sim_jps = 0.0;
-  double sim_jps_at_4 = 0.0;
-  for (unsigned workers : {1u, 2u, 4u, 8u}) {
-    runtime::DevicePool::Config cfg;
-    cfg.devices = workers;  // one worker per device
-    runtime::DevicePool pool(cfg);
-
+  auto make_jobs = [&] {
     std::vector<runtime::Job> jobs;
     jobs.reserve(kJobs);
     for (unsigned j = 0; j < kJobs; ++j) {
-      jobs.push_back({runtime::FirJob{kPoints, taps, inputs[j % kDistinctInputs]}, ""});
+      jobs.push_back(
+          {runtime::FirJob{kPoints, taps, inputs[j % kDistinctInputs]}, ""});
     }
+    return jobs;
+  };
 
-    const auto t0 = Clock::now();
-    auto handles = pool.submit_batch(std::move(jobs));
-    pool.wait_idle();
-    const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
-
+  struct Run {
+    runtime::FleetStats stats;
+    std::uint64_t output_hash = 1469598103934665603ull;  // FNV-1a
+    double sys_pj_total = 0.0;
     Cycle job_cycles = 0;
-    for (auto& h : handles) job_cycles += h.get().cost.vwr2a_cycles;
-    const runtime::FleetStats s = pool.stats();
-    const double sim_jps = s.jobs_per_sim_second();
+    double wall_s = 0.0;
+  };
+  auto run_fleet = [&](unsigned devices, cgra::ExecMode mode) {
+    runtime::DevicePool::Config cfg;
+    cfg.devices = devices;  // one worker per device
+    cfg.device_arch = {soc::ArchConfig{.exec_mode = mode}};
+    runtime::DevicePool pool(cfg);
+    const auto t0 = Clock::now();
+    auto handles = pool.submit_batch(make_jobs());
+    pool.wait_idle();
+    Run r;
+    r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    for (auto& h : handles) {
+      const runtime::JobResult jr = h.get();
+      for (std::int32_t w : jr.output) {
+        r.output_hash =
+            (r.output_hash ^ static_cast<std::uint32_t>(w)) * 1099511628211ull;
+      }
+      r.job_cycles += jr.cost.vwr2a_cycles;
+      r.sys_pj_total += jr.cost.total_pj();
+    }
+    r.stats = pool.stats();
+    return r;
+  };
+
+  // ---- experiment 1: fleet scaling (interpreted reference engine) ----------
+  bench::header("Runtime pool: 1000-job FIR-11/256 batch, fleet scaling");
+  std::printf("  %-8s | %12s %14s | %10s %12s | %8s\n", "workers",
+              "makespan cyc", "sim jobs/s", "wall ms", "wall jobs/s",
+              "speedup");
+  double base_sim_jps = 0.0;
+  double sim_jps_at_4 = 0.0;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    const Run r = run_fleet(workers, cgra::ExecMode::kInterpret);
+    const double sim_jps = r.stats.jobs_per_sim_second();
     if (workers == 1) base_sim_jps = sim_jps;
     if (workers == 4) sim_jps_at_4 = sim_jps;
     std::printf("  %-8u | %12llu %14.0f | %10.1f %12.0f | %7.2fx\n", workers,
-                static_cast<unsigned long long>(s.fleet_makespan), sim_jps,
-                wall_s * 1e3, static_cast<double>(s.jobs_completed) / wall_s,
+                static_cast<unsigned long long>(r.stats.fleet_makespan),
+                sim_jps, r.wall_s * 1e3,
+                static_cast<double>(r.stats.jobs_completed) / r.wall_s,
                 base_sim_jps > 0 ? sim_jps / base_sim_jps : 1.0);
-    if (workers == 1) {
-      std::printf("  (per-job mean %llu cycles; image cache %llu hits / "
-                  "%llu misses)\n",
-                  static_cast<unsigned long long>(job_cycles / kJobs),
-                  static_cast<unsigned long long>(s.image_cache.hits),
-                  static_cast<unsigned long long>(s.image_cache.misses));
-    }
+    bench::JsonRecord("runtime_throughput")
+        .field("config", "fleet_x" + std::to_string(workers))
+        .field("exec_mode", std::string("interpret"))
+        .field("jobs", static_cast<std::uint64_t>(r.stats.jobs_completed))
+        .field("makespan_cycles",
+               static_cast<std::uint64_t>(r.stats.fleet_makespan))
+        .field("wall_seconds", r.wall_s)
+        .field("sim_cycles_per_host_second",
+               static_cast<double>(r.stats.total_device_cycles) / r.wall_s)
+        .field("sim_jobs_per_sim_second", sim_jps)
+        .write();
+  }
+  const double fleet4 = base_sim_jps > 0 ? sim_jps_at_4 / base_sim_jps : 0.0;
+
+  // ---- experiment 2: trace-cache speedup on one device ---------------------
+  bench::header("Trace cache vs interpreter (1 device, same batch)");
+  const Run interp = run_fleet(1, cgra::ExecMode::kInterpret);
+  const Run traced = run_fleet(1, cgra::ExecMode::kTraceCache);
+  auto row = [](const char* name, const Run& r) {
+    std::printf("  %-12s | %12llu cyc | %8.1f ms | %10.0f sim-cyc/s\n", name,
+                static_cast<unsigned long long>(r.stats.fleet_makespan),
+                r.wall_s * 1e3,
+                static_cast<double>(r.stats.fleet_makespan) / r.wall_s);
+  };
+  row("interpret", interp);
+  row("trace-cache", traced);
+
+  const bool identical = interp.output_hash == traced.output_hash &&
+                         interp.stats.fleet_makespan ==
+                             traced.stats.fleet_makespan &&
+                         interp.job_cycles == traced.job_cycles &&
+                         interp.sys_pj_total == traced.sys_pj_total &&
+                         interp.stats.total_pj == traced.stats.total_pj;
+  const double speedup = traced.wall_s > 0 ? interp.wall_s / traced.wall_s : 0.0;
+  std::printf("\n  identity: %s (outputs, cycles, energy)\n",
+              identical ? "bit-exact" : "MISMATCH");
+  std::printf("  trace-cache host speedup: %.2fx (%s 5x target)\n", speedup,
+              speedup >= 5.0 ? "meets" : "MISSES");
+  for (const Run* r : {&interp, &traced}) {
+    bench::JsonRecord("runtime_throughput")
+        .field("config", std::string("exec_mode_1dev"))
+        .field("exec_mode",
+               std::string(r == &interp ? "interpret" : "trace_cache"))
+        .field("jobs", static_cast<std::uint64_t>(r->stats.jobs_completed))
+        .field("makespan_cycles",
+               static_cast<std::uint64_t>(r->stats.fleet_makespan))
+        .field("wall_seconds", r->wall_s)
+        .field("sim_cycles_per_host_second",
+               static_cast<double>(r->stats.fleet_makespan) / r->wall_s)
+        .field("bit_identical", identical)
+        .field("speedup_vs_interpret", r == &interp ? 1.0 : speedup)
+        .write();
   }
 
-  const double speedup4 = base_sim_jps > 0 ? sim_jps_at_4 / base_sim_jps : 0.0;
-  std::printf("\n  4-worker fleet speedup: %.2fx (%s 2x target)\n", speedup4,
-              speedup4 > 2.0 ? "meets" : "MISSES");
-  return speedup4 > 2.0 ? 0 : 1;
+  std::printf("\n  4-worker fleet speedup: %.2fx (%s 2x target)\n", fleet4,
+              fleet4 > 2.0 ? "meets" : "MISSES");
+  return (fleet4 > 2.0 && identical && speedup >= 5.0) ? 0 : 1;
 }

@@ -1,13 +1,17 @@
 // Streaming soak: the headline scaling benchmark of the stream layer.
 // 16 tenant sessions (heavy whole-app BioTracker streams alternating with
 // lighter FIR->energy->rFFT feature pipelines) push a fixed number of
-// windows each onto a 4-device heterogeneous fleet, twice:
+// windows each onto a 4-device heterogeneous fleet, three times:
 //   * baseline: round-robin session placement, SPM residency tracking and
 //     cross-job staging dedup disabled (the PR-2 runtime);
-//   * tuned: shortest-local-clock placement + residency + dedup.
-// Same sample streams, same windows, bit-identical outputs -- the configs
-// differ only in placement and staging cost, so the makespan gap is pure
-// scheduling/residency win. Exit status enforces tuned < baseline.
+//   * tuned: shortest-local-clock placement + residency + dedup;
+//   * trace: the tuned config on ExecMode::kTraceCache -- identical
+//     simulated behaviour (outputs, makespan, stagings), >= 5x less host
+//     wall-clock per simulated cycle.
+// Same sample streams, same windows, bit-identical outputs across all
+// three. Exit status enforces tuned < baseline (simulated), the
+// trace/tuned identity, and the 5x host speedup. Machine-readable records
+// land in BENCH_runtime.json for the nightly perf-trajectory artifact.
 
 #include <chrono>
 #include <cstdio>
@@ -43,16 +47,18 @@ int main() {
     std::vector<std::uint64_t> output_hash;
     double wall_ms = 0.0;
   };
-  auto soak = [&streams](runtime::Schedule sched, bool residency) {
+  auto soak = [&streams](runtime::Schedule sched, bool residency,
+                         cgra::ExecMode mode) {
     stream::StreamServer::Config cfg;
     cfg.pool.devices = 4;
     cfg.pool.schedule = sched;
     cfg.pool.device_opts.residency = residency;
     cfg.pool.device_opts.dedup = residency;
-    cfg.pool.device_arch = {soc::ArchConfig{},
-                            soc::ArchConfig{.vwr_count = 2},
-                            soc::ArchConfig{.vwr_count = 4},
-                            soc::ArchConfig{.simd_width = 16}};
+    cfg.pool.device_arch = {
+        soc::ArchConfig{.exec_mode = mode},
+        soc::ArchConfig{.vwr_count = 2, .exec_mode = mode},
+        soc::ArchConfig{.vwr_count = 4, .exec_mode = mode},
+        soc::ArchConfig{.simd_width = 16, .exec_mode = mode}};
     stream::StreamServer server(cfg);
 
     // One shared taps buffer across every pipeline tenant: cross-job dedup
@@ -101,8 +107,12 @@ int main() {
   std::printf("  %-28s | %13s %11s %9s %9s | %8s\n", "config", "makespan cyc",
               "windows/s", "occup", "stagings", "wall ms");
 
-  const Run base = soak(runtime::Schedule::kRoundRobin, false);
-  const Run tuned = soak(runtime::Schedule::kShortestLocalClock, true);
+  const Run base =
+      soak(runtime::Schedule::kRoundRobin, false, cgra::ExecMode::kInterpret);
+  const Run tuned = soak(runtime::Schedule::kShortestLocalClock, true,
+                         cgra::ExecMode::kInterpret);
+  const Run traced = soak(runtime::Schedule::kShortestLocalClock, true,
+                          cgra::ExecMode::kTraceCache);
   auto row = [](const char* name, const Run& r) {
     std::printf("  %-28s | %13llu %11.0f %9.2f %9llu | %8.1f\n", name,
                 static_cast<unsigned long long>(r.stats.fleet.fleet_makespan),
@@ -112,6 +122,7 @@ int main() {
   };
   row("round-robin, no residency", base);
   row("shortest-clock + residency", tuned);
+  row("  + trace-cache engine", traced);
 
   const double gain =
       base.stats.fleet.fleet_makespan > 0
@@ -128,10 +139,50 @@ int main() {
 
   const bool identical = tuned.output_hash == base.output_hash;
   if (!identical) std::printf("  OUTPUT MISMATCH between configs\n");
+
+  // Trace-cache identity: same simulated universe as the tuned config --
+  // outputs, makespan, stagings, fleet energy -- at a fraction of the host
+  // wall-clock.
+  const bool trace_identical =
+      traced.output_hash == tuned.output_hash &&
+      traced.stats.fleet.fleet_makespan == tuned.stats.fleet.fleet_makespan &&
+      traced.stats.fleet.stagings == tuned.stats.fleet.stagings &&
+      traced.stats.fleet.total_pj == tuned.stats.fleet.total_pj &&
+      traced.stats.windows_delivered == tuned.stats.windows_delivered;
+  const double trace_speedup =
+      traced.wall_ms > 0 ? tuned.wall_ms / traced.wall_ms : 0.0;
+  std::printf("  trace-cache: %s identity, %.2fx host speedup (%s 5x target)\n",
+              trace_identical ? "bit/cycle/energy" : "BROKEN",
+              trace_speedup, trace_speedup >= 5.0 ? "meets" : "MISSES");
+
+  struct Named {
+    const char* name;
+    const Run* run;
+  };
+  for (const Named& n : {Named{"round_robin_interpret", &base},
+                         Named{"tuned_interpret", &tuned},
+                         Named{"tuned_trace_cache", &traced}}) {
+    const Run& r = *n.run;
+    bench::JsonRecord("stream_soak")
+        .field("config", std::string(n.name))
+        .field("windows",
+               static_cast<std::uint64_t>(r.stats.windows_delivered))
+        .field("makespan_cycles",
+               static_cast<std::uint64_t>(r.stats.fleet.fleet_makespan))
+        .field("stagings", static_cast<std::uint64_t>(r.stats.fleet.stagings))
+        .field("wall_seconds", r.wall_ms * 1e-3)
+        .field("sim_cycles_per_host_second",
+               static_cast<double>(r.stats.fleet.total_device_cycles) /
+                   (r.wall_ms * 1e-3))
+        .field("windows_per_sim_second", r.stats.windows_per_sim_second())
+        .write();
+  }
+
   const bool ok =
       identical &&
       tuned.stats.fleet.fleet_makespan < base.stats.fleet.fleet_makespan &&
       tuned.stats.fleet.stagings < base.stats.fleet.stagings &&
-      tuned.stats.windows_delivered == base.stats.windows_delivered;
+      tuned.stats.windows_delivered == base.stats.windows_delivered &&
+      trace_identical && trace_speedup >= 5.0;
   return ok ? 0 : 1;
 }

@@ -40,6 +40,42 @@ class AhbBus final : public SysPort {
     sram_->write(word_addr, v);
   }
 
+  bool block_ok(std::uint32_t word_addr, std::uint32_t n) const override {
+    return sram_->block_ok(word_addr, n);
+  }
+
+  void read_block(std::uint32_t word_addr, Word* dst, std::uint32_t n) override {
+    meter_->add(energy::Event::kBusBeat, n);
+    beats_ += n;
+    sram_->read_block(word_addr, dst, n);
+  }
+
+  void write_block(std::uint32_t word_addr, const Word* src,
+                   std::uint32_t n) override {
+    meter_->add(energy::Event::kBusBeat, n);
+    beats_ += n;
+    sram_->write_block(word_addr, src, n);
+  }
+
+  bool strided_ok(std::uint32_t word_addr, std::int32_t stride,
+                  std::uint32_t n) const override {
+    return sram_->strided_ok(word_addr, stride, n);
+  }
+
+  void read_strided(std::uint32_t word_addr, std::int32_t stride,
+                    std::uint32_t n, Word* dst) override {
+    meter_->add(energy::Event::kBusBeat, n);
+    beats_ += n;
+    sram_->read_strided(word_addr, stride, n, dst);
+  }
+
+  void write_strided(std::uint32_t word_addr, std::int32_t stride,
+                     std::uint32_t n, const Word* src) override {
+    meter_->add(energy::Event::kBusBeat, n);
+    beats_ += n;
+    sram_->write_strided(word_addr, stride, n, src);
+  }
+
   unsigned beat_cycles() const override { return cfg_.beat_cycles; }
   unsigned burst_setup_cycles() const override { return cfg_.burst_setup_cycles; }
   unsigned burst_beats() const override { return cfg_.burst_beats; }

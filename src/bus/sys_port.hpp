@@ -27,6 +27,59 @@ class SysPort {
 
   /// Maximum beats per burst (INCR16-style bursts).
   virtual unsigned burst_beats() const = 0;
+
+  // --- bulk transfers ---------------------------------------------------------
+  // Block operations let stride-1 DMA move whole spans without a virtual
+  // call and two meter adds per beat. Semantics are identical to the
+  // word-at-a-time loop: the same events are charged per word. block_ok()
+  // reports whether the whole span can be transferred without faulting
+  // (range and power gating); callers must fall back to the per-word path
+  // when it is false so faults surface at the exact beat they would have.
+
+  /// True when [word_addr, word_addr + n) is fully accessible.
+  virtual bool block_ok(std::uint32_t word_addr, std::uint32_t n) const {
+    (void)word_addr;
+    (void)n;
+    return false;  // conservative default: per-word path
+  }
+
+  /// Reads n consecutive words (caller checked block_ok).
+  virtual void read_block(std::uint32_t word_addr, Word* dst, std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) dst[i] = read(word_addr + i);
+  }
+
+  /// Writes n consecutive words (caller checked block_ok).
+  virtual void write_block(std::uint32_t word_addr, const Word* src,
+                           std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) write(word_addr + i, src[i]);
+  }
+
+  /// True when all n strided beats starting at word_addr are accessible.
+  virtual bool strided_ok(std::uint32_t word_addr, std::int32_t stride,
+                          std::uint32_t n) const {
+    (void)word_addr;
+    (void)stride;
+    (void)n;
+    return false;  // conservative default: per-word path
+  }
+
+  /// Reads n strided words (caller checked strided_ok).
+  virtual void read_strided(std::uint32_t word_addr, std::int32_t stride,
+                            std::uint32_t n, Word* dst) {
+    std::int64_t a = word_addr;
+    for (std::uint32_t i = 0; i < n; ++i, a += stride) {
+      dst[i] = read(static_cast<std::uint32_t>(a));
+    }
+  }
+
+  /// Writes n strided words (caller checked strided_ok).
+  virtual void write_strided(std::uint32_t word_addr, std::int32_t stride,
+                             std::uint32_t n, const Word* src) {
+    std::int64_t a = word_addr;
+    for (std::uint32_t i = 0; i < n; ++i, a += stride) {
+      write(static_cast<std::uint32_t>(a), src[i]);
+    }
+  }
 };
 
 } // namespace vwr2a::bus

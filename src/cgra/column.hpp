@@ -19,9 +19,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "cgra/tracecache.hpp"
 #include "common/types.hpp"
 #include "energy/meter.hpp"
 #include "isa/instr.hpp"
@@ -44,11 +46,31 @@ class Column {
  public:
   using RcOutputs = std::array<Word, arch::kRcsPerColumn>;
 
+  /// One predecoded VLIW line.
+  struct DecodedLine {
+    isa::LcuInstr lcu;
+    isa::LsuInstr lsu;
+    isa::MxcuInstr mxcu;
+    std::array<isa::RcInstr, arch::kRcsPerColumn> rc;
+  };
+  using DecodedProgram = std::vector<DecodedLine>;
+
   Column(unsigned id, mem::Spm& spm, energy::EnergyMeter& meter);
+
+  /// Decodes a whole program (what load_program does internally). Exposed
+  /// so the synchronizer can predecode each kernel once and share the
+  /// result across reloads instead of re-decoding on every kernel switch.
+  static DecodedProgram decode_program(const isa::ColumnProgram& prog);
 
   /// Copies (predecodes) a program into the unit program memories. Resets
   /// the PC. Configuration-load cost is charged by the top level.
   void load_program(const isa::ColumnProgram& prog);
+
+  /// Shared-ownership variant: aliases an already-decoded program (and the
+  /// encoded image) instead of copying either. `dec` must be the decode of
+  /// `prog`.
+  void load_program(std::shared_ptr<const isa::ColumnProgram> prog,
+                    std::shared_ptr<const DecodedProgram> dec);
 
   /// Starts execution at PC 0.
   void start();
@@ -66,6 +88,67 @@ class Column {
 
   /// Previous-cycle RC results (for the cross-column network).
   const RcOutputs& rc_outputs() const { return rc_prev_; }
+
+  // --- trace-cache replay (see cgra/tracecache.hpp) --------------------------
+
+  /// Attaches (or detaches, with nullptr) the compiled trace of the loaded
+  /// program. The trace is consulted only by run_traced(); step() stays the
+  /// interpreter.
+  void set_trace(std::shared_ptr<const CompiledTrace> trace) {
+    trace_ = std::move(trace);
+  }
+
+  /// True when a replayable compiled trace is attached.
+  bool has_trace() const { return trace_ != nullptr && trace_->ok; }
+
+  /// Replays the compiled trace from the current PC to EXIT, recording SPM
+  /// row-access masks (and, when `undo` is given, a copy-on-write SPM undo
+  /// log for conflict rollback). Returns the cycles executed. Bit-, cycle-
+  /// and energy-identical to stepping the interpreter the same number of
+  /// cycles. Throws tc::ReplayBudgetExceeded past `budget` cycles (the
+  /// caller rolls back): a decoupled column polling its partner's SPM
+  /// writes would otherwise spin forever.
+  Cycle run_traced(tc::SpmUndo* undo, Cycle budget = ~Cycle{0});
+
+  /// SPM rows this column read / wrote during the last run_traced().
+  std::uint64_t spm_read_mask() const { return spm_read_mask_; }
+  std::uint64_t spm_write_mask() const { return spm_write_mask_; }
+
+  /// Lockstep traced stepping, for kernels whose columns communicate
+  /// through the SPM: begin_traced() arms the replay state, step_traced()
+  /// executes one compiled line (one cycle of this column) with the same
+  /// per-cycle interleaving as the interpreter, end_traced() syncs the
+  /// observable state back. Bit-identical to step() for traceable programs.
+  void begin_traced(tc::SpmUndo* undo) {
+    undo_ = undo;
+    spm_read_mask_ = 0;
+    spm_write_mask_ = 0;
+    tb_ = nullptr;
+  }
+  void step_traced();
+  void end_traced() {
+    for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) rcs_[r].out = rc_prev_[r];
+    undo_ = nullptr;
+  }
+
+  /// Full architectural state of a column, snapshotted before a decoupled
+  /// replay so a detected cross-column SPM conflict can roll back and rerun
+  /// on the interpreter.
+  struct Checkpoint {
+    std::array<mem::Vwr::Row, arch::kVwrsPerColumn> vwr;
+    std::array<Word, arch::kSrfEntries> srf;
+    std::array<RcState, arch::kRcsPerColumn> rcs;
+    RcOutputs rc_prev;
+    std::array<Word, arch::kLcuRegs> lcu_rf;
+    std::array<std::uint32_t, 2> lsu_ptr;
+    unsigned idx = 0;
+    SWord aux = 0;
+    unsigned pc = 0;
+    bool running = false;
+    Cycle executed = 0;
+  };
+  void save_state(Checkpoint& ck) const;
+  void restore_state(const Checkpoint& ck);
 
   // --- state access for the host interface and tests ------------------------
   mem::Srf& srf() { return srf_; }
@@ -87,16 +170,27 @@ class Column {
   std::string line_asm(unsigned pc) const;
 
  private:
-  struct DecodedLine {
-    isa::LcuInstr lcu;
-    isa::LsuInstr lsu;
-    isa::MxcuInstr mxcu;
-    std::array<isa::RcInstr, arch::kRcsPerColumn> rc;
-  };
-
   Word read_rc_src(isa::RcSrc src, const isa::RcInstr& instr, unsigned r,
                    const RcOutputs* cross);
   unsigned lsu_address(const isa::LsuInstr& instr);
+
+  // --- trace replay internals (column.cpp) -----------------------------------
+  void exec_traced_line(const tc::Line& L);
+  void exec_quad_fast(const tc::Line& L);
+  void exec_quad_rcs(const tc::Line& L);
+  void quad_load(const tc::Src& s, Word* v) const;
+  void exec_dispatch(const tc::Line& L) {
+    L.kind == tc::Line::Kind::kQuadFast ? exec_quad_fast(L)
+                                        : exec_traced_line(L);
+  }
+  /// Evaluates a block terminator; returns the next pc and sets `exit`.
+  unsigned eval_term(const tc::Block& b, bool& exit);
+  Word trace_src(const tc::Src& s) const;
+  unsigned trace_lsu_addr(const tc::LsuUop& u);
+  const Word* spm_trace_read_row(unsigned row);
+  void spm_trace_write_row(unsigned row, const mem::Vwr::Row& v);
+  Word spm_trace_read_word(unsigned word);
+  void spm_trace_write_word(unsigned word, Word v);
 
   unsigned id_;
   mem::Spm* spm_;
@@ -111,11 +205,20 @@ class Column {
   unsigned idx_ = 0;   ///< MXCU shared VWR slice index (mod kSliceWords)
   SWord aux_ = 0;      ///< MXCU auxiliary register
 
-  std::vector<DecodedLine> prog_;
-  isa::ColumnProgram raw_prog_;  ///< encoded copy, kept for disassembly
+  std::shared_ptr<const DecodedProgram> prog_;
+  std::shared_ptr<const isa::ColumnProgram> raw_prog_;  ///< for disassembly
   unsigned pc_ = 0;
   bool running_ = false;
   Cycle executed_ = 0;
+
+  // --- trace replay state ----------------------------------------------------
+  std::shared_ptr<const CompiledTrace> trace_;
+  tc::SpmUndo* undo_ = nullptr;      ///< active only during traced replay
+  std::uint64_t spm_read_mask_ = 0;  ///< SPM rows read by the last replay
+  std::uint64_t spm_write_mask_ = 0; ///< SPM rows written by the last replay
+  mem::Vwr::Row shuf_scratch_{};     ///< pending shuffle result staging
+  const tc::Block* tb_ = nullptr;    ///< lockstep replay: current block
+  unsigned tb_line_ = 0;             ///< lockstep replay: line within block
 };
 
 } // namespace vwr2a::cgra

@@ -1,0 +1,288 @@
+#pragma once
+// Trace-cached kernel execution (the interpreter -> trace-cache move).
+//
+// Column::step() is a decode-everything switch interpreter: every simulated
+// cycle re-resolves operand routing, re-checks the single-port structural
+// hazards and issues a dozen EnergyMeter::add() calls -- for loop bodies
+// that the LCU's zero-overhead loops (paper Sec 3.1) replay thousands of
+// times per kernel completely unchanged. The trace compiler here hoists all
+// of that invariant work out of the hot loop:
+//
+//   * each VLIW line is flattened into a micro-op line with operand sources
+//     pre-resolved (register/VWR-slice indices computed, immediates
+//     sign-extended, SRF addresses bound);
+//   * the structural-hazard schedule (single-ported SRF, VWR write ports)
+//     is validated once at compile time -- programs that would trip a
+//     hazard at runtime simply fail to compile and fall back to the
+//     interpreter, which raises the documented StructuralHazard;
+//   * straight-line runs between LCU control-flow decisions become
+//     superblocks whose energy events are pre-aggregated into one
+//     EnergyMeter::add_block() delta per block replay;
+//   * self-loop DBNZ blocks (the hardware-loop idiom every kernel uses)
+//     additionally replay their whole trip count in one fused native loop.
+//
+// Identity contract: a traced run must be bit-identical to the interpreted
+// run -- same outputs, same cycle counts, same energy event counts (hence
+// exactly equal energy totals: equal integer counts give equal sums), and
+// the same SPM row-stamp predicates (write sets are identical; only the
+// interleaving of stamp values between decoupled columns may differ, which
+// the residency logic is insensitive to). Anything the compiler cannot
+// prove faithful -- kRcCross operands, static hazards, branch targets past
+// the program end -- makes the program non-traceable and the block falls
+// back to the interpreter for that kernel.
+//
+// Sharing: compiled traces are cached process-wide (or pool-wide, via
+// isa::ImageCache::traces()) keyed by the ArchConfig variant name plus the
+// program's encoded content, so every device of a DevicePool compiles each
+// hot loop body once. Content keying is sound because architecture variants
+// share the functional model (soc/platform.hpp): they adjust reported
+// cycle/energy at snapshot time, never the executed semantics.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "energy/meter.hpp"
+#include "isa/instr.hpp"
+#include "isa/program.hpp"
+
+namespace vwr2a::cgra {
+
+/// How Vwr2a::run_kernel executes kernels (soc::ArchConfig::exec_mode).
+enum class ExecMode : std::uint8_t {
+  kInterpret = 0,  ///< per-cycle switch interpreter (the reference model)
+  kTraceCache,     ///< compiled micro-op block replay (bit/cycle/energy-identical)
+};
+
+namespace tc {
+
+/// A pre-resolved RC operand source.
+struct Src {
+  enum class K : std::uint8_t {
+    kImm = 0,  ///< constant (imm8 sign-extended, or the 0/1 constants)
+    kRf,       ///< rcs_[rc].rf[entry]
+    kVwr,      ///< vwrs_[vwr] word at slice base + shared index
+    kSrf,      ///< SRF[idx]
+    kPrev,     ///< rc_prev_[idx] (neighbour result, index pre-wrapped)
+    kCross,    ///< partner column result (makes the program non-decoupled)
+  };
+  K k = K::kImm;
+  std::uint8_t vwr = 0;    ///< VWR select for kVwr
+  std::uint8_t rc = 0;     ///< RC index for kRf; rc_prev index for kPrev
+  std::uint8_t idx = 0;    ///< rf entry for kRf; SRF entry for kSrf
+  std::uint16_t base = 0;  ///< slice word base (rc * kSliceWords) for kVwr
+  Word imm = 0;            ///< value for kImm
+};
+
+/// A pre-resolved RC destination.
+enum class Dst : std::uint8_t { kNone = 0, kRf, kVwr, kSrf };
+
+/// One RC micro-op.
+struct RcUop {
+  isa::RcOp op = isa::RcOp::kNop;
+  bool unary = false;
+  Src a, b;
+  Dst d = Dst::kNone;
+  std::uint8_t vwr = 0;    ///< VWR select for Dst::kVwr
+  std::uint8_t idx = 0;    ///< rf entry for kRf; SRF entry for kSrf
+  std::uint16_t base = 0;  ///< slice word base for Dst::kVwr
+};
+
+/// One LSU micro-op (address mode folded; imm pre-widened).
+struct LsuUop {
+  isa::LsuOp op = isa::LsuOp::kNop;
+  isa::LsuAddrMode amode = isa::LsuAddrMode::kImm;
+  std::uint8_t vwr = 0;       ///< VWR select / pointer select
+  std::uint8_t srf_base = 0;
+  std::uint8_t srf_data = 0;
+  isa::ShufMode mode = isa::ShufMode::kInterleaveLo;
+  std::int32_t imm = 0;
+};
+
+/// One MXCU micro-op.
+struct MxcuUop {
+  isa::MxcuOp op = isa::MxcuOp::kNop;
+  std::uint8_t srf = 0;
+  std::int32_t imm = 0;
+};
+
+/// One LCU register micro-op (control ops live in the block terminator).
+struct LcuUop {
+  isa::LcuOp op = isa::LcuOp::kNop;  ///< kSetI..kStSrf only
+  std::uint8_t rd = 0, ra = 0, srf = 0;
+  std::int32_t imm = 0;
+};
+
+/// One flattened VLIW line.
+struct Line {
+  /// Replay dispatch class, precomputed so the hot loop takes one branch.
+  enum class Kind : std::uint8_t {
+    kQuadFast = 0,  ///< quad RC op, at most a register-only MXCU op
+    kGeneric,       ///< anything else (full evaluate/commit machinery)
+  };
+  Kind kind = Kind::kGeneric;
+  std::uint8_t rc_mask = 0;  ///< bit r set when RC r is active
+  bool quad = false;  ///< all 4 RCs identical shape: rc[0] is lane-relative
+  bool has_lsu = false, has_mxcu = false, has_lcu = false;
+  std::array<RcUop, arch::kRcsPerColumn> rc{};
+  LsuUop lsu;
+  MxcuUop mxcu;
+  LcuUop lcu;
+};
+
+/// Block terminator kinds (the LCU control-flow decision re-evaluated each
+/// replay; everything else in the block is straight-line).
+enum class Term : std::uint8_t {
+  kFall = 0,  ///< no control op: fall through to the next block
+  kB,         ///< unconditional branch
+  kCond,      ///< conditional branch (cond re-evaluated every replay)
+  kDbnz,      ///< decrement-and-branch-if-nonzero (hardware loop)
+  kExit,      ///< kernel end
+};
+
+/// Condition kinds for Term::kCond.
+enum class Cond : std::uint8_t {
+  kEq = 0, kNe, kLt, kGe,          ///< register-register
+  kEqI, kNeI, kLtI, kGeI,          ///< register-immediate
+  kSrfZ, kSrfNz,                   ///< SRF zero test
+};
+
+/// One superblock: a straight-line run of lines plus its terminator and the
+/// pre-aggregated energy of one full replay.
+struct Block {
+  std::uint16_t first = 0;  ///< program address of the first line
+  std::uint16_t len = 0;    ///< lines in the block (terminator included)
+  Term term = Term::kFall;
+  Cond cond = Cond::kEq;
+  std::uint8_t ra = 0, rb = 0, rd = 0, srf = 0;
+  std::int32_t imm = 0;
+  std::uint16_t target = 0;     ///< branch-taken program address
+  bool fuse_self_loop = false;  ///< DBNZ back to `first`, trip-count fusable
+  std::vector<energy::EventDelta> energy;  ///< one full block replay
+};
+
+} // namespace tc
+
+/// A compiled column program: micro-op lines indexed by program address,
+/// superblocks, and the pc -> block map. Immutable once built; shared
+/// across every device whose configuration memory holds the same program.
+class CompiledTrace {
+ public:
+  bool ok = false;           ///< false: program is non-traceable (see reason)
+  std::string bail_reason;   ///< why compilation fell back to the interpreter
+  std::vector<tc::Line> lines;
+  std::vector<tc::Block> blocks;
+  std::vector<std::uint16_t> block_of;  ///< pc -> index into blocks
+
+  unsigned length() const { return static_cast<unsigned>(lines.size()); }
+};
+
+/// Compiles one column program. Never throws on untraceable input: the
+/// result carries ok = false and the interpreter stays authoritative.
+std::shared_ptr<const CompiledTrace> compile_trace(const isa::ColumnProgram& prog);
+
+/// Thread-safe cache of compiled traces, keyed by (variant namespace,
+/// program content). Negative results (ok = false) are cached too, so a
+/// non-traceable kernel costs one compile attempt fleet-wide, not one per
+/// launch. Owned by isa::ImageCache so a DevicePool's devices share it.
+class TraceCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;      ///< lookups served from the cache
+    std::uint64_t compiled = 0;  ///< programs compiled to replayable traces
+    std::uint64_t bailed = 0;    ///< programs that stayed on the interpreter
+  };
+
+  /// Returns the compiled trace for `prog` under the `variant` namespace
+  /// (soc::ArchConfig::name()), compiling on first use.
+  std::shared_ptr<const CompiledTrace> get_or_compile(
+      const std::string& variant, const isa::ColumnProgram& prog) {
+    const std::uint64_t h = hash_program(variant, prog);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, end] = entries_.equal_range(h);
+    for (; it != end; ++it) {
+      if (it->second.variant == variant && it->second.prog == prog) {
+        ++hits_;
+        return it->second.trace;
+      }
+    }
+    auto trace = compile_trace(prog);
+    trace->ok ? ++compiled_ : ++bailed_;
+    entries_.emplace(h, Entry{variant, prog, trace});
+    return trace;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Stats{hits_, compiled_, bailed_};
+  }
+
+ private:
+  struct Entry {
+    std::string variant;
+    isa::ColumnProgram prog;  ///< full copy: collision-proof equality check
+    std::shared_ptr<const CompiledTrace> trace;
+  };
+
+  static std::uint64_t hash_program(const std::string& variant,
+                                    const isa::ColumnProgram& prog) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    auto mix = [&h](std::uint64_t v) {
+      h = (h ^ v) * 1099511628211ull;
+    };
+    for (char c : variant) mix(static_cast<unsigned char>(c));
+    mix(prog.length());
+    for (unsigned s = 0; s < arch::kSlotsPerColumn; ++s) {
+      for (std::uint32_t w : prog.stream(static_cast<Slot>(s))) mix(w);
+    }
+    return h;
+  }
+
+  mutable std::mutex mu_;
+  std::multimap<std::uint64_t, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t compiled_ = 0;
+  std::uint64_t bailed_ = 0;
+};
+
+namespace tc {
+
+/// Thrown by Column::run_traced when a decoupled replay exceeds its cycle
+/// budget. A column polling SPM state its partner has not produced yet
+/// (cross-column dataflow the conflict masks would only catch after the
+/// fact) spins forever when free-run alone; the budget turns that into a
+/// rollback + lockstep rerun, which interleaves the columns like the
+/// interpreter and therefore terminates exactly when it does. The thrower
+/// abandons mid-kernel state -- the caller always rolls back.
+struct ReplayBudgetExceeded {};
+
+/// Decoupled-replay cycle budget per column: ~40x the largest catalog
+/// kernel (~10^5 cycles), so only pathological cross-column polls or
+/// runaway loops ever hit it -- and when they do, the wasted replay stays
+/// in the tens of milliseconds before lockstep takes over.
+inline constexpr Cycle kReplayBudget = 1ull << 22;
+
+/// Copy-on-write SPM undo log for one traced kernel launch: decoupled
+/// two-column replay saves each row (data + stamp) before its first write,
+/// so a detected cross-column conflict can roll the SPM back and rerun the
+/// kernel on the interpreter. kSpmRows = 64, so access masks are one word.
+struct SpmUndo {
+  std::uint64_t saved_mask = 0;
+  std::uint64_t write_gen = 0;
+  std::array<std::array<Word, arch::kVwrWords>, arch::kSpmRows> rows;
+  std::array<std::uint64_t, arch::kSpmRows> versions{};
+
+  void reset(std::uint64_t gen) {
+    saved_mask = 0;
+    write_gen = gen;
+  }
+};
+
+} // namespace tc
+
+} // namespace vwr2a::cgra

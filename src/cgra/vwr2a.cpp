@@ -50,15 +50,34 @@ Cycle Vwr2a::dma_transfer(const dma::Descriptor& d) {
 
 void Vwr2a::start_kernel(unsigned kernel_id) {
   const isa::KernelImage& img = config_.kernel(kernel_id);
+  cur_kernel_ = kernel_id;
   bool reload = false;
   for (unsigned c = 0; c < arch::kNumColumns; ++c) {
     if (isa::contains(img.columns, c) && loaded_[c] != kernel_id) reload = true;
   }
   if (reload) {
     advance(config_.charge_load(kernel_id));
+    if (kernel_rt_.size() <= kernel_id) kernel_rt_.resize(kernel_id + 1);
+    KernelRuntime& rt = kernel_rt_[kernel_id];
+    const std::shared_ptr<const isa::KernelImage> img_sp =
+        config_.kernel_ptr(kernel_id);
     for (unsigned c = 0; c < arch::kNumColumns; ++c) {
       if (isa::contains(img.columns, c)) {
-        column(c).load_program(img.program[c]);
+        if (rt.dec[c] == nullptr) {
+          rt.dec[c] = std::make_shared<const Column::DecodedProgram>(
+              Column::decode_program(img.program[c]));
+        }
+        // Alias the image's program (no copy on reload).
+        column(c).load_program(
+            std::shared_ptr<const isa::ColumnProgram>(img_sp, &img.program[c]),
+            rt.dec[c]);
+        if (exec_mode_ == ExecMode::kTraceCache) {
+          if (rt.trace[c] == nullptr) {
+            rt.trace[c] =
+                trace_cache().get_or_compile(trace_variant_, img.program[c]);
+          }
+          column(c).set_trace(rt.trace[c]);
+        }
         loaded_[c] = kernel_id;
       }
     }
@@ -87,11 +106,111 @@ void Vwr2a::step() {
 Cycle Vwr2a::run_kernel(unsigned kernel_id) {
   const Cycle t0 = cycles_;
   start_kernel(kernel_id);
-  while (busy()) step();
+  if (exec_mode_ == ExecMode::kTraceCache && tracer_ == nullptr) {
+    run_kernel_traced();
+  } else {
+    while (busy()) step();
+  }
   meter_.add(Event::kIrq);
   advance(kIrqCycles);
   ++launches_;
   return cycles_ - t0;
+}
+
+Cycle Vwr2a::run_lockstep_traced() {
+  // Per-cycle alternation, exactly the interpreter's interleaving: column 0
+  // executes (and commits, including its SPM side effects) before column 1
+  // each cycle, so cross-column SPM dataflow is observed identically.
+  col0_.begin_traced(undo_.get());
+  col1_.begin_traced(undo_.get());
+  Cycle n = 0;
+  while (col0_.running() || col1_.running()) {
+    if (col0_.running()) col0_.step_traced();
+    if (col1_.running()) col1_.step_traced();
+    ++n;
+  }
+  col0_.end_traced();
+  col1_.end_traced();
+  return n;
+}
+
+void Vwr2a::run_kernel_traced() {
+  const bool r0 = col0_.running();
+  const bool r1 = col1_.running();
+  if ((r0 && !col0_.has_trace()) || (r1 && !col1_.has_trace())) {
+    // Non-traceable program (static hazard, kRcCross, ...): the interpreter
+    // stays authoritative, including its documented runtime faults.
+    while (busy()) step();
+    return;
+  }
+  // Checkpoint everything the replay can touch, so a cross-column SPM
+  // conflict (or a replay fault) can roll back and rerun. The SPM side is a
+  // lazy copy-on-write undo log; the rest is small.
+  if (undo_ == nullptr) undo_ = std::make_unique<tc::SpmUndo>();
+  undo_->reset(spm_.write_gen());
+  Column::Checkpoint ck0, ck1;
+  if (r0) col0_.save_state(ck0);
+  if (r1) col1_.save_state(ck1);
+  const energy::EnergyMeter meter_ck = meter_;
+  auto rollback = [&] {
+    if (r0) col0_.restore_state(ck0);
+    if (r1) col1_.restore_state(ck1);
+    meter_ = meter_ck;
+    for (unsigned row = 0; row < arch::kSpmRows; ++row) {
+      if ((undo_->saved_mask >> row) & 1u) {
+        spm_.trace_restore_row(row, undo_->rows[row], undo_->versions[row]);
+      }
+    }
+    spm_.trace_restore_write_gen(undo_->write_gen);
+    undo_->reset(spm_.write_gen());
+  };
+
+  if (kernel_rt_.size() <= cur_kernel_) kernel_rt_.resize(cur_kernel_ + 1);
+  KernelRuntime& rt = kernel_rt_[cur_kernel_];
+  if (!(r0 && r1 && rt.lockstep)) {
+    // Decoupled replay: each column free-runs its compiled blocks to EXIT
+    // (hardware-loop fusion applies). Valid unless the columns exchange
+    // data through the SPM, which the access masks detect after the fact.
+    bool conflict = false;
+    try {
+      Cycle n0 = 0, n1 = 0;
+      // A per-column cycle budget (only needed with a partner: a column
+      // polling the other's SPM writes would free-run forever).
+      const Cycle budget = (r0 && r1) ? tc::kReplayBudget : ~Cycle{0};
+      if (r0) n0 = col0_.run_traced(undo_.get(), budget);
+      if (r1) n1 = col1_.run_traced(undo_.get(), budget);
+      if (r0 && r1) {
+        conflict = ((col0_.spm_write_mask() &
+                     (col1_.spm_read_mask() | col1_.spm_write_mask())) |
+                    (col1_.spm_write_mask() & col0_.spm_read_mask())) != 0;
+      }
+      if (!conflict) {
+        advance(std::max(n0, n1));
+        ++traced_launches_;
+        return;
+      }
+    } catch (const tc::ReplayBudgetExceeded&) {
+      // Undetectable-in-advance cross-column poll: handled exactly like a
+      // detected conflict below (rollback, then lockstep).
+    } catch (...) {
+      // Replay fault: rerun interpreted so the documented error surfaces
+      // with the interpreter's exact partial state.
+      rollback();
+      while (busy()) step();
+      return;
+    }
+    ++traced_rollbacks_;
+    rollback();
+    rt.lockstep = true;  // sticky: this kernel's columns share SPM rows
+  }
+  // Lockstep traced replay (cross-column SPM dataflow preserved).
+  try {
+    advance(run_lockstep_traced());
+    ++traced_launches_;
+  } catch (...) {
+    rollback();
+    while (busy()) step();
+  }
 }
 
 } // namespace vwr2a::cgra

@@ -19,6 +19,7 @@
 #include "bus/sys_port.hpp"
 #include "cgra/column.hpp"
 #include "cgra/trace.hpp"
+#include "cgra/tracecache.hpp"
 #include "common/types.hpp"
 #include "dma/dma.hpp"
 #include "energy/meter.hpp"
@@ -92,11 +93,46 @@ class Vwr2a {
   bool busy() const;
   void step();
 
-  /// Attaches a per-cycle execution tracer (nullptr detaches).
+  /// Attaches a per-cycle execution tracer (nullptr detaches). A tracer
+  /// forces the interpreter (it observes per-cycle state).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // --- trace-cached execution (see cgra/tracecache.hpp) ----------------------
+
+  /// Selects how run_kernel executes: the per-cycle interpreter (default)
+  /// or compiled-trace replay. `variant` namespaces the trace-cache keys
+  /// (soc::ArchConfig::name() when driven by a Platform).
+  void set_exec_mode(ExecMode mode, std::string variant = "") {
+    exec_mode_ = mode;
+    trace_variant_ = std::move(variant);
+  }
+  ExecMode exec_mode() const { return exec_mode_; }
+
+  /// Points this block at a shared trace cache (e.g. the DevicePool's
+  /// isa::ImageCache::traces()), so a fleet compiles each program once.
+  /// nullptr reverts to a private per-block cache.
+  void set_trace_cache(TraceCache* cache) { trace_cache_ = cache; }
+
+  /// The trace cache in use (shared if set, else the private one).
+  TraceCache& trace_cache() {
+    if (trace_cache_ != nullptr) return *trace_cache_;
+    if (owned_traces_ == nullptr) owned_traces_ = std::make_unique<TraceCache>();
+    return *owned_traces_;
+  }
+
+  /// Kernel launches that replayed compiled traces / fell back to the
+  /// interpreter after a cross-column SPM conflict or replay fault.
+  std::uint64_t traced_launches() const { return traced_launches_; }
+  std::uint64_t traced_rollbacks() const { return traced_rollbacks_; }
 
  private:
   void advance(Cycle n);
+  /// run_kernel body for ExecMode::kTraceCache: decoupled column replay
+  /// with copy-on-write SPM undo; rolls back to lockstep traced replay on a
+  /// cross-column SPM conflict, or to the interpreter on a replay fault.
+  void run_kernel_traced();
+  /// Per-cycle lockstep traced replay (columns alternate like step()).
+  Cycle run_lockstep_traced();
   Tracer* tracer_ = nullptr;
 
   energy::EnergyMeter meter_;
@@ -108,6 +144,28 @@ class Vwr2a {
   Column col1_;
   Cycle cycles_ = 0;
   std::uint64_t launches_ = 0;
+
+  /// Per-kernel predecoded programs and compiled traces, memoized so kernel
+  /// switches (the per-launch common case in multi-kernel applications)
+  /// alias instead of re-decoding / re-hashing on every reload.
+  struct KernelRuntime {
+    std::array<std::shared_ptr<const Column::DecodedProgram>,
+               arch::kNumColumns> dec{};
+    std::array<std::shared_ptr<const CompiledTrace>, arch::kNumColumns> trace{};
+    /// Sticky: this kernel's columns were observed communicating through
+    /// the SPM, so decoupled replay would be wrong -- use lockstep replay.
+    bool lockstep = false;
+  };
+  std::vector<KernelRuntime> kernel_rt_;
+  unsigned cur_kernel_ = 0;  ///< kernel id of the last start_kernel()
+
+  ExecMode exec_mode_ = ExecMode::kInterpret;
+  std::string trace_variant_;
+  TraceCache* trace_cache_ = nullptr;
+  std::unique_ptr<TraceCache> owned_traces_;
+  std::unique_ptr<tc::SpmUndo> undo_;  ///< lazily allocated (trace mode only)
+  std::uint64_t traced_launches_ = 0;
+  std::uint64_t traced_rollbacks_ = 0;
 };
 
 } // namespace vwr2a::cgra

@@ -6,6 +6,49 @@ Cycle Dma::transfer(const Descriptor& d) {
   if (d.count == 0) throw HostError("DMA: empty descriptor");
   meter_->add(energy::Event::kDmaSetup);
 
+  // Bulk fast path: move the whole descriptor without per-beat virtual
+  // calls. Event counts, stamp values and data are identical to the
+  // per-beat loop below (bulk meter adds; stamps advance per written word
+  // in beat order); any descriptor that could fault (range, power-gated
+  // bank) takes the loop instead, so faults surface at the exact beat they
+  // would have. Stride 1 moves via memcpy-style blocks, other strides via
+  // gather/scatter loops.
+  const bool unit = d.sys_stride == 1 && d.spm_stride == 1;
+  const bool sys_ok = unit ? sys_->block_ok(d.sys_word, d.count)
+                           : sys_->strided_ok(d.sys_word, d.sys_stride, d.count);
+  if (sys_ok && spm_->words_system_ok(d.spm_word, d.spm_stride, d.count)) {
+    if (scratch_.size() < d.count) scratch_.resize(d.count);
+    if (d.dir == Dir::kSysToSpm) {
+      if (unit) {
+        sys_->read_block(d.sys_word, scratch_.data(), d.count);
+        spm_->write_words_system(d.spm_word, scratch_.data(), d.count);
+      } else {
+        sys_->read_strided(d.sys_word, d.sys_stride, d.count, scratch_.data());
+        spm_->write_words_system_strided(d.spm_word, d.spm_stride, d.count,
+                                         scratch_.data());
+      }
+    } else {
+      if (unit) {
+        spm_->read_words_system(d.spm_word, scratch_.data(), d.count);
+        sys_->write_block(d.sys_word, scratch_.data(), d.count);
+      } else {
+        spm_->read_words_system_strided(d.spm_word, d.spm_stride, d.count,
+                                        scratch_.data());
+        sys_->write_strided(d.sys_word, d.sys_stride, d.count, scratch_.data());
+      }
+    }
+    meter_->add(energy::Event::kDmaBeat, d.count);
+    beats_ += d.count;
+    const unsigned bursts =
+        (d.count + sys_->burst_beats() - 1) / sys_->burst_beats();
+    const Cycle cycles =
+        kDmaSetupCycles +
+        static_cast<Cycle>(bursts) * sys_->burst_setup_cycles() +
+        static_cast<Cycle>(d.count) * sys_->beat_cycles();
+    cycles_ += cycles;
+    return cycles;
+  }
+
   std::int64_t sys = d.sys_word;
   std::int64_t spm = d.spm_word;
   for (std::uint32_t i = 0; i < d.count; ++i) {

@@ -13,6 +13,7 @@
 // paper's CPU uses the accelerators.
 
 #include <cstdint>
+#include <vector>
 
 #include "bus/sys_port.hpp"
 #include "common/status.hpp"
@@ -63,6 +64,7 @@ class Dma {
   energy::EnergyMeter* meter_;
   std::uint64_t beats_ = 0;
   Cycle cycles_ = 0;
+  std::vector<Word> scratch_;  ///< staging for the stride-1 bulk fast path
 };
 
 } // namespace vwr2a::dma

@@ -3,12 +3,22 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/types.hpp"
 #include "energy/events.hpp"
 
 namespace vwr2a::energy {
+
+/// One entry of a pre-aggregated event block: `n` occurrences of `e`.
+/// The trace-cache compiler folds every event a micro-op block raises into
+/// a short list of these, so replaying the block costs one add_block()
+/// instead of one add() per event occurrence.
+struct EventDelta {
+  Event e = Event::kCount;
+  std::uint64_t n = 0;
+};
 
 /// Counts architectural events and converts them to energy. One meter per
 /// engine (VWR2A, FFT accelerator, CPU, system) keeps the Table-3 style
@@ -18,6 +28,16 @@ class EnergyMeter {
   /// Records n occurrences of event e.
   void add(Event e, std::uint64_t n = 1) {
     counts_[static_cast<unsigned>(e)] += n;
+  }
+
+  /// Records a pre-aggregated block of events `times` over: exactly
+  /// equivalent to calling add(d.e, d.n * times) for every delta, which is
+  /// what keeps trace-cache replay energy bit-identical to the interpreter
+  /// (counts are integers; equal counts give equal energy sums).
+  void add_block(std::span<const EventDelta> deltas, std::uint64_t times = 1) {
+    for (const EventDelta& d : deltas) {
+      counts_[static_cast<unsigned>(d.e)] += d.n * times;
+    }
   }
 
   /// Occurrences recorded for e.

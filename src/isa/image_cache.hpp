@@ -19,6 +19,7 @@
 #include <mutex>
 #include <string>
 
+#include "cgra/tracecache.hpp"
 #include "isa/program.hpp"
 
 namespace vwr2a::isa {
@@ -54,11 +55,17 @@ class ImageCache {
     return Stats{hits_, misses_, images_.size()};
   }
 
+  /// Compiled-trace cache living next to the encoded images: every device
+  /// of a pool that runs in ExecMode::kTraceCache shares compilation work
+  /// here, exactly as it shares assembled images above.
+  cgra::TraceCache& traces() { return traces_; }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const KernelImage>> images_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  cgra::TraceCache traces_;  ///< thread-safe on its own lock
 };
 
 } // namespace vwr2a::isa

@@ -88,6 +88,117 @@ class Spm {
     data_[word] = v;
   }
 
+  // --- system-side bulk transfers (stride-1 DMA fast path) --------------------
+  // Exactly equivalent to n calls of the word methods above: same energy
+  // counts, and -- crucially for the residency machinery -- the same row
+  // stamp values (each written word advances the shared generation; a row's
+  // stamp ends at the generation of the last word written into it).
+
+  /// Reads n consecutive words (caller checked the range).
+  void read_words_system(unsigned first, Word* dst, unsigned n) {
+    meter_->add(energy::Event::kSpmWordRead, n);
+    std::copy_n(data_.begin() + first, n, dst);
+  }
+
+  /// Writes n consecutive words (caller checked the range).
+  void write_words_system(unsigned first, const Word* src, unsigned n) {
+    meter_->add(energy::Event::kSpmWordWrite, n);
+    const std::uint64_t gen0 = write_gen_;
+    write_gen_ += n;
+    const unsigned last = first + n - 1;
+    for (unsigned r = first / arch::kVwrWords; r <= last / arch::kVwrWords; ++r) {
+      // Index (within the transfer) of the last word landing in row r.
+      const unsigned li = std::min(last, (r + 1) * arch::kVwrWords - 1) - first;
+      row_version_[r] = gen0 + li + 1;
+    }
+    std::copy_n(src, n, data_.begin() + first);
+  }
+
+  /// True when all n strided words lie inside the SPM.
+  bool words_system_ok(unsigned first, std::int32_t stride,
+                       std::uint32_t n) const {
+    if (n == 0) return false;
+    const std::int64_t last =
+        static_cast<std::int64_t>(first) +
+        static_cast<std::int64_t>(stride) * (static_cast<std::int64_t>(n) - 1);
+    return std::min<std::int64_t>(first, last) >= 0 &&
+           std::max<std::int64_t>(first, last) <
+               static_cast<std::int64_t>(arch::kSpmWords);
+  }
+
+  /// Strided system-side read (caller checked words_system_ok).
+  void read_words_system_strided(unsigned first, std::int32_t stride,
+                                 std::uint32_t n, Word* dst) {
+    meter_->add(energy::Event::kSpmWordRead, n);
+    std::int64_t a = first;
+    for (std::uint32_t i = 0; i < n; ++i, a += stride) dst[i] = data_[a];
+  }
+
+  /// Strided system-side write (caller checked words_system_ok). Row stamps
+  /// advance per word in beat order, exactly like write_word_system.
+  void write_words_system_strided(unsigned first, std::int32_t stride,
+                                  std::uint32_t n, const Word* src) {
+    meter_->add(energy::Event::kSpmWordWrite, n);
+    std::int64_t a = first;
+    for (std::uint32_t i = 0; i < n; ++i, a += stride) {
+      data_[a] = src[i];
+      row_version_[static_cast<unsigned>(a) / arch::kVwrWords] = ++write_gen_;
+    }
+  }
+
+  // --- trace-replay backdoors -------------------------------------------------
+  // Direct array access for trace-cache replay: port claims are skipped
+  // (the compiler proved the schedule hazard-free) and energy is charged in
+  // pre-aggregated blocks by the replayer. Writes still advance the row
+  // stamps -- the residency/dedup machinery must observe identical write
+  // sets in both execution modes. Range checks throw the same errors as the
+  // accounted paths so malformed address arithmetic behaves identically.
+
+  /// Row data pointer for a whole-row read.
+  const Word* trace_row(unsigned row) const {
+    check_row(row);
+    return data_.data() + row * arch::kVwrWords;
+  }
+
+  /// Whole-row write.
+  void trace_write_row(unsigned row, const Row& v) {
+    check_row(row);
+    touch_row(row);
+    std::copy_n(v.begin(), arch::kVwrWords, data_.begin() + row * arch::kVwrWords);
+  }
+
+  /// Scalar word read (LSU -> SRF path).
+  Word trace_read_word(unsigned word) const {
+    check_word(word);
+    return data_[word];
+  }
+
+  /// Scalar word write (SRF -> SPM path).
+  void trace_write_word(unsigned word, Word v) {
+    check_word(word);
+    touch_row(word / arch::kVwrWords);
+    data_[word] = v;
+  }
+
+  // --- rollback support -------------------------------------------------------
+  // The trace replayer runs a two-column kernel with the columns decoupled
+  // and rolls the SPM back when the row-access masks turn out to conflict
+  // (see cgra/tracecache.hpp). Restoring is pure simulator bookkeeping.
+
+  /// Current global write generation (for checkpointing).
+  std::uint64_t write_gen() const { return write_gen_; }
+
+  /// Restores one row's data and stamp from a checkpoint.
+  void trace_restore_row(unsigned row, const Row& data, std::uint64_t version) {
+    check_row(row);
+    std::copy_n(data.begin(), arch::kVwrWords,
+                data_.begin() + row * arch::kVwrWords);
+    row_version_[row] = version;
+  }
+
+  /// Restores the global write generation from a checkpoint.
+  void trace_restore_write_gen(std::uint64_t gen) { write_gen_ = gen; }
+
   /// Debug/testing backdoor, no port or energy accounting.
   Word peek(unsigned word) const {
     check_word(word);

@@ -2,6 +2,7 @@
 // System SRAM: the host SoC's 192 KiB memory, divided into six banks that
 // can be individually power gated (paper Sec 4.1). Word-addressed.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -51,6 +52,61 @@ class SystemSram {
   /// The bank containing a word address.
   static unsigned bank_of(unsigned word) {
     return word / (arch::kSramBytes / 4 / arch::kSramBanks);
+  }
+
+  // --- bulk transfers (bus block operations) ---------------------------------
+
+  /// True when every word of [first, first + n) is in range and ungated.
+  bool block_ok(unsigned first, std::uint64_t n) const {
+    if (n == 0 || first + n > data_.size()) return false;
+    for (unsigned b = bank_of(first); b <= bank_of(static_cast<unsigned>(first + n - 1)); ++b) {
+      if (gated_[b]) return false;
+    }
+    return true;
+  }
+
+  /// Reads n consecutive words with per-word energy accounting (bulk add).
+  void read_block(unsigned first, Word* dst, unsigned n) {
+    meter_->add(energy::Event::kSramRead, n);
+    std::copy_n(data_.begin() + first, n, dst);
+  }
+
+  /// Writes n consecutive words with per-word energy accounting (bulk add).
+  void write_block(unsigned first, const Word* src, unsigned n) {
+    meter_->add(energy::Event::kSramWrite, n);
+    std::copy_n(src, n, data_.begin() + first);
+  }
+
+  /// True when all n strided words are in range and ungated.
+  bool strided_ok(unsigned first, std::int32_t stride, std::uint32_t n) const {
+    if (n == 0) return false;
+    const std::int64_t last =
+        static_cast<std::int64_t>(first) +
+        static_cast<std::int64_t>(stride) * (static_cast<std::int64_t>(n) - 1);
+    const std::int64_t lo = std::min<std::int64_t>(first, last);
+    const std::int64_t hi = std::max<std::int64_t>(first, last);
+    if (lo < 0 || hi >= static_cast<std::int64_t>(data_.size())) return false;
+    for (unsigned b = bank_of(static_cast<unsigned>(lo));
+         b <= bank_of(static_cast<unsigned>(hi)); ++b) {
+      if (gated_[b]) return false;  // conservative: any gated bank in span
+    }
+    return true;
+  }
+
+  /// Strided read with per-word energy accounting (caller checked).
+  void read_strided(unsigned first, std::int32_t stride, std::uint32_t n,
+                    Word* dst) {
+    meter_->add(energy::Event::kSramRead, n);
+    std::int64_t a = first;
+    for (std::uint32_t i = 0; i < n; ++i, a += stride) dst[i] = data_[a];
+  }
+
+  /// Strided write with per-word energy accounting (caller checked).
+  void write_strided(unsigned first, std::int32_t stride, std::uint32_t n,
+                     const Word* src) {
+    meter_->add(energy::Event::kSramWrite, n);
+    std::int64_t a = first;
+    for (std::uint32_t i = 0; i < n; ++i, a += stride) data_[a] = src[i];
   }
 
   /// Debug/testing backdoor.

@@ -42,6 +42,13 @@ class Srf {
     regs_[idx] = v;
   }
 
+  // --- trace-replay backdoor --------------------------------------------------
+  // Direct register access for trace-cache replay (port schedule validated
+  // and energy pre-aggregated at trace-compile time).
+  Word trace_read(unsigned idx) const { return regs_[idx]; }
+  void trace_write(unsigned idx, Word v) { regs_[idx] = v; }
+  std::array<Word, arch::kSrfEntries>& trace_regs() { return regs_; }
+
   /// Debug/testing backdoor (host-side initialization), no port accounting.
   Word peek(unsigned idx) const {
     check(idx);

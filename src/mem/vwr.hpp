@@ -69,6 +69,13 @@ class Vwr {
   /// the consumer's own cost.
   const Row& read_row() const { return row_; }
 
+  // --- trace-replay backdoor --------------------------------------------------
+  // Direct access to the latch array for trace-cache replay: the compiler
+  // has already validated the port schedule and pre-aggregated the energy
+  // events, so replay reads/writes the row storage directly.
+  Row& trace_row() { return row_; }
+  const Row& trace_row() const { return row_; }
+
   /// Debug/testing backdoor: writes without port accounting or energy.
   void poke(unsigned slice, unsigned index, Word v) {
     check_word(slice, index);

@@ -30,6 +30,8 @@ Device::Device(unsigned id, isa::ImageCache& cache, const soc::ArchConfig& arch,
       delin_(host_, &cache),
       data_base_(kFftTableBase + kernels::FftKernels::table_words()),
       opts_(opts) {
+  // Share one compiled-trace cache fleet-wide, like the image cache.
+  platform_.vwr2a().set_trace_cache(&cache.traces());
   fir_.prepare(kFirScratchBase);
   fft_.prepare(kFftTableBase);
 }
@@ -253,15 +255,16 @@ JobResult Device::run_pipeline(const PipelineJob& job) {
   if (job.n != 512 && job.n != 1024) {
     throw HostError("Device: pipeline job n must be 512 or 1024");
   }
-  if (job.input->size() != job.n) {
-    throw HostError("Device: pipeline job input size != n");
+  if (job.input->size() < static_cast<std::size_t>(job.offset) + job.n) {
+    throw HostError("Device: pipeline job input does not cover offset + n");
   }
   const unsigned in = data_base_;
   const unsigned filt = in + job.n;
   const unsigned spec = filt + job.n;
   const unsigned scratch = spec + job.n + 2;
   check_sys_fit(scratch + 2 * job.n);
-  host_.to_sram(in, *job.input);
+  host_.to_sram(in, std::span<const std::int32_t>(*job.input)
+                        .subspan(job.offset, job.n));
   ++stagings_;
   JobResult r;
   // FIR preprocessing (tap staging dedup'd across pipeline/FIR jobs).
@@ -288,8 +291,9 @@ JobResult Device::run_bio(const BioTrackerJob& job) {
   if (job.input == nullptr) {
     throw HostError("Device: bio job with null input");
   }
-  if (job.input->size() != app::kWindow) {
-    throw HostError("Device: bio job window must be app::kWindow samples");
+  if (job.input->size() <
+      static_cast<std::size_t>(job.offset) + app::kWindow) {
+    throw HostError("Device: bio job input must cover app::kWindow samples");
   }
   if (bio_ == nullptr) {
     bio_ = std::make_unique<app::MBioTracker>(platform_, cache_,
@@ -315,7 +319,7 @@ JobResult Device::run_bio(const BioTrackerJob& job) {
   }
   std::vector<double> x(app::kWindow);
   for (unsigned i = 0; i < app::kWindow; ++i) {
-    x[i] = fx::from_q16_15((*job.input)[i]);
+    x[i] = fx::from_q16_15((*job.input)[job.offset + i]);
   }
   const app::AppResult a = bio_->run(job.target, x);
   JobResult r;

@@ -89,6 +89,10 @@ class Device {
   /// Device-local snapshot (local time + energy since construction).
   soc::Platform::Snapshot snapshot() const { return platform_.snapshot(); }
 
+  /// The simulated platform (tests/benches: engine counters, meters).
+  soc::Platform& platform() { return platform_; }
+  const soc::Platform& platform() const { return platform_; }
+
  private:
   JobResult run_fir(const FirJob& job);
   JobResult run_cfft(const CfftJob& job);

@@ -110,7 +110,11 @@ struct DelineationJob {
 struct PipelineJob {
   unsigned n = 0;
   SharedBuffer taps;   ///< kernels::kFirTaps coefficients
-  SharedBuffer input;  ///< n samples (16.15)
+  SharedBuffer input;  ///< holds samples [offset, offset + n)
+  /// First sample within `input`: streaming sessions pass windows as views
+  /// into a shared staging segment (overlap staged once per segment, not
+  /// copied per window); plain callers leave it 0 with an exact-size buffer.
+  unsigned offset = 0;
 };
 
 /// One whole MBioTracker application window (app::kWindow = 512 samples in
@@ -121,7 +125,8 @@ struct PipelineJob {
 ///   words 2..7: the six features, quantized to 16.15
 struct BioTrackerJob {
   app::Target target = app::Target::kCpuVwr2a;
-  SharedBuffer input;  ///< app::kWindow samples
+  SharedBuffer input;  ///< holds app::kWindow samples at `offset`
+  unsigned offset = 0; ///< first sample within `input` (see PipelineJob)
 };
 
 /// One runtime request. `pin` selects the scheduling policy: -1 (default)

@@ -1,6 +1,7 @@
 #include "runtime/pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/status.hpp"
@@ -35,6 +36,7 @@ double arch_speed(const soc::ArchConfig& a) {
 } // namespace
 
 DevicePool::DevicePool(Config cfg) : cfg_(std::move(cfg)) {
+  family_factor_.fill(1.0);
   if (cfg_.devices == 0) throw HostError("DevicePool: need at least 1 device");
   if (cfg_.workers == 0) cfg_.workers = cfg_.devices;
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
@@ -135,9 +137,46 @@ unsigned DevicePool::pick_shortest(Cycle estimate) const {
   return best;
 }
 
+Cycle DevicePool::estimate_locked(const Job& job) const {
+  const Cycle prior = estimate_cost(job);
+  if (!cfg_.online_estimator) return prior;
+  const double f = family_factor_[job.work.index()];
+  const auto est = static_cast<Cycle>(
+      std::llround(static_cast<double>(prior) * f));
+  return est > 0 ? est : 1;
+}
+
+Cycle DevicePool::estimate(const Job& job) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return estimate_locked(job);
+}
+
+std::array<double, kJobFamilies> DevicePool::family_factors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return family_factor_;
+}
+
+void DevicePool::fold_estimator_locked() {
+  if (!cfg_.online_estimator) return;
+  // EWMA over per-family (measured / prior) ratios, alpha = 1/4. Both sums
+  // are integers accumulated per completed job, so the fold is independent
+  // of the order completions landed in.
+  constexpr double kAlpha = 0.25;
+  for (unsigned f = 0; f < kJobFamilies; ++f) {
+    if (pend_prior_[f] == 0) continue;
+    const double ratio = static_cast<double>(pend_measured_[f]) /
+                         static_cast<double>(pend_prior_[f]);
+    // The pending ratio is measured against the *prior*, while the factor
+    // tracks measured/prior directly -- blend toward it.
+    family_factor_[f] += kAlpha * (ratio - family_factor_[f]);
+    pend_measured_[f] = 0;
+    pend_prior_[f] = 0;
+  }
+}
+
 unsigned DevicePool::route(const Job& job, std::uint64_t seq) {
   validate_pin(job);
-  const Cycle est = estimate_cost(job);
+  const Cycle est = estimate_locked(job);
   unsigned d;
   if (job.pin >= 0) {
     d = static_cast<unsigned>(job.pin);
@@ -164,9 +203,11 @@ JobHandle DevicePool::submit(Job job) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw HostError("DevicePool: submit after shutdown");
     const std::uint64_t seq = next_seq_;
+    const unsigned family = static_cast<unsigned>(job.work.index());
     DeviceState& ds = devices_[route(job, seq)];  // throws before enqueuing
     ++next_seq_;
-    ds.queue.push_back(Pending{std::move(job), std::move(promise), seq});
+    ds.queue.push_back(
+        Pending{std::move(job), std::move(promise), seq, family});
     ++inflight_;
   }
   work_cv_.notify_one();
@@ -185,8 +226,10 @@ std::vector<JobHandle> DevicePool::submit_batch(std::vector<Job> jobs) {
       std::promise<JobResult> promise;
       handles.emplace_back(promise.get_future());
       const std::uint64_t seq = next_seq_++;
+      const unsigned family = static_cast<unsigned>(job.work.index());
       DeviceState& ds = devices_[route(job, seq)];
-      ds.queue.push_back(Pending{std::move(job), std::move(promise), seq});
+      ds.queue.push_back(
+          Pending{std::move(job), std::move(promise), seq, family});
       ++inflight_;
     }
   }
@@ -217,9 +260,19 @@ void DevicePool::worker_loop() {
     lock.unlock();
 
     std::uint64_t ok = 0, bad = 0;
+    // Measured-cost samples for the online estimator, normalized back to
+    // the baseline variant by the device's speed factor. Accumulated as
+    // integers so folding is order-independent.
+    std::array<std::uint64_t, kJobFamilies> meas{};
+    std::array<std::uint64_t, kJobFamilies> prior{};
     for (Pending& p : chunk) {
       try {
-        p.promise.set_value(ds.device->run(p.job, p.seq));
+        JobResult r = ds.device->run(p.job, p.seq);
+        const double norm = static_cast<double>(r.cost.total_cycles()) /
+                            sched_speed_[static_cast<unsigned>(d)];
+        meas[p.family] += static_cast<std::uint64_t>(std::llround(norm));
+        prior[p.family] += estimate_cost(p.job);
+        p.promise.set_value(std::move(r));
         ++ok;
       } catch (...) {
         p.promise.set_exception(std::current_exception());
@@ -228,6 +281,10 @@ void DevicePool::worker_loop() {
     }
 
     lock.lock();
+    for (unsigned f = 0; f < kJobFamilies; ++f) {
+      pend_measured_[f] += meas[f];
+      pend_prior_[f] += prior[f];
+    }
     ds.claimed = false;
     completed_ += ok;
     failed_ += bad;
@@ -240,6 +297,7 @@ void DevicePool::worker_loop() {
 void DevicePool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+  fold_estimator_locked();  // quiescent: fold is worker-count-invariant
 }
 
 FleetStats DevicePool::stats() {
@@ -249,7 +307,9 @@ FleetStats DevicePool::stats() {
   // while we read its meters.
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+  fold_estimator_locked();
   FleetStats s;
+  s.family_factor = family_factor_;
   s.jobs_completed = completed_;
   s.jobs_failed = failed_;
   s.device_cycles.reserve(devices_.size());

@@ -43,12 +43,14 @@
 // resident kernel configuration (no reload) and the shared image cache
 // assembles each kernel once fleet-wide.
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "common/types.hpp"
@@ -63,6 +65,10 @@ enum class Schedule : std::uint8_t {
   kRoundRobin = 0,       ///< seq % devices (blind, the original policy)
   kShortestLocalClock,   ///< least estimated device-local clock, tie: lowest id
 };
+
+/// Number of Job::work alternatives (cost-estimator families).
+inline constexpr unsigned kJobFamilies =
+    std::variant_size_v<decltype(Job::work)>;
 
 /// Fleet-wide aggregate over all devices of a pool.
 struct FleetStats {
@@ -87,6 +93,10 @@ struct FleetStats {
   std::vector<std::uint64_t> device_stagings;  ///< per-device staging events
   std::vector<soc::ArchConfig> device_arch;    ///< per-device variant
   isa::ImageCache::Stats image_cache;
+  /// Online-estimator correction factor per job family (1.0 = the analytic
+  /// prior is spot on; see DevicePool::estimate). Indexed by Job::work
+  /// alternative.
+  std::array<double, kJobFamilies> family_factor{};
 
   double total_uj() const { return total_pj * 1e-6; }
   double sim_seconds() const {
@@ -112,6 +122,13 @@ class DevicePool {
     std::vector<soc::ArchConfig> device_arch;
     /// Placement policy for unpinned jobs.
     Schedule schedule = Schedule::kRoundRobin;
+    /// Online per-family EWMA cost estimator: measured job costs refine the
+    /// analytic prior the shortest-local-clock policy plans with. Updates
+    /// fold in only at fleet-quiescent points (wait_idle/stats), from
+    /// order-independent integer sums, so placement stays a pure function
+    /// of the submission order and the barrier history -- never of worker
+    /// timing. Off: the hand-calibrated priors are used as-is.
+    bool online_estimator = true;
     /// Per-device feature switches (SPM residency tracking, cross-job
     /// staging dedup); on by default, off reproduces the PR-2 baseline.
     Device::Options device_opts;
@@ -144,11 +161,18 @@ class DevicePool {
   isa::ImageCache& image_cache() { return cache_; }
   Schedule schedule() const { return cfg_.schedule; }
 
-  /// Deterministic per-job cost estimate (cycles on the baseline variant)
-  /// used by the shortest-local-clock policy -- a coarse analytic model
-  /// calibrated against measured per-family costs; placement only needs
-  /// relative magnitudes, never exact costs.
+  /// Analytic per-job cost prior (cycles on the baseline variant): the
+  /// hand-calibrated per-family model. The online estimator refines it;
+  /// placement only needs relative magnitudes, never exact costs.
   static Cycle estimate_cost(const Job& job);
+
+  /// The pool's current estimate for `job`: the analytic prior scaled by
+  /// the job family's learned EWMA correction factor (1.0 until the first
+  /// quiescent point after that family has run). Thread-safe.
+  Cycle estimate(const Job& job) const;
+
+  /// Current per-family correction factors (telemetry; also in FleetStats).
+  std::array<double, kJobFamilies> family_factors() const;
 
   /// Picks the device that would finish `estimate` extra cycles first
   /// (shortest-local-clock rule) and reserves that load on it without
@@ -161,6 +185,7 @@ class DevicePool {
     Job job;
     std::promise<JobResult> promise;
     std::uint64_t seq = 0;
+    unsigned family = 0;  ///< Job::work alternative (estimator family)
   };
   struct DeviceState {
     std::unique_ptr<Device> device;
@@ -181,6 +206,12 @@ class DevicePool {
   /// Device a job routes to -- pin, round-robin or shortest-local-clock --
   /// and charges its cost estimate to that device's clock. Caller holds mu_.
   unsigned route(const Job& job, std::uint64_t seq);
+  /// estimate() with mu_ already held.
+  Cycle estimate_locked(const Job& job) const;
+  /// Folds the pending measured-cost sums into the EWMA factors. Called
+  /// only when the fleet is quiescent (inflight_ == 0) under mu_, so the
+  /// result is independent of worker count and completion order.
+  void fold_estimator_locked();
 
   isa::ImageCache cache_;
   Config cfg_;
@@ -188,6 +219,13 @@ class DevicePool {
   std::vector<Cycle> sched_load_;    ///< estimated local clock per device
   std::vector<double> sched_speed_;  ///< per-device arch speed factor
   std::vector<std::thread> workers_;
+
+  // Online estimator state (guarded by mu_). Pending sums are integers, so
+  // they are independent of the order completions arrive in; factors only
+  // change inside fold_estimator_locked() at quiescent points.
+  std::array<double, kJobFamilies> family_factor_{};  ///< init to 1.0
+  std::array<std::uint64_t, kJobFamilies> pend_measured_{};
+  std::array<std::uint64_t, kJobFamilies> pend_prior_{};
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers: new work or shutdown

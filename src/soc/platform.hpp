@@ -36,17 +36,28 @@
 namespace vwr2a::soc {
 
 /// Architecture knobs of one platform instance. The default is the paper's
-/// design point (3 VWRs per column, 32-bit datapath).
+/// design point (3 VWRs per column, 32-bit datapath) executed on the
+/// per-cycle interpreter.
 struct ArchConfig {
   unsigned vwr_count = arch::kVwrsPerColumn;  ///< VWRs per column: 2, 3 or 4
   unsigned simd_width = arch::kWordBits;      ///< 32, or 16 (dual-lane q15)
+  /// Kernel execution engine: the reference interpreter, or trace-cache
+  /// replay (bit/cycle/energy-identical, see cgra/tracecache.hpp). A host
+  /// knob, not an architecture property: it never changes simulated
+  /// behaviour, only how fast the simulator reaches it.
+  cgra::ExecMode exec_mode = cgra::ExecMode::kInterpret;
 
   bool operator==(const ArchConfig&) const = default;
 
-  /// True for the paper's design point (no cost-model adjustment).
-  bool is_baseline() const { return *this == ArchConfig{}; }
+  /// True for the paper's design point (no cost-model adjustment). The
+  /// execution engine is cost-model-transparent, so it does not count.
+  bool is_baseline() const {
+    return vwr_count == arch::kVwrsPerColumn && simd_width == arch::kWordBits;
+  }
 
   /// Stable identity string: kernel-image cache namespace and report label.
+  /// Deliberately excludes exec_mode -- both engines execute the same
+  /// images, so interpret and trace-cache devices share assembled kernels.
   std::string name() const {
     return "vwr" + std::to_string(vwr_count) + ".w" + std::to_string(simd_width);
   }
@@ -70,6 +81,10 @@ inline constexpr unsigned kHostIrqCycles = 12;
 /// The integrated platform.
 class Platform {
  public:
+  /// The platform configuration struct (Platform::Config::exec_mode selects
+  /// the kernel execution engine).
+  using Config = ArchConfig;
+
   Platform() : Platform(ArchConfig{}) {}
 
   explicit Platform(const ArchConfig& arch)
@@ -80,6 +95,7 @@ class Platform {
         accel_(accel_meter_),
         vwr2a_(ahb_) {
     arch_.validate();
+    vwr2a_.set_exec_mode(arch_.exec_mode, arch_.name());
   }
 
   const ArchConfig& arch() const { return arch_; }

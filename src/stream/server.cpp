@@ -15,8 +15,10 @@ Session& StreamServer::open_session(SessionConfig cfg, Session::Sink sink) {
     // Shortest-local-clock placement with a reservation of the session's
     // expected per-window cost, so the next open_session (or unpinned job)
     // sees the claim -- deterministic greedy spreading by tenant weight,
-    // refined later by the real submissions.
-    device = pool_.place_load(Session::window_estimate(cfg));
+    // refined later by the real submissions. The estimate runs through the
+    // pool's online per-family EWMA, so long-lived servers place new
+    // tenants with measured costs, not just the analytic prior.
+    device = pool_.place_load(pool_.estimate(Session::window_job(cfg)));
   } else {
     device = static_cast<unsigned>(id % pool_.num_devices());
   }

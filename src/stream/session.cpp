@@ -47,23 +47,28 @@ Session::Session(std::uint64_t id, runtime::DevicePool& pool, unsigned device,
   stats_.device = device_;
 }
 
-Cycle Session::window_estimate(const SessionConfig& cfg) {
+runtime::Job Session::window_job(const SessionConfig& cfg) {
   runtime::Job job;
   if (cfg.kind == SessionKind::kPipeline) {
     job.work = runtime::PipelineJob{cfg.window, nullptr, nullptr};
   } else {
     job.work = runtime::BioTrackerJob{cfg.target, nullptr};
   }
-  return runtime::DevicePool::estimate_cost(job);
+  return job;
 }
 
-runtime::Job Session::make_job(std::vector<std::int32_t> window) {
+Cycle Session::window_estimate(const SessionConfig& cfg) {
+  return runtime::DevicePool::estimate_cost(window_job(cfg));
+}
+
+runtime::Job Session::make_job(WindowView window) {
   runtime::Job job;
-  const auto buf = runtime::make_buffer(std::move(window));
   if (cfg_.kind == SessionKind::kPipeline) {
-    job.work = runtime::PipelineJob{cfg_.window, cfg_.taps, buf};
+    job.work = runtime::PipelineJob{cfg_.window, cfg_.taps,
+                                    std::move(window.segment), window.offset};
   } else {
-    job.work = runtime::BioTrackerJob{cfg_.target, buf};
+    job.work = runtime::BioTrackerJob{cfg_.target, std::move(window.segment),
+                                      window.offset};
   }
   job.tag = "s" + std::to_string(id_) + "/w" +
             std::to_string(stats_.windows_submitted);
@@ -71,7 +76,7 @@ runtime::Job Session::make_job(std::vector<std::int32_t> window) {
   return job;
 }
 
-void Session::submit_window(std::vector<std::int32_t> window) {
+void Session::submit_window(WindowView window) {
   inflight_.push_back(pool_->submit(make_job(std::move(window))));
   ++stats_.windows_submitted;
 }
@@ -105,7 +110,7 @@ bool Session::pump(bool may_block) {
       if (!may_block) return false;
       reap_front();  // backpressure: deliver the oldest window first
     }
-    submit_window(win_.pop_window());
+    submit_window(win_.pop_window_view());
   }
   return true;
 }
@@ -143,7 +148,7 @@ void Session::flush() {
   pump(/*may_block=*/true);
   if (win_.has_tail()) {
     if (inflight_.size() >= cfg_.max_inflight) reap_front();
-    submit_window(win_.pop_tail());
+    submit_window(win_.pop_tail_view());
   }
 }
 

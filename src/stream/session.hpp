@@ -101,14 +101,21 @@ class Session {
   /// Counter snapshot (call from the producer thread, or quiesced).
   SessionStats stats() const;
 
+  /// A template of the per-window job this session will submit (null
+  /// buffers), for cost estimation against the pool's online estimator.
+  static runtime::Job window_job(const SessionConfig& cfg);
+
   /// The shortest-local-clock reservation one window of this session is
-  /// worth (what the server charges the chosen device at placement).
+  /// worth under the analytic prior (window_job + pool.estimate() folds in
+  /// the learned per-family correction when a pool is at hand).
   static Cycle window_estimate(const SessionConfig& cfg);
 
  private:
-  /// Builds the per-window job (kind-dependent), pinned to device_.
-  runtime::Job make_job(std::vector<std::int32_t> window);
-  void submit_window(std::vector<std::int32_t> window);
+  /// Builds the per-window job (kind-dependent), pinned to device_. The
+  /// window is a view into the windower's shared staging segment, so the
+  /// hop-overlap between consecutive windows is never copied per window.
+  runtime::Job make_job(WindowView window);
+  void submit_window(WindowView window);
   /// Delivers the oldest in-flight result to the sink (blocking).
   void reap_front();
   /// Delivers every already-completed front result without blocking.

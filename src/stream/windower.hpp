@@ -1,30 +1,57 @@
 #pragma once
-// Sample ring buffer + window slicer of one streaming session: arbitrary-
+// Sample staging + window slicer of one streaming session: arbitrary-
 // length pushes of 16.15 samples in, fixed-size (possibly overlapping)
 // analysis windows out. Window w covers absolute sample indices
 // [w * hop, w * hop + window); hop < window overlaps consecutive windows,
 // hop == window tiles the stream. A final partial window (samples past the
 // last full window's end) can be flushed zero-padded.
 //
-// The ring is the session's backpressure boundary: free_space() is what a
-// non-blocking push may accept; everything else is dropped and accounted
-// upstream. Single-producer; not thread-safe.
+// Staging model: samples are appended contiguously into a shared *segment*
+// buffer, and each window is emitted as a WindowView -- a (segment, offset)
+// pair aliasing that buffer -- instead of being copied into its own fresh
+// allocation. With hop < window the overlapping region between consecutive
+// windows is therefore staged exactly once; the old ring design copied it
+// once per window that covered it (twice for hop = window/2). When the
+// segment fills, the live (not-yet-fully-consumed) region is re-staged once
+// at the front of a fresh segment -- one overlap copy per segment, not per
+// window. In-flight jobs keep old segments alive through shared ownership;
+// the producer only ever writes *beyond* every emitted window, so aliasing
+// is race-free.
+//
+// The staging buffer is the session's backpressure boundary: free_space()
+// is what a non-blocking push may accept; everything else is dropped and
+// accounted upstream. Single-producer; not thread-safe.
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/status.hpp"
+#include "runtime/job.hpp"
 
 namespace vwr2a::stream {
 
-/// The ring buffer / slicer.
+/// One emitted window: `window` samples of `segment` starting at `offset`.
+/// The segment is shared and immutable over the window's range.
+struct WindowView {
+  runtime::SharedBuffer segment;
+  unsigned offset = 0;
+
+  /// Materializes the window as a plain vector (tests, legacy callers).
+  std::vector<std::int32_t> to_vector(unsigned window) const {
+    return {segment->begin() + offset, segment->begin() + offset + window};
+  }
+};
+
+/// The segment stager / slicer.
 class Windower {
  public:
-  /// `capacity` is the ring size in samples and must hold at least one
+  /// `capacity` is the staging size in samples and must hold at least one
   /// window; 1 <= hop <= window.
   Windower(unsigned window, unsigned hop, std::size_t capacity)
-      : window_(window), hop_(hop), buf_(capacity) {
+      : window_(window), hop_(hop), capacity_(capacity) {
     if (window == 0) throw HostError("Windower: window must be positive");
     if (hop == 0 || hop > window) {
       throw HostError("Windower: need 1 <= hop <= window");
@@ -36,68 +63,91 @@ class Windower {
 
   unsigned window() const { return window_; }
   unsigned hop() const { return hop_; }
-  std::size_t capacity() const { return buf_.size(); }
-  std::size_t size() const { return count_; }
-  std::size_t free_space() const { return buf_.size() - count_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return end_ - start_; }
+  std::size_t free_space() const { return capacity_ - size(); }
   std::uint64_t windows_emitted() const { return emitted_; }
+  /// Segments allocated so far (each re-stages the overlap exactly once).
+  std::uint64_t segments_staged() const { return segments_; }
 
   /// Appends samples; the caller must have checked free_space().
   void push(std::span<const std::int32_t> samples) {
     if (samples.size() > free_space()) {
       throw HostError("Windower: push past capacity");
     }
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      buf_[(head_ + count_ + i) % buf_.size()] = samples[i];
+    if (seg_ == nullptr || end_ + samples.size() > capacity_) {
+      new_segment();
     }
-    count_ += samples.size();
+    std::copy(samples.begin(), samples.end(), seg_->begin() + end_);
+    end_ += samples.size();
   }
 
   /// True when a full window is buffered.
-  bool has_window() const { return count_ >= window_; }
+  bool has_window() const { return size() >= window_; }
 
-  /// Copies out the next window and advances the stream by `hop` samples
-  /// (overlap stays buffered).
-  std::vector<std::int32_t> pop_window() {
+  /// Emits the next window as a view into the shared segment and advances
+  /// the stream by `hop` samples (the overlap stays staged in place).
+  WindowView pop_window_view() {
     if (!has_window()) throw HostError("Windower: no full window buffered");
-    std::vector<std::int32_t> w(window_);
-    for (unsigned i = 0; i < window_; ++i) {
-      w[i] = buf_[(head_ + i) % buf_.size()];
-    }
-    head_ = (head_ + hop_) % buf_.size();
-    count_ -= hop_;
-    covered_ = window_ - hop_;  // the overlap stays buffered, already seen
+    WindowView v{runtime::SharedBuffer(seg_), static_cast<unsigned>(start_)};
+    start_ += hop_;
+    covered_ = window_ - hop_;  // the overlap stays staged, already seen
     ++emitted_;
-    return w;
+    return v;
+  }
+
+  /// Copy-out variant of pop_window_view() (tests, legacy callers).
+  std::vector<std::int32_t> pop_window() {
+    return pop_window_view().to_vector(window_);
   }
 
   /// True when buffered samples exist that no emitted window has covered
   /// (more than the overlap the last pop_window left behind; a tail flush
-  /// empties the ring, so after one the next segment starts fresh).
-  bool has_tail() const { return count_ > covered_; }
+  /// empties the stager, so after one the next segment starts fresh).
+  bool has_tail() const { return size() > covered_; }
 
-  /// Flushes the remaining samples as one zero-padded window and empties
-  /// the ring.
-  std::vector<std::int32_t> pop_tail() {
+  /// Flushes the remaining samples as one zero-padded window. The pad must
+  /// stay immutable under later pushes, so the tail gets its own
+  /// exact-sized segment (tails are rare: one per stream end).
+  WindowView pop_tail_view() {
     if (!has_tail()) throw HostError("Windower: no tail to flush");
-    std::vector<std::int32_t> w(window_, 0);
-    for (std::size_t i = 0; i < count_; ++i) {
-      w[i] = buf_[(head_ + i) % buf_.size()];
-    }
-    head_ = (head_ + count_) % buf_.size();
-    count_ = 0;
-    covered_ = 0;  // the ring is empty: nothing buffered is pre-covered
+    auto tail = std::make_shared<std::vector<std::int32_t>>(window_, 0);
+    std::copy(seg_->begin() + start_, seg_->begin() + end_, tail->begin());
+    start_ = end_;  // the stager is empty: nothing buffered is pre-covered
+    covered_ = 0;
     ++emitted_;
-    return w;
+    return WindowView{runtime::SharedBuffer(std::move(tail)), 0};
+  }
+
+  /// Copy-out variant of pop_tail_view().
+  std::vector<std::int32_t> pop_tail() {
+    return pop_tail_view().to_vector(window_);
   }
 
  private:
+  /// Starts a fresh segment, re-staging the live region once at its front.
+  void new_segment() {
+    auto seg = std::make_shared<std::vector<std::int32_t>>(capacity_);
+    const std::size_t live = size();
+    if (seg_ != nullptr && live > 0) {
+      std::copy(seg_->begin() + start_, seg_->begin() + end_, seg->begin());
+    }
+    seg_ = std::move(seg);
+    start_ = 0;
+    end_ = live;
+    ++segments_;
+  }
+
   unsigned window_;
   unsigned hop_;
-  std::vector<std::int32_t> buf_;
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  std::size_t covered_ = 0;  ///< leading buffered samples a window covered
+  std::size_t capacity_;
+  /// Mutable only beyond end_; every emitted view aliases [0, end_).
+  std::shared_ptr<std::vector<std::int32_t>> seg_;
+  std::size_t start_ = 0;    ///< first live sample within seg_
+  std::size_t end_ = 0;      ///< fill index within seg_
+  std::size_t covered_ = 0;  ///< leading live samples a window covered
   std::uint64_t emitted_ = 0;
+  std::uint64_t segments_ = 0;
 };
 
 } // namespace vwr2a::stream

@@ -22,10 +22,28 @@
 namespace vwr2a::runtime {
 namespace {
 
-/// Runs one job through a fresh single-device pool.
+/// Runs one job through a fresh single-device pool -- twice, once per
+/// execution engine -- and asserts the trace-cached run is bit-, cycle- and
+/// energy-identical to the interpreted one. Every golden test in this suite
+/// therefore differentially pins ExecMode::kTraceCache as a side effect.
 JobResult run_one(Job job) {
-  DevicePool pool;
-  return pool.submit(std::move(job)).get();
+  auto run_mode = [&job](cgra::ExecMode mode) {
+    DevicePool::Config cfg;
+    cfg.device_arch = {soc::ArchConfig{.exec_mode = mode}};
+    DevicePool pool(cfg);
+    return pool.submit(job).get();
+  };
+  JobResult a = run_mode(cgra::ExecMode::kInterpret);
+  const JobResult b = run_mode(cgra::ExecMode::kTraceCache);
+  EXPECT_EQ(a.output, b.output) << "trace-cache output diverges";
+  EXPECT_EQ(a.launches, b.launches);
+  EXPECT_EQ(a.cost.cpu_cycles, b.cost.cpu_cycles);
+  EXPECT_EQ(a.cost.vwr2a_cycles, b.cost.vwr2a_cycles);
+  EXPECT_EQ(a.cost.accel_cycles, b.cost.accel_cycles);
+  EXPECT_EQ(a.cost.sys_pj, b.cost.sys_pj);
+  EXPECT_EQ(a.cost.vwr2a_pj, b.cost.vwr2a_pj);
+  EXPECT_EQ(a.cost.accel_pj, b.cost.accel_pj);
+  return a;
 }
 
 std::vector<std::int32_t> random_q15(unsigned n, Rng& rng, double lim) {
@@ -412,6 +430,63 @@ TEST(RuntimeJobs, PoolCostDeltasMatchStandaloneDevice) {
     EXPECT_EQ(got.cost.sys_pj, want.cost.sys_pj);
     EXPECT_EQ(got.cost.vwr2a_pj, want.cost.vwr2a_pj);
     EXPECT_EQ(got.cost.accel_pj, want.cost.accel_pj);
+  }
+}
+
+/// Cross-job interactions (SPM residency, staging dedup, resident app
+/// images) depend on SPM row stamps; the trace-cached engine renumbers
+/// stamp values inside a kernel (decoupled columns) but must preserve every
+/// residency predicate -- so a whole job SEQUENCE, not just one job, has to
+/// cost exactly the same in both modes.
+TEST(RuntimeJobs, TraceCacheSequenceCostsIdentical) {
+  Rng rng(114);
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  auto window = [](double hz, unsigned seed) {
+    dsp::RespirationParams p;
+    p.breath_hz = hz;
+    Rng sig(seed);
+    const auto xd = dsp::respiration(app::kWindow, p, sig);
+    std::vector<std::int32_t> xq(app::kWindow);
+    for (unsigned i = 0; i < app::kWindow; ++i) xq[i] = fx::to_q16_15(xd[i]);
+    return make_buffer(xq);
+  };
+  std::vector<std::int32_t> big(4096);
+  for (auto& v : big) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+  const auto shared_in = make_buffer(random_q15(512, rng, 0.9));
+
+  // Residency-sensitive sequence: two bio windows (second skips re-init),
+  // a mask-clobbering reduction, a third window (pays re-init again), two
+  // reductions over one shared buffer (second dedups staging), a pipeline.
+  std::vector<Job> jobs;
+  jobs.push_back(Job{BioTrackerJob{app::Target::kCpuVwr2a, window(0.2, 51)}, "b1"});
+  jobs.push_back(Job{BioTrackerJob{app::Target::kCpuVwr2a, window(0.5, 52)}, "b2"});
+  jobs.push_back(Job{ReduceJob{ReduceOp::kEnergy, 4096, make_buffer(big)}, "clob"});
+  jobs.push_back(Job{BioTrackerJob{app::Target::kCpuVwr2a, window(0.3, 53)}, "b3"});
+  jobs.push_back(Job{ReduceJob{ReduceOp::kMin, 512, shared_in}, "r1"});
+  jobs.push_back(Job{ReduceJob{ReduceOp::kMin, 512, shared_in}, "r2"});
+  jobs.push_back(Job{PipelineJob{512, taps, make_buffer(random_q15(512, rng, 0.4))},
+                     "pipe"});
+
+  auto run_mode = [&jobs](cgra::ExecMode mode) {
+    DevicePool::Config cfg;
+    cfg.device_arch = {soc::ArchConfig{.exec_mode = mode}};
+    DevicePool pool(cfg);
+    std::vector<JobResult> rs;
+    for (auto& h : pool.submit_batch(jobs)) rs.push_back(h.get());
+    return std::make_pair(std::move(rs), pool.stats().stagings);
+  };
+  const auto [ri, si] = run_mode(cgra::ExecMode::kInterpret);
+  const auto [rt, st] = run_mode(cgra::ExecMode::kTraceCache);
+  EXPECT_EQ(si, st);  // identical staging/residency decisions
+  ASSERT_EQ(ri.size(), rt.size());
+  for (std::size_t j = 0; j < ri.size(); ++j) {
+    SCOPED_TRACE("job " + ri[j].tag);
+    EXPECT_EQ(ri[j].output, rt[j].output);
+    EXPECT_EQ(ri[j].launches, rt[j].launches);
+    EXPECT_EQ(ri[j].cost.cpu_cycles, rt[j].cost.cpu_cycles);
+    EXPECT_EQ(ri[j].cost.vwr2a_cycles, rt[j].cost.vwr2a_cycles);
+    EXPECT_EQ(ri[j].cost.sys_pj, rt[j].cost.sys_pj);
+    EXPECT_EQ(ri[j].cost.vwr2a_pj, rt[j].cost.vwr2a_pj);
   }
 }
 

@@ -364,6 +364,83 @@ TEST(RuntimeSchedule, ShortestLocalClockTightensSkewedBatch) {
   EXPECT_EQ(slc_stats.fleet_makespan, slc1_stats.fleet_makespan);
 }
 
+/// Online per-family EWMA estimator: measured costs fold into the analytic
+/// prior at fleet-quiescent points, deterministically.
+TEST(RuntimeSchedule, OnlineEstimatorLearnsMeasuredCosts) {
+  Rng rng(271);
+  auto fir_job = [&rng] {
+    std::vector<std::int32_t> x(256);
+    for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+    return Job{FirJob{256, make_buffer(dsp::fir11_lowpass_q15()),
+                      make_buffer(std::move(x))},
+               "fir"};
+  };
+  const unsigned fam = static_cast<unsigned>(Job{FirJob{}, ""}.work.index());
+
+  DevicePool::Config cfg;
+  cfg.schedule = Schedule::kShortestLocalClock;
+  DevicePool pool(cfg);
+  const Job probe = fir_job();
+  const Cycle prior = DevicePool::estimate_cost(probe);
+  EXPECT_EQ(pool.estimate(probe), prior);  // nothing measured yet
+
+  std::vector<Job> batch;
+  for (int j = 0; j < 8; ++j) batch.push_back(fir_job());
+  auto handles = pool.submit_batch(std::move(batch));
+  Cycle measured_sum = 0;
+  for (auto& h : handles) measured_sum += h.get().cost.total_cycles();
+  // Factors are frozen until a quiescent fold.
+  EXPECT_EQ(pool.family_factors()[fam], 1.0);
+  pool.wait_idle();  // quiescent point: the fold happens here
+
+  const double f = pool.family_factors()[fam];
+  const double ratio = static_cast<double>(measured_sum) /
+                       static_cast<double>(8 * prior);
+  EXPECT_NE(f, 1.0);
+  EXPECT_NEAR(f, 1.0 + 0.25 * (ratio - 1.0), 1e-9);  // one EWMA step
+  // The learned estimate moved toward the measured per-job cost.
+  const double mean = static_cast<double>(measured_sum) / 8.0;
+  const double err_prior = std::abs(static_cast<double>(prior) - mean);
+  const double err_learned =
+      std::abs(static_cast<double>(pool.estimate(probe)) - mean);
+  EXPECT_LT(err_learned, err_prior);
+
+  // Off switch: the analytic prior is used unchanged.
+  DevicePool::Config off_cfg;
+  off_cfg.online_estimator = false;
+  DevicePool off(off_cfg);
+  off.submit(fir_job()).get();
+  off.wait_idle();
+  EXPECT_EQ(off.family_factors()[fam], 1.0);
+  EXPECT_EQ(off.estimate(probe), prior);
+}
+
+/// Estimator folds must not break placement determinism: the same two-batch
+/// sequence (barrier between batches) places identically regardless of the
+/// worker count, because folds only happen at the barriers.
+TEST(RuntimeSchedule, OnlineEstimatorIsWorkerCountInvariant) {
+  auto run_workers = [](unsigned workers) {
+    DevicePool::Config cfg;
+    cfg.devices = 2;
+    cfg.workers = workers;
+    cfg.schedule = Schedule::kShortestLocalClock;
+    DevicePool pool(cfg);
+    std::vector<unsigned> devices;
+    for (int round = 0; round < 2; ++round) {
+      auto handles = pool.submit_batch(make_mixed_jobs(12, 47 + round));
+      for (auto& h : handles) devices.push_back(h.get().device);
+      pool.wait_idle();  // fold point between rounds
+    }
+    return std::make_pair(std::move(devices), pool.family_factors());
+  };
+  const auto [d1, f1] = run_workers(1);
+  const auto [d4, f4] = run_workers(4);
+  EXPECT_EQ(d1, d4);
+  for (unsigned f = 0; f < kJobFamilies; ++f) {
+    EXPECT_EQ(f1[f], f4[f]) << "family " << f;
+  }
+}
+
 TEST(RuntimePool, ImageCacheAssemblesOncePerKernel) {
   const auto jobs = make_mixed_jobs(16, 31);
   DevicePool::Config cfg;

@@ -136,32 +136,19 @@ TEST(RuntimeQueue, DestructorDrainsPendingJobs) {
   }
 }
 
-TEST(RuntimeQueueStress, MixedJobTypeFuzz) {
-  // Randomized mixed-catalog stress: random variant, size and pin per job.
-  // Every future must resolve (all inputs are valid by construction), tags
-  // must round-trip, and pinned jobs must land on their device.
-  constexpr unsigned kJobs = 96;
-  constexpr unsigned kDevices = 3;
-  Rng rng(2024);
+/// Reproducible mixed-catalog fuzz jobs: random family, size and pin.
+std::vector<Job> make_fuzz_jobs(unsigned count, unsigned devices,
+                                unsigned seed) {
+  Rng rng(seed);
   const auto taps = make_buffer(dsp::fir11_lowpass_q15());
-
   auto random_buf = [&rng](unsigned n, double lim) {
     std::vector<std::int32_t> x(n);
     for (auto& v : x) v = fx::to_q16_15(rng.next_range(-lim, lim));
     return make_buffer(std::move(x));
   };
-
-  DevicePool::Config cfg;
-  cfg.devices = kDevices;
-  cfg.workers = 2;  // deliberately != devices
-  cfg.max_batch = 4;
-  cfg.device_arch = {soc::ArchConfig{}, soc::ArchConfig{.vwr_count = 4},
-                     soc::ArchConfig{.simd_width = 16}};
-  DevicePool pool(cfg);
-
   std::vector<Job> jobs;
-  jobs.reserve(kJobs);
-  for (unsigned j = 0; j < kJobs; ++j) {
+  jobs.reserve(count);
+  for (unsigned j = 0; j < count; ++j) {
     Job job;
     switch (rng.next_below(6)) {
       case 0: {
@@ -194,9 +181,29 @@ TEST(RuntimeQueueStress, MixedJobTypeFuzz) {
       }
     }
     job.tag = "fuzz#" + std::to_string(j);
-    job.pin = static_cast<int>(rng.next_below(kDevices + 1)) - 1;  // -1..2
+    job.pin = static_cast<int>(rng.next_below(devices + 1)) - 1;
     jobs.push_back(std::move(job));
   }
+  return jobs;
+}
+
+TEST(RuntimeQueueStress, MixedJobTypeFuzz) {
+  // Randomized mixed-catalog stress: random variant, size and pin per job.
+  // Every future must resolve (all inputs are valid by construction), tags
+  // must round-trip, and pinned jobs must land on their device.
+  constexpr unsigned kJobs = 96;
+  constexpr unsigned kDevices = 3;
+  Rng rng(2024);
+
+  DevicePool::Config cfg;
+  cfg.devices = kDevices;
+  cfg.workers = 2;  // deliberately != devices
+  cfg.max_batch = 4;
+  cfg.device_arch = {soc::ArchConfig{}, soc::ArchConfig{.vwr_count = 4},
+                     soc::ArchConfig{.simd_width = 16}};
+  DevicePool pool(cfg);
+
+  std::vector<Job> jobs = make_fuzz_jobs(kJobs, kDevices, 2024);
 
   // Mix both enqueue paths, as the original stress does.
   std::vector<JobHandle> handles;
@@ -231,6 +238,53 @@ TEST(RuntimeQueueStress, MixedJobTypeFuzz) {
   const FleetStats s = pool.stats();
   EXPECT_EQ(s.jobs_completed, kJobs);
   EXPECT_EQ(s.jobs_failed, 0u);
+}
+
+/// The mixed-fleet fuzz, differentially: the same randomized job set on the
+/// same heterogeneous fleet, once interpreted and once trace-cached, must be
+/// bit-identical in outputs and exactly equal in per-job cycles and energy.
+TEST(RuntimeQueueStress, MixedFleetFuzzBothExecModes) {
+  constexpr unsigned kJobs = 96;
+  constexpr unsigned kDevices = 3;
+
+  auto run_mode = [](cgra::ExecMode mode) {
+    DevicePool::Config cfg;
+    cfg.devices = kDevices;
+    cfg.workers = 2;
+    cfg.max_batch = 4;
+    cfg.device_arch = {soc::ArchConfig{.exec_mode = mode},
+                       soc::ArchConfig{.vwr_count = 4, .exec_mode = mode},
+                       soc::ArchConfig{.simd_width = 16, .exec_mode = mode}};
+    DevicePool pool(cfg);
+    std::vector<JobResult> rs;
+    for (auto& h : pool.submit_batch(make_fuzz_jobs(kJobs, kDevices, 777))) {
+      rs.push_back(h.get());
+    }
+    const FleetStats s = pool.stats();
+    EXPECT_EQ(s.jobs_failed, 0u);
+    return std::make_pair(std::move(rs), s);
+  };
+
+  const auto [ri, si] = run_mode(cgra::ExecMode::kInterpret);
+  const auto [rt, st] = run_mode(cgra::ExecMode::kTraceCache);
+  ASSERT_EQ(ri.size(), rt.size());
+  for (unsigned j = 0; j < ri.size(); ++j) {
+    SCOPED_TRACE("job " + ri[j].tag);
+    EXPECT_EQ(ri[j].device, rt[j].device);
+    EXPECT_EQ(ri[j].output, rt[j].output);
+    EXPECT_EQ(ri[j].launches, rt[j].launches);
+    EXPECT_EQ(ri[j].cost.cpu_cycles, rt[j].cost.cpu_cycles);
+    EXPECT_EQ(ri[j].cost.vwr2a_cycles, rt[j].cost.vwr2a_cycles);
+    EXPECT_EQ(ri[j].cost.accel_cycles, rt[j].cost.accel_cycles);
+    EXPECT_EQ(ri[j].cost.sys_pj, rt[j].cost.sys_pj);
+    EXPECT_EQ(ri[j].cost.vwr2a_pj, rt[j].cost.vwr2a_pj);
+    EXPECT_EQ(ri[j].cost.accel_pj, rt[j].cost.accel_pj);
+  }
+  // Fleet-level totals (makespan, energy, stagings) must agree exactly too.
+  EXPECT_EQ(si.fleet_makespan, st.fleet_makespan);
+  EXPECT_EQ(si.total_device_cycles, st.total_device_cycles);
+  EXPECT_EQ(si.total_pj, st.total_pj);
+  EXPECT_EQ(si.stagings, st.stagings);
 }
 
 TEST(RuntimeQueue, InvalidHandleGetThrowsClearError) {

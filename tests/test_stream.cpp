@@ -132,6 +132,90 @@ TEST(Windower, SamplesAfterMidStreamFlushAreNotLost) {
   EXPECT_EQ(tail, want);
 }
 
+TEST(Windower, OverlappingViewsAliasOneSegment) {
+  // The double-copy fix: with hop < window, consecutive windows are views
+  // into ONE shared staging segment -- same allocation, offsets hop apart --
+  // so the overlap region is staged once per segment, not once per window.
+  Windower w(8, 4, 64);
+  std::vector<std::int32_t> stream(24);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::int32_t>(100 + i);
+  }
+  w.push(stream);
+  const WindowView v0 = w.pop_window_view();
+  const WindowView v1 = w.pop_window_view();
+  const WindowView v2 = w.pop_window_view();
+  EXPECT_EQ(v0.segment.get(), v1.segment.get());
+  EXPECT_EQ(v1.segment.get(), v2.segment.get());
+  EXPECT_EQ(v1.offset, v0.offset + 4);
+  EXPECT_EQ(v2.offset, v1.offset + 4);
+  EXPECT_EQ(w.segments_staged(), 1u);
+  // Views match the offline slicing bit for bit.
+  const auto want = slice_windows(stream, 8, 4, /*flush_tail=*/false);
+  EXPECT_EQ(v0.to_vector(8), want[0]);
+  EXPECT_EQ(v1.to_vector(8), want[1]);
+  EXPECT_EQ(v2.to_vector(8), want[2]);
+}
+
+TEST(Windower, SegmentRolloverRestagesLiveRegionOnce) {
+  // Capacity 16, window 8, hop 4: after a few pops the fill index reaches
+  // the end and the next push must start a new segment, carrying only the
+  // live (unconsumed) region over. Emitted views keep the old segment
+  // alive and unchanged.
+  Windower w(8, 4, 16);
+  std::vector<std::int32_t> stream(40);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::int32_t>(i);
+  }
+  const auto want = slice_windows(stream, 8, 4, /*flush_tail=*/false);
+  std::vector<WindowView> views;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(w.free_space(), stream.size() - off);
+    w.push(std::span<const std::int32_t>(stream).subspan(off, take));
+    off += take;
+    while (w.has_window()) views.push_back(w.pop_window_view());
+  }
+  EXPECT_GT(w.segments_staged(), 1u);
+  ASSERT_GE(views.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(views[i].to_vector(8), want[i]) << "window " << i;
+  }
+}
+
+TEST(StreamSession, OffsetJobsMatchExactBufferJobs) {
+  // A PipelineJob reading at an offset of a larger shared segment must be
+  // indistinguishable from the same window in its own exact-size buffer.
+  Rng rng(606);
+  std::vector<std::int32_t> big(1024 + 512);
+  for (auto& v : big) v = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+  const auto taps = runtime::make_buffer(dsp::fir11_lowpass_q15());
+  const unsigned off = 256;
+  const auto seg = runtime::make_buffer(big);
+  const auto exact = runtime::make_buffer(std::vector<std::int32_t>(
+      big.begin() + off, big.begin() + off + 512));
+
+  runtime::DevicePool pool;
+  auto a = pool.submit({runtime::PipelineJob{512, taps, seg, off}, "view"}).get();
+  auto b = pool.submit({runtime::PipelineJob{512, taps, exact, 0}, "copy"}).get();
+  EXPECT_EQ(a.output, b.output);
+
+  std::vector<std::int32_t> win(big.begin() + off,
+                                big.begin() + off + app::kWindow);
+  auto c = pool.submit({runtime::BioTrackerJob{app::Target::kCpuVwr2a, seg, off},
+                        "bview"}).get();
+  auto d = pool.submit({runtime::BioTrackerJob{app::Target::kCpuVwr2a,
+                                               runtime::make_buffer(win), 0},
+                        "bcopy"}).get();
+  EXPECT_EQ(c.output, d.output);
+
+  // Undersized views are rejected, not misread.
+  EXPECT_THROW(
+      pool.submit({runtime::PipelineJob{512, taps, exact, 256}, ""}).get(),
+      HostError);
+}
+
 TEST(Windower, RejectsBadGeometry) {
   EXPECT_THROW(Windower(0, 1, 8), HostError);
   EXPECT_THROW(Windower(8, 0, 8), HostError);

@@ -1,0 +1,502 @@
+// Trace-cache identity: ExecMode::kTraceCache must be indistinguishable
+// from the interpreter -- bit-identical architectural state, exactly equal
+// cycle counts, exactly equal per-event energy counts -- on every program
+// that runs, and must surface the same documented faults on every program
+// that does not. The random-program differential fuzz is the strongest pin:
+// any divergence between compile_trace()/replay and Column::step() shows up
+// as a state or meter mismatch.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "casm/builder.hpp"
+#include "casm/factories.hpp"
+#include "cgra/tracecache.hpp"
+#include "cgra/vwr2a.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "energy/meter.hpp"
+#include "mem/sram.hpp"
+#include "soc/platform.hpp"
+
+namespace vwr2a {
+namespace {
+
+using namespace casm;
+using cgra::ExecMode;
+
+/// A standalone VWR2A rig with a selectable execution engine.
+struct Rig {
+  energy::EnergyMeter sys_meter;
+  mem::SystemSram sram{sys_meter};
+  bus::AhbBus ahb{sram, sys_meter};
+  cgra::Vwr2a acc{ahb};
+
+  explicit Rig(ExecMode mode) { acc.set_exec_mode(mode, "test"); }
+
+  /// Seeds SPM, SRFs, VWRs and LCU-visible SRF params deterministically.
+  void seed(Rng rng) {
+    for (unsigned w = 0; w < arch::kSpmWords; ++w) {
+      acc.spm().poke(w, rng.next_u32());
+    }
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      for (unsigned i = 0; i < arch::kSrfEntries; ++i) {
+        acc.column(c).srf().poke(i, rng.next_below(1u << 16));
+      }
+      for (unsigned v = 0; v < arch::kVwrsPerColumn; ++v) {
+        for (unsigned s = 0; s < arch::kRcsPerColumn; ++s) {
+          for (unsigned i = 0; i < arch::kSliceWords; ++i) {
+            acc.column(c).vwr(static_cast<VwrSel>(v)).poke(s, i, rng.next_u32());
+          }
+        }
+      }
+    }
+  }
+};
+
+/// Full observable-state comparison of the two rigs.
+void expect_identical(Rig& a, Rig& b, const std::string& what) {
+  EXPECT_EQ(a.acc.cycles(), b.acc.cycles()) << what;
+  for (unsigned e = 0; e < static_cast<unsigned>(energy::Event::kCount); ++e) {
+    EXPECT_EQ(a.acc.meter().count(static_cast<energy::Event>(e)),
+              b.acc.meter().count(static_cast<energy::Event>(e)))
+        << what << " event " << energy::to_string(static_cast<energy::Event>(e));
+  }
+  EXPECT_EQ(a.acc.meter().total_pj(), b.acc.meter().total_pj()) << what;
+  for (unsigned w = 0; w < arch::kSpmWords; ++w) {
+    ASSERT_EQ(a.acc.spm().peek(w), b.acc.spm().peek(w))
+        << what << " SPM word " << w;
+  }
+  for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+    const cgra::Column& ca = a.acc.column(c);
+    const cgra::Column& cb = b.acc.column(c);
+    for (unsigned i = 0; i < arch::kSrfEntries; ++i) {
+      ASSERT_EQ(ca.srf().peek(i), cb.srf().peek(i))
+          << what << " col " << c << " SRF " << i;
+    }
+    for (unsigned v = 0; v < arch::kVwrsPerColumn; ++v) {
+      for (unsigned s = 0; s < arch::kRcsPerColumn; ++s) {
+        for (unsigned i = 0; i < arch::kSliceWords; ++i) {
+          ASSERT_EQ(ca.vwr(static_cast<VwrSel>(v)).peek(s, i),
+                    cb.vwr(static_cast<VwrSel>(v)).peek(s, i))
+              << what << " col " << c << " VWR " << v;
+        }
+      }
+    }
+    for (unsigned r = 0; r < arch::kLcuRegs; ++r) {
+      ASSERT_EQ(ca.lcu_reg(r), cb.lcu_reg(r)) << what << " col " << c;
+    }
+    for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
+      ASSERT_EQ(ca.rc_state(r).rf, cb.rc_state(r).rf) << what << " col " << c;
+      ASSERT_EQ(ca.rc_state(r).out, cb.rc_state(r).out) << what << " col " << c;
+    }
+    ASSERT_EQ(ca.mxcu_index(), cb.mxcu_index()) << what;
+    ASSERT_EQ(ca.executed_cycles(), cb.executed_cycles()) << what;
+  }
+}
+
+// --- random-program differential fuzz ---------------------------------------
+
+isa::RcInstr random_rc(Rng& rng) {
+  isa::RcInstr i;
+  i.op = static_cast<isa::RcOp>(
+      rng.next_below(static_cast<unsigned>(isa::RcOp::kCount)));
+  i.src_a = static_cast<isa::RcSrc>(
+      rng.next_below(static_cast<unsigned>(isa::RcSrc::kCount)));
+  i.src_b = static_cast<isa::RcSrc>(
+      rng.next_below(static_cast<unsigned>(isa::RcSrc::kCount)));
+  i.dst = static_cast<isa::RcDst>(
+      rng.next_below(static_cast<unsigned>(isa::RcDst::kCount)));
+  i.srf = static_cast<std::uint8_t>(rng.next_below(8));
+  i.imm = static_cast<std::int8_t>(rng.next_u32());
+  return i;
+}
+
+isa::LsuInstr random_lsu(Rng& rng) {
+  isa::LsuInstr i;
+  switch (rng.next_below(7)) {
+    case 0: return i;  // nop
+    case 1: return lsu_ld_vwr(static_cast<VwrSel>(rng.next_below(3)),
+                              rng.next_below(arch::kSpmRows));
+    case 2: return lsu_st_vwr(static_cast<VwrSel>(rng.next_below(3)),
+                              rng.next_below(arch::kSpmRows));
+    case 3: return lsu_ld_srf(static_cast<std::uint8_t>(rng.next_below(8)),
+                              rng.next_below(arch::kSpmWords));
+    case 4: return lsu_st_srf(static_cast<std::uint8_t>(rng.next_below(8)),
+                              rng.next_below(arch::kSpmWords));
+    case 5: return lsu_shuf(static_cast<isa::ShufMode>(rng.next_below(8)));
+    default:
+      // SRF-based addressing: data-dependent rows, range-checked at replay.
+      return lsu_ld_vwr_srf(static_cast<VwrSel>(rng.next_below(3)),
+                            static_cast<std::uint8_t>(rng.next_below(8)),
+                            static_cast<int>(rng.next_below(8)));
+  }
+}
+
+isa::MxcuInstr random_mxcu(Rng& rng) {
+  isa::MxcuInstr i;
+  i.op = static_cast<isa::MxcuOp>(
+      rng.next_below(static_cast<unsigned>(isa::MxcuOp::kCount)));
+  i.srf = static_cast<std::uint8_t>(rng.next_below(8));
+  i.imm = static_cast<std::int16_t>(static_cast<int>(rng.next_below(128)) - 64);
+  return i;
+}
+
+/// Random LCU op at line `pc` of `len` lines (line 0 is a prologue that
+/// seeds r3 with a small trip count). Register-writing ops stay off r3 and
+/// at most one DBNZ (always on r3, always backward) is emitted per program,
+/// so every generated program terminates in both engines.
+isa::LcuInstr random_lcu(Rng& rng, unsigned pc, unsigned len, bool& used_dbnz) {
+  isa::LcuInstr i;
+  switch (rng.next_below(8)) {
+    case 0:
+      return lcu_nop();
+    case 1:
+      return lcu_set(static_cast<std::uint8_t>(rng.next_below(3)),
+                     static_cast<int>(rng.next_below(64)) - 32);
+    case 2:
+      return lcu_add(static_cast<std::uint8_t>(rng.next_below(3)),
+                     static_cast<int>(rng.next_below(16)) - 8);
+    case 3:
+      i.op = isa::LcuOp::kMvSrf;
+      i.rd = static_cast<std::uint8_t>(rng.next_below(3));
+      i.srf = static_cast<std::uint8_t>(rng.next_below(8));
+      return i;
+    case 4:
+      i.op = isa::LcuOp::kStSrf;
+      i.ra = static_cast<std::uint8_t>(rng.next_below(4));
+      i.srf = static_cast<std::uint8_t>(rng.next_below(8));
+      return i;
+    case 5: {  // forward conditional skip
+      i.op = static_cast<isa::LcuOp>(
+          static_cast<unsigned>(isa::LcuOp::kBeq) + rng.next_below(8));
+      i.ra = static_cast<std::uint8_t>(rng.next_below(4));
+      i.rb = static_cast<std::uint8_t>(rng.next_below(4));
+      i.imm = static_cast<std::int16_t>(static_cast<int>(rng.next_below(8)) - 4);
+      i.target = static_cast<std::uint8_t>(
+          pc + 1 + rng.next_below(len + 1 - pc));  // (pc, len+1] incl. EXIT
+      return i;
+    }
+    case 6: {  // SRF zero test, forward
+      i.op = rng.next_below(2) ? isa::LcuOp::kBsrfZ : isa::LcuOp::kBsrfNz;
+      i.srf = static_cast<std::uint8_t>(rng.next_below(8));
+      i.target =
+          static_cast<std::uint8_t>(pc + 1 + rng.next_below(len + 1 - pc));
+      return i;
+    }
+    default: {  // tight backward DBNZ loop over the previous line
+      if (used_dbnz || pc < 2) return lcu_nop();
+      used_dbnz = true;
+      i.op = isa::LcuOp::kDbnz;
+      i.rd = 3;  // seeded by the prologue, untouched elsewhere
+      i.target = static_cast<std::uint8_t>(pc - 1);
+      return i;
+    }
+  }
+}
+
+TEST(TraceCacheFuzz, RandomProgramsBitCycleEnergyIdentical) {
+  Rng rng(0x7AC3);
+  unsigned completed = 0, faulted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const unsigned len = 2 + rng.next_below(12);
+    const std::uint64_t data_seed = rng.next_u64();
+    ProgramBuilder pb;
+    // Prologue: bound every DBNZ trip count.
+    pb.line().lcu(lcu_set(3, 1 + static_cast<int>(rng.next_below(4)))).emit();
+    bool used_dbnz = false;
+    for (unsigned l = 1; l <= len; ++l) {
+      auto line = pb.line();
+      if (rng.next_below(2)) line.lsu(random_lsu(rng));
+      if (rng.next_below(2)) line.mxcu(random_mxcu(rng));
+      if (rng.next_below(2)) line.lcu(random_lcu(rng, l, len, used_dbnz));
+      for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
+        if (rng.next_below(2)) line.rc(r, random_rc(rng));
+      }
+      line.emit();
+    }
+    pb.line().lcu(lcu_exit()).emit();
+    const isa::ColumnProgram prog = pb.build();
+    // Two-column trials exercise the decoupled replay + conflict detector;
+    // single-column trials the plain block replay.
+    const bool two_cols = rng.next_below(2) == 1;
+    const isa::KernelImage img =
+        two_cols ? make_kernel2("fuzz2", prog, prog) : make_kernel("fuzz", 0, prog);
+
+    Rig ri(ExecMode::kInterpret);
+    Rig rt(ExecMode::kTraceCache);
+    ri.seed(Rng(data_seed));
+    rt.seed(Rng(data_seed));
+    // Bound every DBNZ: r3 holds a small count (host-style SRF write would
+    // disturb state symmetrically anyway; poke is free and identical).
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      ri.acc.column(c).srf().poke(3, 3);
+      rt.acc.column(c).srf().poke(3, 3);
+    }
+
+    const unsigned ki = ri.acc.register_kernel(img);
+    const unsigned kt = rt.acc.register_kernel(img);
+    int outcome_i = 0, outcome_t = 0;
+    std::string err_i, err_t;
+    try {
+      ri.acc.run_kernel(ki);
+    } catch (const StructuralHazard& e) {
+      outcome_i = 1;
+      err_i = e.what();
+    } catch (const SimError& e) {
+      outcome_i = 2;
+      err_i = e.what();
+    }
+    try {
+      rt.acc.run_kernel(kt);
+    } catch (const StructuralHazard& e) {
+      outcome_t = 1;
+      err_t = e.what();
+    } catch (const SimError& e) {
+      outcome_t = 2;
+      err_t = e.what();
+    }
+    ASSERT_EQ(outcome_i, outcome_t) << "trial " << trial << ": interpreter '"
+                                    << err_i << "' vs trace '" << err_t << "'";
+    ASSERT_EQ(err_i, err_t) << "trial " << trial;
+    if (outcome_i == 0) {
+      ++completed;
+      expect_identical(ri, rt, "trial " + std::to_string(trial));
+      if (::testing::Test::HasFatalFailure()) return;
+    } else {
+      ++faulted;
+      // Faulting replays fall back to the interpreter, so even the partial
+      // state and partial energy of the fault path match exactly.
+      expect_identical(ri, rt, "faulted trial " + std::to_string(trial));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  // The generator must exercise both the clean path and the fault path
+  // (dense random lines collide on the single-ported SRF frequently, so
+  // faults dominate -- exactly the population that pins the fallback).
+  EXPECT_GT(completed, 15u);
+  EXPECT_GT(faulted, 100u);
+}
+
+// --- directed coverage -------------------------------------------------------
+
+/// A kernel whose LCU trip count is data-dependent: the host parameter in
+/// SRF0 feeds the DBNZ counter (fused self-loop replay must read it at
+/// runtime, not bake it in).
+isa::ColumnProgram counted_accumulate_program() {
+  ProgramBuilder pb;
+  pb.line().lcu(lcu_mv_srf(0, 0)).emit();  // r0 = SRF0 (trip count)
+  pb.line().rc_all(rc_mv(isa::RcDst::kR0, isa::RcSrc::kZero)).emit();
+  Label loop = pb.make_label();
+  pb.bind(loop);
+  pb.line()
+      .rc_all(rc_add(isa::RcDst::kR0, isa::RcSrc::kR0, isa::RcSrc::kVwrA))
+      .mxcu(mxcu_add_idx(1))
+      .lcu(lcu_dbnz(0), loop)
+      .emit();
+  pb.line().rc_all(rc_mv(isa::RcDst::kVwrC, isa::RcSrc::kR0)).emit();
+  pb.line().lcu(lcu_exit()).emit();
+  return pb.build();
+}
+
+TEST(TraceCache, DataDependentTripCountIsIdentical) {
+  for (Word trips : {1u, 2u, 7u, 31u, 97u}) {
+    Rig ri(ExecMode::kInterpret);
+    Rig rt(ExecMode::kTraceCache);
+    ri.seed(Rng(42));
+    rt.seed(Rng(42));
+    const isa::KernelImage img =
+        make_kernel("counted", 0, counted_accumulate_program());
+    const unsigned ki = ri.acc.register_kernel(img);
+    const unsigned kt = rt.acc.register_kernel(img);
+    ri.acc.host_write_srf(0, 0, trips);
+    rt.acc.host_write_srf(0, 0, trips);
+    const Cycle ci = ri.acc.run_kernel(ki);
+    const Cycle ct = rt.acc.run_kernel(kt);
+    EXPECT_EQ(ci, ct) << "trips " << trips;
+    // Trip count must show in the cycle count (data dependence is real).
+    EXPECT_GT(ci, static_cast<Cycle>(trips));
+    expect_identical(ri, rt, "trips " + std::to_string(trips));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Two columns that communicate through the SPM: column 0 stores a row that
+/// column 1 loads a few cycles later. Decoupled replay must detect the
+/// conflict, roll back, and go lockstep -- with identical results.
+TEST(TraceCache, SpmConflictFallsBackToLockstep) {
+  auto writer = [] {
+    ProgramBuilder pb;
+    pb.line().rc_all(rc_add(isa::RcDst::kVwrA, isa::RcSrc::kVwrA,
+                            isa::RcSrc::kOne)).emit();
+    pb.line().lsu(lsu_st_vwr(VwrSel::A, 40)).emit();
+    pb.line().emit();  // idle while the partner loads
+    pb.line().emit();
+    pb.line().lcu(lcu_exit()).emit();
+    return pb.build();
+  };
+  auto reader = [] {
+    ProgramBuilder pb;
+    pb.line().emit();
+    pb.line().emit();
+    pb.line().lsu(lsu_ld_vwr(VwrSel::B, 40)).emit();  // sees the new row
+    pb.line().rc_all(rc_add(isa::RcDst::kVwrC, isa::RcSrc::kVwrB,
+                            isa::RcSrc::kOne)).emit();
+    pb.line().lcu(lcu_exit()).emit();
+    return pb.build();
+  };
+  const isa::KernelImage img = make_kernel2("spmflow", writer(), reader());
+
+  Rig ri(ExecMode::kInterpret);
+  Rig rt(ExecMode::kTraceCache);
+  ri.seed(Rng(77));
+  rt.seed(Rng(77));
+  const unsigned ki = ri.acc.register_kernel(img);
+  const unsigned kt = rt.acc.register_kernel(img);
+  ri.acc.run_kernel(ki);
+  rt.acc.run_kernel(kt);
+  expect_identical(ri, rt, "first launch (conflict, rollback)");
+  EXPECT_EQ(rt.acc.traced_rollbacks(), 1u);
+
+  // Second launch goes straight to lockstep replay -- no second rollback.
+  ri.acc.run_kernel(ki);
+  rt.acc.run_kernel(kt);
+  expect_identical(ri, rt, "second launch (lockstep)");
+  EXPECT_EQ(rt.acc.traced_rollbacks(), 1u);
+  EXPECT_GE(rt.acc.traced_launches(), 1u);
+}
+
+/// A cross-column POLL: column 0 spins on an SPM word until column 1
+/// writes it non-zero. Free-running column 0 alone would never terminate
+/// (the conflict masks only see the dependence after the fact), so the
+/// decoupled attempt must hit its replay budget, roll back, and rerun in
+/// lockstep -- terminating exactly like the interpreter.
+TEST(TraceCache, CrossColumnPollHitsBudgetAndGoesLockstep) {
+  constexpr unsigned kFlagWord = 40 * arch::kVwrWords;  // row 40, word 0
+  auto poller = [] {
+    ProgramBuilder pb;
+    Label spin = pb.make_label();
+    pb.bind(spin);
+    pb.line().lsu(lsu_ld_srf(1, kFlagWord)).emit();  // SRF1 = SPM[flag]
+    isa::LcuInstr b;
+    b.op = isa::LcuOp::kBsrfZ;
+    b.srf = 1;
+    pb.line().lcu(b, spin).emit();                   // while (SRF1 == 0)
+    pb.line().rc_all(rc_mv(isa::RcDst::kVwrC, isa::RcSrc::kSrf, 1)).emit();
+    pb.line().lcu(lcu_exit()).emit();
+    return pb.build();
+  };
+  auto writer = [] {
+    ProgramBuilder pb;
+    pb.line().emit();                                // give the poller a spin
+    pb.line().emit();
+    pb.line().lsu(lsu_st_srf(2, kFlagWord)).emit();  // SPM[flag] = SRF2
+    pb.line().lcu(lcu_exit()).emit();
+    return pb.build();
+  };
+  const isa::KernelImage img = make_kernel2("poll", poller(), writer());
+
+  Rig ri(ExecMode::kInterpret);
+  Rig rt(ExecMode::kTraceCache);
+  for (Rig* r : {&ri, &rt}) {
+    r->seed(Rng(88));
+    r->acc.spm().poke(kFlagWord, 0);          // flag starts clear
+    r->acc.column(1).srf().poke(2, 7);        // the value the writer posts
+  }
+  const unsigned ki = ri.acc.register_kernel(img);
+  const unsigned kt = rt.acc.register_kernel(img);
+  ri.acc.run_kernel(ki);
+  rt.acc.run_kernel(kt);  // must terminate (budget -> rollback -> lockstep)
+  EXPECT_EQ(rt.acc.traced_rollbacks(), 1u);
+  expect_identical(ri, rt, "cross-column poll");
+
+  // Later launches go straight to lockstep.
+  for (Rig* r : {&ri, &rt}) r->acc.spm().poke(kFlagWord, 0);
+  ri.acc.run_kernel(ki);
+  rt.acc.run_kernel(kt);
+  EXPECT_EQ(rt.acc.traced_rollbacks(), 1u);
+  expect_identical(ri, rt, "cross-column poll, lockstep relaunch");
+}
+
+TEST(TraceCache, StaticHazardBailsToInterpreterWithSameFault) {
+  // Two different SRF addresses in one line: the single-ported SRF throws
+  // StructuralHazard at runtime; the compiler must refuse to trace it and
+  // the traced rig must raise the identical fault.
+  ProgramBuilder pb;
+  pb.line()
+      .rc(0, rc_op(isa::RcOp::kSadd, isa::RcDst::kR0, isa::RcSrc::kSrf,
+                   isa::RcSrc::kZero, /*srf=*/1))
+      .rc(1, rc_op(isa::RcOp::kSadd, isa::RcDst::kR0, isa::RcSrc::kSrf,
+                   isa::RcSrc::kZero, /*srf=*/2))
+      .emit();
+  pb.line().lcu(lcu_exit()).emit();
+  const isa::ColumnProgram prog = pb.build();
+
+  const auto trace = cgra::compile_trace(prog);
+  EXPECT_FALSE(trace->ok);
+  EXPECT_FALSE(trace->bail_reason.empty());
+
+  Rig ri(ExecMode::kInterpret);
+  Rig rt(ExecMode::kTraceCache);
+  const unsigned ki = ri.acc.register_kernel(make_kernel("hz", 0, prog));
+  const unsigned kt = rt.acc.register_kernel(make_kernel("hz", 0, prog));
+  EXPECT_THROW(ri.acc.run_kernel(ki), StructuralHazard);
+  EXPECT_THROW(rt.acc.run_kernel(kt), StructuralHazard);
+  expect_identical(ri, rt, "hazard fault path");
+}
+
+TEST(TraceCache, SharedTraceCacheCompilesOnce) {
+  cgra::TraceCache shared;
+  const isa::ColumnProgram prog = counted_accumulate_program();
+  const auto t1 = shared.get_or_compile("vwr3.w32", prog);
+  const auto t2 = shared.get_or_compile("vwr3.w32", prog);
+  EXPECT_EQ(t1.get(), t2.get());
+  auto st = shared.stats();
+  EXPECT_EQ(st.compiled, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  // A different variant namespace compiles its own copy (ISSUE: traces are
+  // keyed by ArchConfig variant).
+  const auto t3 = shared.get_or_compile("vwr2.w32", prog);
+  EXPECT_NE(t1.get(), t3.get());
+  EXPECT_EQ(shared.stats().compiled, 2u);
+}
+
+TEST(TraceCache, CompiledBlocksLookRight) {
+  const auto trace = cgra::compile_trace(counted_accumulate_program());
+  ASSERT_TRUE(trace->ok);
+  ASSERT_EQ(trace->length(), 5u);
+  // Blocks: [0,1] (falls to the loop leader), [2] dbnz self-loop (fused),
+  // [3,4] exit.
+  ASSERT_EQ(trace->blocks.size(), 3u);
+  EXPECT_EQ(trace->blocks[0].len, 2u);
+  EXPECT_EQ(trace->blocks[1].first, 2u);
+  EXPECT_EQ(trace->blocks[1].term, cgra::tc::Term::kDbnz);
+  EXPECT_TRUE(trace->blocks[1].fuse_self_loop);
+  EXPECT_EQ(trace->blocks[2].term, cgra::tc::Term::kExit);
+  // Per-block energy is non-empty and contains the per-cycle fetch events.
+  for (const auto& b : trace->blocks) {
+    bool has_fetch = false;
+    for (const auto& d : b.energy) {
+      if (d.e == energy::Event::kInstrFetchRc) {
+        has_fetch = true;
+        EXPECT_EQ(d.n, 4ull * b.len);
+      }
+    }
+    EXPECT_TRUE(has_fetch);
+  }
+}
+
+TEST(TraceCache, ExecModeIsCostModelTransparent) {
+  soc::ArchConfig a;
+  a.exec_mode = ExecMode::kTraceCache;
+  EXPECT_TRUE(a.is_baseline());          // engine choice is not a variant
+  EXPECT_EQ(a.name(), "vwr3.w32");       // image-cache namespace unchanged
+  soc::Platform::Config b;               // the ISSUE's spelling
+  b.exec_mode = ExecMode::kInterpret;
+  EXPECT_EQ(soc::ArchConfig{}, b);
+}
+
+} // namespace
+} // namespace vwr2a
