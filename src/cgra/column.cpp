@@ -993,6 +993,62 @@ void Column::step_traced() {
   pc_ = next;
 }
 
+bool Column::run_fused_quad1(const tc::Line& L, std::uint64_t iters) {
+  using K = tc::Src::K;
+  if (L.kind != tc::Line::Kind::kQuadFast) return false;
+  const tc::RcUop& q = L.rc[0];
+  if (q.d != tc::Dst::kVwr || q.a.k != K::kVwr) return false;
+  const bool b_vwr = !q.unary && q.b.k == K::kVwr;
+  if (!b_vwr && !q.unary && q.b.k != K::kImm && q.b.k != K::kSrf) {
+    return false;
+  }
+  // Only a plain index step may ride along (aux/set forms stay generic).
+  if (L.has_mxcu && L.mxcu.op != isa::MxcuOp::kAddIdx) return false;
+  if (iters == 0) return true;  // dbnz with cnt handled by the caller
+
+  // Loop-invariant routing: row bases cannot move and the SRF cannot be
+  // written by a quad-fast body, so the broadcast operand is fixed too.
+  const Word* const arow = vwrs_[q.a.vwr].trace_row().data();
+  const Word* const brow = b_vwr ? vwrs_[q.b.vwr].trace_row().data() : nullptr;
+  Word* const drow = vwrs_[q.vwr].trace_row().data();
+  constexpr unsigned S = arch::kSliceWords;
+  const std::int32_t step = L.has_mxcu ? L.mxcu.imm : 0;
+  unsigned idx = idx_;
+  Word av[arch::kRcsPerColumn];
+  Word bv[arch::kRcsPerColumn];
+  Word outs[arch::kRcsPerColumn];
+  if (!b_vwr) {
+    Word bc = 0;
+    if (!q.unary) bc = q.b.k == K::kImm ? q.b.imm : srf_.trace_read(q.b.idx);
+    bv[0] = bv[1] = bv[2] = bv[3] = bc;
+  }
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    av[0] = arow[idx];
+    av[1] = arow[idx + S];
+    av[2] = arow[idx + 2 * S];
+    av[3] = arow[idx + 3 * S];
+    if (b_vwr) {
+      bv[0] = brow[idx];
+      bv[1] = brow[idx + S];
+      bv[2] = brow[idx + 2 * S];
+      bv[3] = brow[idx + 3 * S];
+    }
+    alu_eval4(q.op, av, bv, outs);
+    drow[idx] = outs[0];
+    drow[idx + S] = outs[1];
+    drow[idx + 2 * S] = outs[2];
+    drow[idx + 3 * S] = outs[3];
+    if (step != 0) {
+      idx = static_cast<unsigned>(static_cast<SWord>(idx) + step) % S;
+    }
+  }
+  // rc_prev_ is unobservable inside a quad-fast body (no kPrev operands
+  // compile into one), so only the last iteration's outputs matter.
+  for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) rc_prev_[r] = outs[r];
+  idx_ = idx;
+  return true;
+}
+
 Cycle Column::run_traced(tc::SpmUndo* undo, Cycle budget) {
   if (!has_trace()) throw HostError("Column: run_traced without a trace");
   undo_ = undo;
@@ -1010,8 +1066,14 @@ Cycle Column::run_traced(tc::SpmUndo* undo, Cycle budget) {
       const Word cnt = lcu_rf_[b.rd];
       const std::uint64_t iters = cnt == 0 ? (1ull << 32) : cnt;
       if (n + iters * b.len > budget) throw tc::ReplayBudgetExceeded{};
-      for (std::uint64_t it = 0; it < iters; ++it) {
-        for (unsigned i = 0; i < b.len; ++i) exec_dispatch(lines[b.first + i]);
+      // Single-line elementwise bodies take the batched path (routing
+      // hoisted out of the trip count); everything else replays per line.
+      if (b.len != 1 || !run_fused_quad1(lines[b.first], iters)) {
+        for (std::uint64_t it = 0; it < iters; ++it) {
+          for (unsigned i = 0; i < b.len; ++i) {
+            exec_dispatch(lines[b.first + i]);
+          }
+        }
       }
       lcu_rf_[b.rd] = 0;  // dbnz leaves the counter at zero
       meter_->add_block(b.energy, iters);

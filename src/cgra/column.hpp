@@ -179,6 +179,15 @@ class Column {
   void exec_quad_fast(const tc::Line& L);
   void exec_quad_rcs(const tc::Line& L);
   void quad_load(const tc::Src& s, Word* v) const;
+  /// Batched replay of a fused DBNZ self-loop whose whole body is one
+  /// elementwise quad line (VWR source, VWR/SRF/imm second operand, VWR
+  /// destination, at most a register-only index step): the operand routing,
+  /// row base pointers and broadcast values are resolved once for the whole
+  /// trip count instead of per iteration. Per-iteration load/compute/store
+  /// order is preserved exactly, so results are bit-identical even when the
+  /// destination row aliases a source. Returns false when the shape does
+  /// not apply (caller falls back to the per-line loop).
+  bool run_fused_quad1(const tc::Line& L, std::uint64_t iters);
   void exec_dispatch(const tc::Line& L) {
     L.kind == tc::Line::Kind::kQuadFast ? exec_quad_fast(L)
                                         : exec_traced_line(L);

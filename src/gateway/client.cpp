@@ -1,0 +1,212 @@
+#include "gateway/client.hpp"
+
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace vwr2a::gateway {
+
+Client::Client(std::unique_ptr<Transport> t) : t_(std::move(t)) {
+  if (t_ == nullptr) throw HostError("gateway: client needs a transport");
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+Client::~Client() { close(); }
+
+void Client::send_frame(const Frame& f) {
+  const std::vector<std::uint8_t> bytes = encode(f);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (!t_->send(bytes.data(), bytes.size())) {
+    throw HostError("gateway: connection closed while sending");
+  }
+}
+
+Frame Client::request(Frame f, std::uint32_t key) {
+  // One control round trip at a time: the ack routing key is the stream
+  // id (kConnectionStream for STATS), so overlapping requests on one
+  // stream would be ambiguous.
+  std::lock_guard<std::mutex> req_lock(req_mu_);
+  std::future<Frame> ack;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) throw HostError("gateway: client is closed");
+    if (pending_.count(key) != 0) {
+      throw HostError("gateway: overlapping request on one stream");
+    }
+    ack = pending_[key].get_future();
+  }
+  try {
+    send_frame(f);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(key);
+    throw;
+  }
+  Frame reply = ack.get();
+  if (auto* err = std::get_if<Error>(&reply)) {
+    throw GatewayError(std::move(*err));
+  }
+  return reply;
+}
+
+std::uint32_t Client::open(const StreamOpts& opts, ResultFn on_result,
+                           ErrorFn on_error) {
+  OpenSession o;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    o.stream = next_stream_++;
+    // Register callbacks before OPEN_OK can possibly arrive.
+    streams_[o.stream] =
+        StreamCbs{std::move(on_result), std::move(on_error), 0};
+  }
+  o.tenant = opts.tenant;
+  o.kind = opts.kind;
+  o.target = opts.target;
+  o.lossy = opts.lossy ? 1 : 0;
+  o.window = opts.window;
+  o.hop = opts.hop;
+  o.max_inflight = opts.max_inflight;
+  o.buffer_capacity = opts.buffer_capacity;
+  try {
+    const Frame reply = request(o, o.stream);
+    const auto& ok = std::get<OpenOk>(reply);
+    std::lock_guard<std::mutex> lock(mu_);
+    streams_[o.stream].device = ok.device;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    streams_.erase(o.stream);
+    throw;
+  }
+  return o.stream;
+}
+
+std::uint32_t Client::device_of(std::uint32_t stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) throw HostError("gateway: unknown stream");
+  return it->second.device;
+}
+
+void Client::push(std::uint32_t stream,
+                  std::span<const std::int32_t> samples) {
+  PushSamples p;
+  p.stream = stream;
+  p.samples.assign(samples.begin(), samples.end());
+  send_frame(p);
+}
+
+FlushOk Client::flush(std::uint32_t stream) {
+  return std::get<FlushOk>(request(Flush{stream}, stream));
+}
+
+CloseOk Client::close_stream(std::uint32_t stream) {
+  auto ok = std::get<CloseOk>(request(Close{stream}, stream));
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.erase(stream);
+  return ok;
+}
+
+Stats Client::stats() {
+  return std::get<Stats>(request(StatsRequest{}, kConnectionStream));
+}
+
+void Client::fail_all_pending() {
+  std::map<std::uint32_t, std::promise<Frame>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    pending.swap(pending_);
+  }
+  for (auto& [key, promise] : pending) {
+    Error e;
+    e.stream = key;
+    e.code = static_cast<std::uint16_t>(ErrorCode::kShutdown);
+    e.message = "gateway: connection closed";
+    promise.set_value(e);
+  }
+}
+
+void Client::reader_loop() {
+  std::vector<std::uint8_t> buf(1u << 16);
+  Decoder dec;
+  try {
+    for (;;) {
+      const std::size_t n = t_->recv(buf.data(), buf.size());
+      if (n == 0) break;
+      dec.feed(buf.data(), n);
+      while (auto f = dec.next()) {
+        if (auto* wr = std::get_if<WindowResult>(&*f)) {
+          ResultFn cb;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = streams_.find(wr->stream);
+            if (it != streams_.end()) cb = it->second.on_result;
+          }
+          if (cb) cb(*wr);
+          continue;
+        }
+        if (auto* err = std::get_if<Error>(&*f)) {
+          // An ERROR answers the stream's pending request when one is
+          // blocked -- except the inherently asynchronous codes (a window
+          // job failing, a rate-limited push), which always go to the
+          // stream's error callback: they may arrive while an unrelated
+          // FLUSH/CLOSE on the same stream is in flight.
+          const bool async_error =
+              err->code == static_cast<std::uint16_t>(ErrorCode::kJobFailed) ||
+              err->code == static_cast<std::uint16_t>(ErrorCode::kQuotaRate);
+          std::promise<Frame> p;
+          ErrorFn cb;
+          bool have_promise = false;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto pit =
+                async_error ? pending_.end() : pending_.find(err->stream);
+            if (pit != pending_.end()) {
+              p = std::move(pit->second);
+              pending_.erase(pit);
+              have_promise = true;
+            } else {
+              const auto sit = streams_.find(err->stream);
+              if (sit != streams_.end()) cb = sit->second.on_error;
+            }
+          }
+          if (have_promise) {
+            p.set_value(std::move(*f));
+          } else if (cb) {
+            cb(*err);
+          }
+          continue;
+        }
+        // Ack frames: route by stream key.
+        std::uint32_t key = kConnectionStream;
+        if (auto* ok = std::get_if<OpenOk>(&*f)) key = ok->stream;
+        else if (auto* fk = std::get_if<FlushOk>(&*f)) key = fk->stream;
+        else if (auto* ck = std::get_if<CloseOk>(&*f)) key = ck->stream;
+        std::promise<Frame> p;
+        bool have_promise = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          const auto pit = pending_.find(key);
+          if (pit != pending_.end()) {
+            p = std::move(pit->second);
+            pending_.erase(pit);
+            have_promise = true;
+          }
+        }
+        if (have_promise) p.set_value(std::move(*f));
+        // Unsolicited acks are dropped (the server never sends them).
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed server bytes: treat as connection loss.
+  }
+  fail_all_pending();
+}
+
+void Client::close() {
+  t_->shutdown();
+  if (reader_.joinable()) reader_.join();
+  fail_all_pending();
+}
+
+} // namespace vwr2a::gateway

@@ -1,0 +1,207 @@
+#pragma once
+// The gateway wire protocol: length-prefixed binary frames over any
+// byte-stream transport (TCP, in-process loopback). See docs/protocol.md
+// for the normative layout. Summary:
+//
+//   u32 length   payload length + 2, little-endian (bounds the read)
+//   u8  version  kProtocolVersion
+//   u8  type     FrameType
+//   ...          type-specific payload, little-endian scalars
+//
+// Strings are u32-length-prefixed UTF-8; sample/output arrays are
+// u32-count-prefixed arrays of i32. The decoder is incremental (feed bytes
+// as they arrive, poll complete frames) and hardened: every read is
+// bounds-checked against the declared frame length, a malformed, truncated
+// or oversized frame raises ProtocolError -- it never crashes, over-reads,
+// or allocates more than kMaxFramePayload + a small constant.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vwr2a::gateway {
+
+/// The versioning byte every frame carries (bumped on breaking changes).
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Hard bound on one frame's payload; larger length prefixes are rejected
+/// before any allocation happens.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+/// ERROR frames not tied to one stream use this stream id.
+inline constexpr std::uint32_t kConnectionStream = 0xffffffffu;
+
+/// Error codes carried by ERROR frames.
+enum class ErrorCode : std::uint16_t {
+  kBadFrame = 1,        ///< malformed frame from the peer
+  kBadVersion = 2,      ///< version byte mismatch
+  kUnknownType = 3,     ///< unknown frame type
+  kBadParams = 4,       ///< OPEN_SESSION parameters rejected
+  kQuotaSessions = 5,   ///< per-tenant or server session cap hit
+  kQuotaInflight = 6,   ///< requested max_inflight above the cap
+  kQuotaRate = 7,       ///< tenant byte-rate exceeded; frame dropped
+  kUnknownStream = 8,   ///< frame names a stream id never opened (or closed)
+  kDuplicateStream = 9, ///< OPEN_SESSION reuses a live stream id
+  kJobFailed = 10,      ///< a window's job raised on the device
+  kShutdown = 11,       ///< server is stopping
+};
+
+/// A malformed/truncated/oversized frame (decode side) or an attempt to
+/// encode an invalid frame. Carries the ERROR code the gateway reports for
+/// it (kBadFrame unless the decoder saw something more specific).
+class ProtocolError : public SimError {
+ public:
+  explicit ProtocolError(const std::string& msg,
+                         ErrorCode code = ErrorCode::kBadFrame)
+      : SimError(msg), code(code) {}
+  ErrorCode code;
+};
+
+/// Frame discriminator on the wire.
+enum class FrameType : std::uint8_t {
+  // client -> server
+  kOpenSession = 0x01,
+  kPushSamples = 0x02,
+  kFlush = 0x03,
+  kClose = 0x04,
+  kStatsRequest = 0x05,
+  // server -> client
+  kOpenOk = 0x81,
+  kWindowResult = 0x82,
+  kFlushOk = 0x83,
+  kCloseOk = 0x84,
+  kStats = 0x85,
+  kError = 0x86,
+};
+
+// --- frame structs ------------------------------------------------------------
+
+/// Opens one logical stream on the connection. `stream` is a client-chosen
+/// id, unique among the connection's live streams.
+struct OpenSession {
+  std::uint32_t stream = 0;
+  std::uint32_t tenant = 0;      ///< quota accounting key
+  std::uint8_t kind = 0;         ///< stream::SessionKind
+  std::uint8_t target = 0;       ///< app::Target for bio sessions
+  std::uint8_t lossy = 0;        ///< 1: try_push semantics (drops counted)
+  std::uint32_t window = 512;
+  std::uint32_t hop = 512;
+  std::uint32_t max_inflight = 4;
+  std::uint32_t buffer_capacity = 0;  ///< staging samples; 0 = 4 * window
+};
+
+struct OpenOk {
+  std::uint32_t stream = 0;
+  std::uint64_t session = 0;  ///< server-side session id
+  std::uint32_t device = 0;   ///< soft-pin device the session landed on
+};
+
+struct PushSamples {
+  std::uint32_t stream = 0;
+  std::vector<std::int32_t> samples;  ///< 16.15 fixed point
+};
+
+struct Flush {
+  std::uint32_t stream = 0;
+};
+
+/// Sent after every window of a FLUSH (full windows + zero-padded tail)
+/// has been delivered as WINDOW_RESULT frames.
+struct FlushOk {
+  std::uint32_t stream = 0;
+  std::uint64_t windows_delivered = 0;  ///< stream-lifetime total
+};
+
+struct Close {
+  std::uint32_t stream = 0;
+};
+
+/// Final per-stream accounting, sent after the stream's last window.
+struct CloseOk {
+  std::uint32_t stream = 0;
+  std::uint64_t windows_submitted = 0;
+  std::uint64_t windows_delivered = 0;
+  std::uint64_t windows_failed = 0;
+  std::uint64_t samples_in = 0;
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t dropped_pushes = 0;
+  std::uint64_t latency_cycles_total = 0;
+  std::uint64_t latency_cycles_max = 0;
+};
+
+struct StatsRequest {};
+
+/// Server + fleet telemetry (runtime::DevicePool::peek_stats picture: live,
+/// non-blocking, batch-boundary freshness).
+struct Stats {
+  std::uint32_t devices = 0;
+  std::uint64_t sessions = 0;           ///< sessions opened server-lifetime
+  std::uint64_t connections = 0;        ///< connections accepted
+  std::uint64_t windows_delivered = 0;  ///< WINDOW_RESULT frames sent
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t fleet_makespan = 0;       ///< max device-local clock, cycles
+  std::uint64_t total_device_cycles = 0;  ///< sum of device-local clocks
+  std::uint64_t stagings = 0;
+  double total_pj = 0.0;  ///< fleet energy
+};
+
+struct WindowResult {
+  std::uint32_t stream = 0;
+  std::uint64_t index = 0;   ///< window index within the stream, from 0
+  std::uint32_t device = 0;  ///< device the window ran on
+  std::uint64_t cycles = 0;  ///< per-window service cost (simulated)
+  double pj = 0.0;           ///< per-window energy
+  std::vector<std::int32_t> output;  ///< kernel output words
+};
+
+struct Error {
+  std::uint32_t stream = kConnectionStream;
+  std::uint16_t code = 0;  ///< ErrorCode
+  std::string message;
+};
+
+using Frame = std::variant<OpenSession, PushSamples, Flush, Close,
+                           StatsRequest, OpenOk, WindowResult, FlushOk,
+                           CloseOk, Stats, Error>;
+
+/// The FrameType a Frame alternative encodes as.
+FrameType frame_type(const Frame& f);
+
+// --- codec --------------------------------------------------------------------
+
+/// Appends `f`'s wire encoding to `out`. Throws ProtocolError if the frame
+/// would exceed kMaxFramePayload.
+void encode(const Frame& f, std::vector<std::uint8_t>& out);
+
+/// Convenience: encodes into a fresh buffer.
+std::vector<std::uint8_t> encode(const Frame& f);
+
+/// Incremental frame decoder: feed arbitrary byte chunks, poll frames.
+class Decoder {
+ public:
+  /// Appends received bytes to the internal buffer.
+  void feed(const std::uint8_t* data, std::size_t n);
+  void feed(const std::vector<std::uint8_t>& data) {
+    feed(data.data(), data.size());
+  }
+
+  /// Decodes the next complete frame, or nullopt when more bytes are
+  /// needed. Throws ProtocolError on malformed input (oversized length
+  /// prefix, bad version, unknown type, payload that under- or over-runs
+  /// its declared length); the decoder is then poisoned and every further
+  /// call throws, matching connection-fatal semantics.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+} // namespace vwr2a::gateway

@@ -1,0 +1,210 @@
+#include "gateway/transport.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/status.hpp"
+
+namespace vwr2a::gateway {
+
+namespace {
+
+// --- loopback -----------------------------------------------------------------
+
+/// One direction of the loopback pair: a bounded byte FIFO.
+struct Pipe {
+  std::mutex mu;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::deque<std::uint8_t> q;
+  std::size_t capacity;
+  bool closed = false;
+
+  explicit Pipe(std::size_t cap) : capacity(cap) {}
+
+  bool write(const std::uint8_t* data, std::size_t n) {
+    std::size_t off = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    while (off < n) {
+      writable.wait(lock, [this] { return closed || q.size() < capacity; });
+      if (closed) return false;
+      const std::size_t take = std::min(n - off, capacity - q.size());
+      q.insert(q.end(), data + off, data + off + take);
+      off += take;
+      readable.notify_one();
+    }
+    return true;
+  }
+
+  std::size_t read(std::uint8_t* data, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mu);
+    readable.wait(lock, [this] { return closed || !q.empty(); });
+    if (q.empty()) return 0;  // closed and drained
+    const std::size_t take = std::min(max, q.size());
+    std::copy_n(q.begin(), take, data);
+    q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(take));
+    writable.notify_one();
+    return take;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    readable.notify_all();
+    writable.notify_all();
+  }
+};
+
+/// Shared state of one loopback connection (two directed pipes).
+struct LoopbackState {
+  Pipe a_to_b;
+  Pipe b_to_a;
+  LoopbackState(std::size_t cap) : a_to_b(cap), b_to_a(cap) {}
+};
+
+class LoopbackEnd : public Transport {
+ public:
+  LoopbackEnd(std::shared_ptr<LoopbackState> state, bool is_a)
+      : state_(std::move(state)), is_a_(is_a) {}
+  ~LoopbackEnd() override { shutdown(); }
+
+  bool send(const std::uint8_t* data, std::size_t n) override {
+    return out().write(data, n);
+  }
+  std::size_t recv(std::uint8_t* data, std::size_t max) override {
+    return in().read(data, max);
+  }
+  void shutdown() override {
+    state_->a_to_b.close();
+    state_->b_to_a.close();
+  }
+
+ private:
+  Pipe& out() { return is_a_ ? state_->a_to_b : state_->b_to_a; }
+  Pipe& in() { return is_a_ ? state_->b_to_a : state_->a_to_b; }
+  std::shared_ptr<LoopbackState> state_;
+  bool is_a_;
+};
+
+// --- TCP ----------------------------------------------------------------------
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  ~TcpTransport() override {
+    shutdown();
+    ::close(fd_);
+  }
+
+  bool send(const std::uint8_t* data, std::size_t n) override {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t k = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+      if (k <= 0) return false;
+      off += static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+
+  std::size_t recv(std::uint8_t* data, std::size_t max) override {
+    const ssize_t k = ::recv(fd_, data, max, 0);
+    return k > 0 ? static_cast<std::size_t>(k) : 0;
+  }
+
+  void shutdown() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+class TcpListener : public Listener {
+ public:
+  explicit TcpListener(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw HostError("gateway: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd_, 64) != 0) {
+      ::close(fd_);
+      throw HostError("gateway: bind/listen on 127.0.0.1 failed");
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd_);
+      throw HostError("gateway: getsockname failed");
+    }
+    port_ = ntohs(addr.sin_port);
+  }
+  ~TcpListener() override {
+    close();
+    ::close(fd_);
+  }
+
+  std::unique_ptr<Transport> accept() override {
+    const int c = ::accept(fd_, nullptr, nullptr);
+    if (c < 0) return nullptr;  // closed (or fatal); stop accepting
+    const int one = 1;
+    ::setsockopt(c, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return std::make_unique<TcpTransport>(c);
+  }
+
+  void close() override { ::shutdown(fd_, SHUT_RDWR); }
+
+  std::uint16_t port() const override { return port_; }
+
+ private:
+  int fd_;
+  std::uint16_t port_ = 0;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback(std::size_t capacity) {
+  if (capacity == 0) throw HostError("gateway: loopback capacity must be > 0");
+  auto state = std::make_shared<LoopbackState>(capacity);
+  return {std::make_unique<LoopbackEnd>(state, true),
+          std::make_unique<LoopbackEnd>(state, false)};
+}
+
+std::unique_ptr<Listener> listen_tcp(std::uint16_t port) {
+  return std::make_unique<TcpListener>(port);
+}
+
+std::unique_ptr<Transport> connect_tcp(const std::string& host,
+                                       std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw HostError("gateway: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw HostError("gateway: connect_tcp needs a numeric IPv4 host");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw HostError("gateway: connect to " + host + " failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<TcpTransport>(fd);
+}
+
+} // namespace vwr2a::gateway

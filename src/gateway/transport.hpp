@@ -1,0 +1,61 @@
+#pragma once
+// Byte-stream transports under the gateway protocol: a deterministic
+// in-process loopback (bounded byte queues; what the bit-exact tests and
+// the loopback soak run on) and TCP over 127.0.0.1 (POSIX sockets). Both
+// present the same blocking Transport interface, so the server and client
+// code is transport-agnostic.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace vwr2a::gateway {
+
+/// One end of a bidirectional, blocking byte stream.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes all n bytes (blocking on flow control). Returns false once the
+  /// peer is gone; partial writes never happen from the caller's view.
+  virtual bool send(const std::uint8_t* data, std::size_t n) = 0;
+
+  /// Reads 1..max bytes, blocking until data is available. Returns 0 on
+  /// orderly close / shutdown.
+  virtual std::size_t recv(std::uint8_t* data, std::size_t max) = 0;
+
+  /// Unblocks and fails all current and future sends/recvs on both ends'
+  /// pending calls of *this* end. Idempotent, thread-safe.
+  virtual void shutdown() = 0;
+};
+
+/// An in-process connected pair: bytes sent on `first` arrive at `second`
+/// and vice versa. `capacity` bounds each direction's queue, so a sender
+/// outrunning the reader blocks -- the loopback analogue of TCP flow
+/// control (and of a slow client, which the gateway's delivery path must
+/// tolerate without stalling ingest).
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback(std::size_t capacity = 1u << 20);
+
+/// A listening socket handing out accepted connections.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  /// Blocks for the next connection; null once close() was called.
+  virtual std::unique_ptr<Transport> accept() = 0;
+  /// Stops accepting and unblocks pending accept() calls. Idempotent.
+  virtual void close() = 0;
+  /// The bound port (useful with an ephemeral bind).
+  virtual std::uint16_t port() const = 0;
+};
+
+/// Binds 127.0.0.1:`port` (0 = ephemeral). Throws HostError on failure
+/// (e.g. sockets unavailable in the environment).
+std::unique_ptr<Listener> listen_tcp(std::uint16_t port = 0);
+
+/// Connects to `host`:`port`. Throws HostError on failure.
+std::unique_ptr<Transport> connect_tcp(const std::string& host,
+                                       std::uint16_t port);
+
+} // namespace vwr2a::gateway

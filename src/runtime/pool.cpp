@@ -33,6 +33,24 @@ double arch_speed(const soc::ArchConfig& a) {
   return s;
 }
 
+/// Folds one device's figures into a fleet aggregate -- the single place
+/// stats() (live snapshots) and peek_stats() (cached snapshots) share, so
+/// a new FleetStats field cannot silently diverge between the two views.
+void fold_device(FleetStats& s, const soc::Platform::Snapshot& snap,
+                 std::uint64_t jobs, std::uint64_t stagings,
+                 const soc::ArchConfig& arch) {
+  const Cycle local = snap.total_cycles();
+  s.device_cycles.push_back(local);
+  s.device_pj.push_back(snap.total_pj());
+  s.device_jobs.push_back(jobs);
+  s.device_stagings.push_back(stagings);
+  s.stagings += stagings;
+  s.device_arch.push_back(arch);
+  s.fleet_makespan = std::max(s.fleet_makespan, local);
+  s.total_device_cycles += local;
+  s.total_pj += snap.total_pj();
+}
+
 } // namespace
 
 DevicePool::DevicePool(Config cfg) : cfg_(std::move(cfg)) {
@@ -280,11 +298,20 @@ void DevicePool::worker_loop() {
       }
     }
 
+    // Refresh the device's telemetry cache while nothing else can be
+    // driving it (our claim is still held until the lock below).
+    const soc::Platform::Snapshot snap = ds.device->snapshot();
+    const std::uint64_t dev_jobs = ds.device->jobs_run();
+    const std::uint64_t dev_stagings = ds.device->stagings();
+
     lock.lock();
     for (unsigned f = 0; f < kJobFamilies; ++f) {
       pend_measured_[f] += meas[f];
       pend_prior_[f] += prior[f];
     }
+    ds.cached_snapshot = snap;
+    ds.cached_jobs = dev_jobs;
+    ds.cached_stagings = dev_stagings;
     ds.claimed = false;
     completed_ += ok;
     failed_ += bad;
@@ -317,17 +344,28 @@ FleetStats DevicePool::stats() {
   s.device_jobs.reserve(devices_.size());
   s.device_arch.reserve(devices_.size());
   for (const DeviceState& ds : devices_) {
-    const soc::Platform::Snapshot snap = ds.device->snapshot();
-    const Cycle local = snap.total_cycles();
-    s.device_cycles.push_back(local);
-    s.device_pj.push_back(snap.total_pj());
-    s.device_jobs.push_back(ds.device->jobs_run());
-    s.device_stagings.push_back(ds.device->stagings());
-    s.stagings += ds.device->stagings();
-    s.device_arch.push_back(ds.device->arch());
-    s.fleet_makespan = std::max(s.fleet_makespan, local);
-    s.total_device_cycles += local;
-    s.total_pj += snap.total_pj();
+    fold_device(s, ds.device->snapshot(), ds.device->jobs_run(),
+                ds.device->stagings(), ds.device->arch());
+  }
+  s.image_cache = cache_.stats();
+  return s;
+}
+
+FleetStats DevicePool::peek_stats() const {
+  FleetStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.family_factor = family_factor_;
+    s.jobs_completed = completed_;
+    s.jobs_failed = failed_;
+    s.device_cycles.reserve(devices_.size());
+    s.device_pj.reserve(devices_.size());
+    s.device_jobs.reserve(devices_.size());
+    s.device_arch.reserve(devices_.size());
+    for (const DeviceState& ds : devices_) {
+      fold_device(s, ds.cached_snapshot, ds.cached_jobs, ds.cached_stagings,
+                  ds.device->arch());
+    }
   }
   s.image_cache = cache_.stats();
   return s;

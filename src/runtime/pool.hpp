@@ -156,6 +156,13 @@ class DevicePool {
   /// Waits for idle, then aggregates fleet-wide statistics.
   FleetStats stats();
 
+  /// Non-blocking fleet aggregate for live telemetry (the gateway's STATS
+  /// frame): never waits for the fleet to go idle. Device figures come from
+  /// per-device snapshots cached by the workers at batch boundaries, so the
+  /// numbers lag in-progress batches but are always safe to read while
+  /// traffic is flowing. Thread-safe.
+  FleetStats peek_stats() const;
+
   unsigned num_devices() const { return static_cast<unsigned>(devices_.size()); }
   unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
   isa::ImageCache& image_cache() { return cache_; }
@@ -191,6 +198,12 @@ class DevicePool {
     std::unique_ptr<Device> device;
     std::deque<Pending> queue;
     bool claimed = false;  ///< a worker is currently driving this device
+    /// Batch-boundary telemetry cache (guarded by mu_): written by the
+    /// worker releasing its claim, read by peek_stats() without touching
+    /// the (not thread-safe) device itself.
+    soc::Platform::Snapshot cached_snapshot;
+    std::uint64_t cached_jobs = 0;
+    std::uint64_t cached_stagings = 0;
   };
 
   void worker_loop();

@@ -5,9 +5,20 @@
 namespace vwr2a::stream {
 
 StreamServer::StreamServer(Config cfg)
-    : cfg_(std::move(cfg)), pool_(cfg_.pool) {}
+    : cfg_(std::move(cfg)),
+      pool_(cfg_.pool),
+      completer_(cfg_.completion_threads > 0
+                     ? std::make_unique<Completer>(cfg_.completion_threads)
+                     : nullptr) {}
 
-Session& StreamServer::open_session(SessionConfig cfg, Session::Sink sink) {
+StreamServer::~StreamServer() {
+  // Lanes hold raw Session pointers and pool futures: stop them (delivering
+  // whatever is queued) before sessions_ and pool_ go away.
+  if (completer_) completer_->stop();
+}
+
+Session& StreamServer::open_session(SessionConfig cfg, Session::Sink sink,
+                                    Session::ErrorSink on_error) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t id = sessions_.size();
   unsigned device;
@@ -22,9 +33,9 @@ Session& StreamServer::open_session(SessionConfig cfg, Session::Sink sink) {
   } else {
     device = static_cast<unsigned>(id % pool_.num_devices());
   }
-  sessions_.push_back(std::make_unique<Session>(id, pool_, device,
-                                                std::move(cfg),
-                                                std::move(sink)));
+  sessions_.push_back(std::make_unique<Session>(
+      id, pool_, device, std::move(cfg), std::move(sink), completer_.get(),
+      std::move(on_error)));
   return *sessions_.back();
 }
 
@@ -57,6 +68,7 @@ ServerStats StreamServer::stats() {
   for (const auto& s : sessions_) {
     out.sessions.push_back(s->stats());
     out.windows_delivered += out.sessions.back().windows_delivered;
+    out.windows_failed += out.sessions.back().windows_failed;
     out.dropped_samples += out.sessions.back().dropped_samples;
   }
   out.fleet = pool_.stats();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "runtime/pool.hpp"
+#include "stream/completer.hpp"
 #include "stream/session.hpp"
 #include "stream/stats.hpp"
 
@@ -33,6 +34,12 @@ class StreamServer {
  public:
   struct Config {
     runtime::DevicePool::Config pool;
+    /// Dedicated completion/delivery threads. 0 (the default) reaps results
+    /// on each session's producer thread -- bit-identical to the original
+    /// behavior. > 0 moves delivery onto Completer lanes: sinks may block
+    /// without stalling any session's ingest, per-session order preserved
+    /// by construction (see completer.hpp).
+    unsigned completion_threads = 0;
     Config() { pool.schedule = runtime::Schedule::kShortestLocalClock; }
   };
 
@@ -42,9 +49,14 @@ class StreamServer {
   StreamServer(const StreamServer&) = delete;
   StreamServer& operator=(const StreamServer&) = delete;
 
+  ~StreamServer();  ///< drains the delivery lanes, then the pool
+
   /// Opens a tenant session and soft-pins it to a device (see above).
   /// Thread-safe. The returned reference lives as long as the server.
-  Session& open_session(SessionConfig cfg = {}, Session::Sink sink = nullptr);
+  /// `on_error` receives failed-window reports in completion-lane mode
+  /// (ignored under producer-thread reaping, where failures rethrow).
+  Session& open_session(SessionConfig cfg = {}, Session::Sink sink = nullptr,
+                        Session::ErrorSink on_error = nullptr);
 
   /// Ends every session's stream (flush + drain) and waits for the fleet
   /// to go idle. Call after the producers have stopped pushing.
@@ -55,11 +67,15 @@ class StreamServer {
   ServerStats stats();
 
   runtime::DevicePool& pool() { return pool_; }
+  const runtime::DevicePool& pool() const { return pool_; }
   std::size_t num_sessions() const;
+  /// The delivery-lane pool, or null under producer-thread reaping.
+  Completer* completer() { return completer_.get(); }
 
  private:
   Config cfg_;
   runtime::DevicePool pool_;
+  std::unique_ptr<Completer> completer_;  ///< null: producer-thread reaping
   mutable std::mutex mu_;  ///< guards sessions_
   std::vector<std::unique_ptr<Session>> sessions_;
 };

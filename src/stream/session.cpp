@@ -7,6 +7,7 @@
 
 #include "common/status.hpp"
 #include "dsp/signal.hpp"
+#include "stream/completer.hpp"
 
 namespace vwr2a::stream {
 
@@ -36,12 +37,15 @@ SessionConfig validate(SessionConfig cfg) {
 } // namespace
 
 Session::Session(std::uint64_t id, runtime::DevicePool& pool, unsigned device,
-                 SessionConfig cfg, Sink sink)
+                 SessionConfig cfg, Sink sink, Completer* completer,
+                 ErrorSink on_error)
     : id_(id),
       pool_(&pool),
       device_(device),
       cfg_(validate(std::move(cfg))),
       sink_(std::move(sink)),
+      error_sink_(std::move(on_error)),
+      completer_(completer),
       win_(cfg_.window, cfg_.hop, cfg_.buffer_capacity) {
   stats_.id = id_;
   stats_.device = device_;
@@ -77,8 +81,37 @@ runtime::Job Session::make_job(WindowView window) {
 }
 
 void Session::submit_window(WindowView window) {
-  inflight_.push_back(pool_->submit(make_job(std::move(window))));
-  ++stats_.windows_submitted;
+  runtime::JobHandle h = pool_->submit(make_job(std::move(window)));
+  if (completer_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(smu_);
+      ++inflight_n_;
+      ++stats_.windows_submitted;
+    }
+    // The slot is claimed before the lane can see the handle, so a drain
+    // can never observe zero in-flight while an item sits queued. If the
+    // enqueue itself fails (completer stopping), no delivery will ever
+    // release the slot -- roll it back or a later drain() hangs.
+    try {
+      completer_->enqueue(this, std::move(h));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(smu_);
+      --inflight_n_;
+      --stats_.windows_submitted;
+      throw;
+    }
+  } else {
+    inflight_.push_back(std::move(h));
+    std::lock_guard<std::mutex> lock(smu_);
+    ++stats_.windows_submitted;
+  }
+}
+
+void Session::account_delivery_locked(const runtime::JobResult& job) {
+  const Cycle lat = job.cost.total_cycles();
+  stats_.latency_cycles_total += lat;
+  stats_.latency_cycles_max = std::max(stats_.latency_cycles_max, lat);
+  ++stats_.windows_delivered;
 }
 
 void Session::reap_front() {
@@ -89,14 +122,15 @@ void Session::reap_front() {
   r.session = id_;
   r.index = stats_.windows_delivered;
   r.job = h.get();  // rethrows job failures on the producer thread
-  const Cycle lat = r.job.cost.total_cycles();
-  stats_.latency_cycles_total += lat;
-  stats_.latency_cycles_max = std::max(stats_.latency_cycles_max, lat);
-  ++stats_.windows_delivered;
+  {
+    std::lock_guard<std::mutex> lock(smu_);
+    account_delivery_locked(r.job);
+  }
   if (sink_) sink_(r);
 }
 
 void Session::reap_ready() {
+  if (completer_ != nullptr) return;  // the lane delivers
   using namespace std::chrono_literals;
   while (!inflight_.empty() &&
          inflight_.front().wait_for(0s) == std::future_status::ready) {
@@ -104,11 +138,63 @@ void Session::reap_ready() {
   }
 }
 
+void Session::deliver_async(runtime::JobHandle h) {
+  WindowResult r;
+  r.session = id_;
+  bool ok = true;
+  std::string err;
+  try {
+    r.job = h.get();
+  } catch (const std::exception& e) {
+    ok = false;
+    err = e.what();
+  }
+  // Only this session's lane assigns indices, in enqueue (= submission)
+  // order; failed windows consume their index too.
+  r.index = next_delivery_++;
+  // The sink runs before the slot is released (and unlocked): a producer
+  // blocked on backpressure resumes only once the delivery fully happened,
+  // and drain() returning means every sink call has returned.
+  if (ok && sink_) sink_(r);
+  if (!ok && error_sink_) error_sink_(id_, r.index, err);
+  {
+    std::lock_guard<std::mutex> lock(smu_);
+    if (ok) {
+      account_delivery_locked(r.job);
+    } else {
+      ++stats_.windows_failed;
+      if (first_error_.empty() && !error_sink_) {
+        first_error_ = err;
+        error_pending_ = true;
+      }
+    }
+    --inflight_n_;
+  }
+  slot_cv_.notify_all();
+}
+
+bool Session::at_inflight_limit() const {
+  if (completer_ != nullptr) {
+    std::lock_guard<std::mutex> lock(smu_);
+    return inflight_n_ >= cfg_.max_inflight;
+  }
+  return inflight_.size() >= cfg_.max_inflight;
+}
+
+void Session::wait_slot() {
+  std::unique_lock<std::mutex> lock(smu_);
+  slot_cv_.wait(lock, [this] { return inflight_n_ < cfg_.max_inflight; });
+}
+
 bool Session::pump(bool may_block) {
   while (win_.has_window()) {
-    if (inflight_.size() >= cfg_.max_inflight) {
+    if (at_inflight_limit()) {
       if (!may_block) return false;
-      reap_front();  // backpressure: deliver the oldest window first
+      if (completer_ != nullptr) {
+        wait_slot();
+      } else {
+        reap_front();  // backpressure: deliver the oldest window first
+      }
     }
     submit_window(win_.pop_window_view());
   }
@@ -119,11 +205,14 @@ void Session::push(std::span<const std::int32_t> samples) {
   std::size_t off = 0;
   while (off < samples.size()) {
     reap_ready();
-    pump(/*may_block=*/true);  // frees at least `hop` ring samples per window
+    pump(/*may_block=*/true);  // frees at least `hop` staged samples per window
     const std::size_t take =
         std::min(samples.size() - off, win_.free_space());
     win_.push(samples.subspan(off, take));
-    stats_.samples_in += take;
+    {
+      std::lock_guard<std::mutex> lock(smu_);
+      stats_.samples_in += take;
+    }
     off += take;
   }
   pump(/*may_block=*/true);
@@ -134,12 +223,16 @@ bool Session::try_push(std::span<const std::int32_t> samples) {
   reap_ready();
   pump(/*may_block=*/false);
   if (win_.free_space() < samples.size()) {
+    std::lock_guard<std::mutex> lock(smu_);
     stats_.dropped_samples += samples.size();
     ++stats_.dropped_pushes;
     return false;
   }
   win_.push(samples);
-  stats_.samples_in += samples.size();
+  {
+    std::lock_guard<std::mutex> lock(smu_);
+    stats_.samples_in += samples.size();
+  }
   pump(/*may_block=*/false);
   return true;
 }
@@ -147,12 +240,27 @@ bool Session::try_push(std::span<const std::int32_t> samples) {
 void Session::flush() {
   pump(/*may_block=*/true);
   if (win_.has_tail()) {
-    if (inflight_.size() >= cfg_.max_inflight) reap_front();
+    if (at_inflight_limit()) {
+      if (completer_ != nullptr) {
+        wait_slot();
+      } else {
+        reap_front();
+      }
+    }
     submit_window(win_.pop_tail_view());
   }
 }
 
 void Session::drain() {
+  if (completer_ != nullptr) {
+    std::unique_lock<std::mutex> lock(smu_);
+    slot_cv_.wait(lock, [this] { return inflight_n_ == 0; });
+    if (error_pending_) {
+      error_pending_ = false;
+      throw HostError("Session: window job failed: " + first_error_);
+    }
+    return;
+  }
   while (!inflight_.empty()) reap_front();
 }
 
@@ -161,6 +269,17 @@ void Session::finish() {
   drain();
 }
 
-SessionStats Session::stats() const { return stats_; }
+std::size_t Session::inflight() const {
+  if (completer_ != nullptr) {
+    std::lock_guard<std::mutex> lock(smu_);
+    return inflight_n_;
+  }
+  return inflight_.size();
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(smu_);
+  return stats_;
+}
 
 } // namespace vwr2a::stream

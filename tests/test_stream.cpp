@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "app/mbiotracker.hpp"
@@ -443,6 +448,186 @@ TEST(StreamSession, TryPushDropsAreAccounted) {
   EXPECT_EQ(st.windows_submitted, accepted / app::kWindow);
   EXPECT_EQ(st.windows_delivered, st.windows_submitted);
   EXPECT_EQ(delivered, st.windows_delivered);
+}
+
+TEST(StreamServer, CompletionLanesBitIdenticalToProducerReaping) {
+  // The delivery-mode switch must not change a single delivered bit or
+  // cycle: completion lanes only move *where* the sink runs. Same streams,
+  // producer-thread reaping vs 3 lanes.
+  auto run = [](unsigned completion_threads) {
+    StreamServer::Config scfg;
+    scfg.pool.devices = 4;
+    scfg.completion_threads = completion_threads;
+    StreamServer server(scfg);
+    std::vector<std::vector<std::int32_t>> streams;
+    // One pre-sized result slot per session: a session is delivered by
+    // exactly one lane sequentially (single writer per slot, no container
+    // mutation), and finish() orders those writes before the reads below.
+    std::vector<std::vector<WindowResult>> delivered(6);
+    std::vector<Session*> sessions;
+    for (unsigned i = 0; i < 6; ++i) {
+      streams.push_back(make_stream(3 * app::kWindow + 119 * i,
+                                    0.2 + 0.05 * i, 1200 + i));
+      SessionConfig cfg;
+      if (i % 2 == 1) {
+        cfg.kind = SessionKind::kPipeline;
+        cfg.hop = 256;
+      }
+      sessions.push_back(&server.open_session(cfg, [&delivered, i](
+                                                       const WindowResult& r) {
+        delivered[i].push_back(r);
+      }));
+    }
+    for (unsigned i = 0; i < 6; ++i) sessions[i]->push(streams[i]);
+    server.finish();
+    return delivered;
+  };
+
+  const auto base = run(0);
+  const auto lanes = run(3);
+  ASSERT_EQ(lanes.size(), base.size());
+  for (std::size_t sid = 0; sid < base.size(); ++sid) {
+    SCOPED_TRACE("session " + std::to_string(sid));
+    const auto& results = base[sid];
+    const auto& g = lanes[sid];
+    ASSERT_EQ(g.size(), results.size());
+    ASSERT_GT(results.size(), 0u);
+    for (std::size_t w = 0; w < results.size(); ++w) {
+      SCOPED_TRACE("window " + std::to_string(w));
+      EXPECT_EQ(g[w].index, results[w].index);
+      EXPECT_EQ(g[w].job.output, results[w].job.output);
+      EXPECT_EQ(g[w].job.device, results[w].job.device);
+      EXPECT_EQ(g[w].job.cost.cpu_cycles, results[w].job.cost.cpu_cycles);
+      EXPECT_EQ(g[w].job.cost.vwr2a_cycles, results[w].job.cost.vwr2a_cycles);
+      EXPECT_EQ(g[w].job.cost.vwr2a_pj, results[w].job.cost.vwr2a_pj);
+    }
+  }
+}
+
+TEST(StreamServer, BlockingSinkDoesNotStallOtherSessionsIngest) {
+  // The ROADMAP "sinks may block" item, as a latency assertion: session A's
+  // sink parks on a condition variable at its first window; session B --
+  // on another delivery lane -- must ingest AND deliver its whole stream
+  // while A's sink is still parked, and promptly.
+  using Clock = std::chrono::steady_clock;
+  StreamServer::Config scfg;
+  scfg.pool.devices = 2;
+  scfg.completion_threads = 2;  // session id % 2: A -> lane 0, B -> lane 1
+  StreamServer server(scfg);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release_a = false;
+  std::atomic<std::uint64_t> a_delivered{0};
+  std::atomic<std::uint64_t> b_delivered{0};
+
+  Session& a = server.open_session({}, [&](const WindowResult&) {
+    ++a_delivered;
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release_a; });
+  });
+  Session& b = server.open_session(
+      {}, [&](const WindowResult&) { ++b_delivered; });
+
+  const unsigned kWindows = 6;
+  const auto sa = make_stream(kWindows * app::kWindow, 0.2, 1301);
+  const auto sb = make_stream(kWindows * app::kWindow, 0.3, 1302);
+
+  // A's producer on its own thread; it will fill max_inflight and block on
+  // backpressure behind the parked sink -- by design.
+  std::thread producer_a([&] {
+    a.push(sa);
+    a.finish();
+  });
+
+  const auto t0 = Clock::now();
+  b.push(sb);
+  b.finish();
+  const double b_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // B fully ingested and delivered while A's sink never moved past its
+  // first window: a blocking sink stalls neither another session's ingest
+  // nor its delivery on another lane.
+  EXPECT_EQ(b_delivered.load(), kWindows);
+  EXPECT_LE(a_delivered.load(), 1u);
+  // The latency assertion: B's whole stream (ingest + delivery) completed
+  // promptly. The bound is generous against slow CI hosts; without the
+  // lanes it would deadlock (A's sink never returns), not just slow down.
+  EXPECT_LT(b_seconds, 30.0);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release_a = true;
+  }
+  cv.notify_all();
+  producer_a.join();
+  server.finish();
+  EXPECT_EQ(a_delivered.load(), kWindows);
+  EXPECT_EQ(a.stats().windows_delivered, kWindows);
+}
+
+TEST(StreamSession, TryPushDropAccountingUnderConcurrentProducers) {
+  // The drop-accounting invariant under fire: 8 sessions hammered by 8
+  // concurrent producer threads with non-blocking pushes while delivery
+  // lanes reap in parallel. For every session, offered chunks must be
+  // fully accounted: drops + delivered windows == windows offered, and
+  // samples_in + dropped_samples == samples offered. (Chunks are exactly
+  // one window, hop == window, so accepted samples map 1:1 to windows and
+  // a flush never leaves a tail.)
+  constexpr unsigned kSessions = 8;
+  constexpr unsigned kChunksPerSession = 24;
+  StreamServer::Config scfg;
+  scfg.pool.devices = 4;
+  scfg.completion_threads = 3;
+  StreamServer server(scfg);
+
+  std::vector<std::atomic<std::uint64_t>> sink_counts(kSessions);
+  std::vector<Session*> sessions;
+  std::vector<std::vector<std::int32_t>> streams;
+  for (unsigned i = 0; i < kSessions; ++i) {
+    streams.push_back(make_stream(kChunksPerSession * app::kWindow,
+                                  0.15 + 0.04 * i, 1400 + i));
+    SessionConfig cfg;
+    if (i % 2 == 1) cfg.kind = SessionKind::kPipeline;
+    cfg.max_inflight = 2;
+    cfg.buffer_capacity = 2 * app::kWindow;  // tight: force real drops
+    sessions.push_back(&server.open_session(
+        cfg, [&sink_counts, i](const WindowResult&) { ++sink_counts[i]; }));
+  }
+
+  std::vector<std::thread> producers;
+  std::vector<std::uint64_t> rejected(kSessions, 0);
+  for (unsigned i = 0; i < kSessions; ++i) {
+    producers.emplace_back([&, i] {
+      for (unsigned c = 0; c < kChunksPerSession; ++c) {
+        const auto chunk = std::span<const std::int32_t>(streams[i])
+                               .subspan(c * app::kWindow, app::kWindow);
+        if (!sessions[i]->try_push(chunk)) ++rejected[i];
+      }
+      sessions[i]->finish();
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.finish();
+
+  for (unsigned i = 0; i < kSessions; ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    const SessionStats st = sessions[i]->stats();
+    // Every offered sample is either accepted or dropped -- never both,
+    // never lost.
+    EXPECT_EQ(st.samples_in + st.dropped_samples,
+              std::uint64_t{kChunksPerSession} * app::kWindow);
+    EXPECT_EQ(st.dropped_pushes, rejected[i]);
+    EXPECT_EQ(st.dropped_samples, rejected[i] * app::kWindow);
+    // Accepted samples became exactly their windows, all delivered.
+    EXPECT_EQ(st.windows_submitted, st.samples_in / app::kWindow);
+    EXPECT_EQ(st.windows_delivered, st.windows_submitted);
+    EXPECT_EQ(st.windows_failed, 0u);
+    EXPECT_EQ(sink_counts[i].load(), st.windows_delivered);
+    // The headline invariant: drops + delivered == windows offered.
+    EXPECT_EQ(st.dropped_pushes + st.windows_delivered, kChunksPerSession);
+  }
 }
 
 TEST(StreamServer, SessionsSpreadAcrossDevices) {
