@@ -1,0 +1,258 @@
+#include "artifact/builder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "artifact/codec.hpp"
+#include "artifact/format.hpp"
+#include "common/status.hpp"
+#include "kernels/fir.hpp"
+#include "runtime/device.hpp"
+
+namespace vwr2a::artifact {
+
+namespace {
+
+using runtime::Job;
+using runtime::SharedBuffer;
+
+/// Deterministic synthetic 16.15 samples, small enough for every consumer
+/// (FFT inputs stay well inside (-0.5, 0.5), reductions inside the 18-bit
+/// signal range). Data values never influence which kernels are built --
+/// they only have to be *valid* for every job family.
+SharedBuffer ramp(unsigned n) {
+  std::vector<std::int32_t> v(n);
+  for (unsigned i = 0; i < n; ++i) {
+    v[i] = static_cast<std::int32_t>((i * 37) % 4096) - 2048;
+  }
+  return runtime::make_buffer(std::move(v));
+}
+
+/// Slow triangle wave (period 512, amplitude 0.25 in 16.15): few extrema,
+/// so delineation and the whole-app window stay far from kMaxExtrema.
+SharedBuffer triangle(unsigned n) {
+  std::vector<std::int32_t> v(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned p = i % 512;
+    const int up = p < 256 ? static_cast<int>(p) : 511 - static_cast<int>(p);
+    v[i] = (up - 128) * 64;
+  }
+  return runtime::make_buffer(std::move(v));
+}
+
+SharedBuffer taps11() {
+  std::vector<std::int32_t> t(kernels::kFirTaps);
+  for (unsigned i = 0; i < kernels::kFirTaps; ++i) {
+    t[i] = 1024 + static_cast<std::int32_t>(i) * 512;  // q.16 coefficients
+  }
+  return runtime::make_buffer(std::move(t));
+}
+
+} // namespace
+
+std::vector<Job> catalog_jobs() {
+  std::vector<Job> jobs;
+  const SharedBuffer taps = taps11();
+  // FIR: the driver keys kernels by staged-row count (1..12 rows of
+  // kFirOutsPerRow outputs); n = 1024 is the 12-row driver cap.
+  for (unsigned rows = 1; rows <= 12; ++rows) {
+    const unsigned n = std::min(rows * kernels::kFirOutsPerRow, 1024u);
+    jobs.push_back(Job{runtime::FirJob{n, taps, ramp(n)}, "fir", -1});
+  }
+  for (unsigned n : {256u, 512u, 1024u, 2048u}) {
+    jobs.push_back(Job{runtime::CfftJob{n, ramp(2 * n)}, "cfft", -1});
+  }
+  for (unsigned n : {512u, 1024u, 2048u}) {
+    jobs.push_back(Job{runtime::RfftJob{n, ramp(n)}, "rfft", -1});
+  }
+  for (unsigned n : {256u, 512u, 1024u}) {
+    jobs.push_back(Job{runtime::IfftJob{n, ramp(2 * n)}, "ifft", -1});
+  }
+  for (auto op : {runtime::ReduceOp::kMin, runtime::ReduceOp::kMax,
+                  runtime::ReduceOp::kMean, runtime::ReduceOp::kEnergy}) {
+    for (unsigned n : {128u, 1024u, 4096u}) {
+      jobs.push_back(Job{runtime::ReduceJob{op, n, ramp(n)}, "reduce", -1});
+    }
+  }
+  for (unsigned n : {128u, 512u, 2048u}) {
+    jobs.push_back(
+        Job{runtime::DelineationJob{n, 4096, triangle(n)}, "delin", -1});
+  }
+  for (unsigned n : {512u, 1024u}) {
+    jobs.push_back(Job{runtime::PipelineJob{n, taps, triangle(n), 0},
+                       "pipeline", -1});
+  }
+  jobs.push_back(Job{runtime::BioTrackerJob{app::Target::kCpuVwr2a,
+                                            triangle(app::kWindow), 0},
+                     "bio", -1});
+  return jobs;
+}
+
+std::vector<soc::ArchConfig> default_variants() {
+  std::vector<soc::ArchConfig> variants;
+  for (unsigned vwr : {2u, 3u, 4u}) {
+    for (unsigned width : {32u, 16u}) {
+      soc::ArchConfig a;
+      a.vwr_count = vwr;
+      a.simd_width = width;
+      a.exec_mode = cgra::ExecMode::kTraceCache;
+      variants.push_back(a);
+    }
+  }
+  return variants;
+}
+
+void populate_catalog(isa::ImageCache& cache,
+                      const std::vector<soc::ArchConfig>& variants) {
+  const std::vector<Job> jobs = catalog_jobs();
+  for (const soc::ArchConfig& v : variants) {
+    soc::ArchConfig arch = v;
+    // Trace-cache execution so compiled traces are captured alongside the
+    // images (a trace-mode fleet is the serving configuration; interpret
+    // fleets simply ignore the trace section).
+    arch.exec_mode = cgra::ExecMode::kTraceCache;
+    runtime::Device device(0, cache, arch);
+    std::uint64_t seq = 0;
+    for (const Job& job : jobs) device.run(job, seq++);
+  }
+}
+
+std::vector<std::uint8_t> serialize_cache(isa::ImageCache& cache) {
+  std::vector<std::uint8_t> buf(kHeaderBytes, 0);
+
+  struct ImageEntry {
+    std::uint64_t key_off, key_len, pay_off, pay_len;
+  };
+  struct TraceEntry {
+    std::uint64_t var_off, var_len, prog_off, prog_len, pay_off, pay_len;
+  };
+  std::vector<ImageEntry> image_entries;
+  std::vector<TraceEntry> trace_entries;
+
+  // Images: ImageCache::for_each_image visits in key order (std::map), the
+  // canonical order of the index.
+  cache.for_each_image([&](const std::string& key,
+                           const std::shared_ptr<const isa::KernelImage>& img) {
+    ImageEntry e{};
+    e.key_off = buf.size();
+    e.key_len = key.size();
+    buf.insert(buf.end(), key.begin(), key.end());
+    e.pay_off = buf.size();
+    encode_image(*img, buf);
+    e.pay_len = buf.size() - e.pay_off;
+    image_entries.push_back(e);
+  });
+
+  // Traces are cached in hash order; re-sort by (variant, canonical
+  // program bytes) so the file never depends on hash-seed or insertion
+  // order details.
+  struct TraceItem {
+    std::string variant;
+    std::vector<std::uint8_t> prog;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<TraceItem> items;
+  cache.traces().for_each_trace(
+      [&](const std::string& variant, const isa::ColumnProgram& prog,
+          const std::shared_ptr<const cgra::CompiledTrace>& trace) {
+        TraceItem it;
+        it.variant = variant;
+        encode_program(prog, it.prog);
+        encode_trace(*trace, it.payload);
+        items.push_back(std::move(it));
+      });
+  std::sort(items.begin(), items.end(),
+            [](const TraceItem& a, const TraceItem& b) {
+              return std::tie(a.variant, a.prog) < std::tie(b.variant, b.prog);
+            });
+  for (const TraceItem& it : items) {
+    TraceEntry e{};
+    e.var_off = buf.size();
+    e.var_len = it.variant.size();
+    buf.insert(buf.end(), it.variant.begin(), it.variant.end());
+    e.prog_off = buf.size();
+    e.prog_len = it.prog.size();
+    buf.insert(buf.end(), it.prog.begin(), it.prog.end());
+    e.pay_off = buf.size();
+    e.pay_len = it.payload.size();
+    buf.insert(buf.end(), it.payload.begin(), it.payload.end());
+    trace_entries.push_back(e);
+  }
+
+  const std::uint64_t image_index_off = buf.size();
+  {
+    Writer w(buf);
+    for (const ImageEntry& e : image_entries) {
+      w.u64(e.key_off);
+      w.u64(e.key_len);
+      w.u64(e.pay_off);
+      w.u64(e.pay_len);
+    }
+  }
+  const std::uint64_t trace_index_off = buf.size();
+  {
+    Writer w(buf);
+    for (const TraceEntry& e : trace_entries) {
+      w.u64(e.var_off);
+      w.u64(e.var_len);
+      w.u64(e.prog_off);
+      w.u64(e.prog_len);
+      w.u64(e.pay_off);
+      w.u64(e.pay_len);
+    }
+  }
+
+  // Header, then both checksums (header last: it covers the final header
+  // bytes with its own checksum field zeroed).
+  patch_u64(buf, kOffMagic, kMagic);
+  patch_u64(buf, kOffVersion,
+            static_cast<std::uint64_t>(kFormatVersion) |
+                (static_cast<std::uint64_t>(arch_tag()) << 32));
+  patch_u64(buf, kOffFileSize, buf.size());
+  patch_u64(buf, kOffImageIndexOff, image_index_off);
+  patch_u64(buf, kOffImageCount, image_entries.size());
+  patch_u64(buf, kOffTraceIndexOff, trace_index_off);
+  patch_u64(buf, kOffTraceCount, trace_entries.size());
+  patch_u64(buf, kOffBlobOff, kHeaderBytes);
+  patch_u64(buf, kOffReserved, 0);
+  patch_u64(buf, kOffPayloadFnv,
+            fnv1a(buf.data() + kHeaderBytes, buf.size() - kHeaderBytes));
+  patch_u64(buf, kOffHeaderFnv, 0);
+  patch_u64(buf, kOffHeaderFnv, fnv1a(buf.data(), kHeaderBytes));
+  return buf;
+}
+
+BuildInfo build_artifact(const std::string& path,
+                         const std::vector<soc::ArchConfig>& variants) {
+  isa::ImageCache cache;
+  populate_catalog(cache, variants);
+  std::vector<std::uint8_t> bytes = serialize_cache(cache);
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw HostError("artifact: cannot write " + tmp);
+  }
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (wrote != bytes.size() || !flushed ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw HostError("artifact: failed to write " + path);
+  }
+
+  BuildInfo info;
+  cache.for_each_image([&](const std::string&, const auto&) { ++info.images; });
+  cache.traces().for_each_trace(
+      [&](const std::string&, const isa::ColumnProgram&, const auto&) {
+        ++info.traces;
+      });
+  info.bytes = bytes.size();
+  info.payload_fnv = fnv1a(bytes.data() + kHeaderBytes,
+                           bytes.size() - kHeaderBytes);
+  return info;
+}
+
+} // namespace vwr2a::artifact

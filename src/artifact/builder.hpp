@@ -1,0 +1,67 @@
+#pragma once
+// The artifact builder: enumerates the kernel catalog across architecture
+// variants and emits the single-file binary artifact deterministically
+// (same inputs -> byte-identical file; CI builds it twice in separate
+// processes and cmp's the results).
+//
+// Enumeration is by construction, not by a hand-maintained kernel list:
+// the builder instantiates one runtime::Device per variant (in trace-cache
+// execution mode) against a fresh, source-less isa::ImageCache and runs a
+// fixed job sweep covering every Job alternative at every size class the
+// drivers key kernels by (FIR staged-row counts 1..12, all FFT sizes, all
+// reduction flavours, both pipeline widths, the whole-app window). Every
+// image the drivers lazily assemble and every trace the engine compiles
+// lands in the cache; serialization then walks the cache in sorted key
+// order. A kernel the sweep misses is not an error -- runtime lookups that
+// miss the artifact fall back to in-process assembly transparently -- it
+// just stays cold.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/image_cache.hpp"
+#include "runtime/job.hpp"
+#include "soc/platform.hpp"
+
+namespace vwr2a::artifact {
+
+/// The default variant set: every architecture point the cost model covers
+/// (VWR count 2/3/4 x SIMD width 32/16), the full heterogeneous-fleet
+/// spread. Execution mode is forced to trace-cache during population so
+/// compiled traces are captured; the artifact itself is engine-agnostic.
+std::vector<soc::ArchConfig> default_variants();
+
+/// The deterministic catalog sweep: one job per (kernel family, size
+/// class) the drivers key kernels by, with fixed synthetic inputs. Running
+/// these on a device touches its entire kernel working set -- the builder's
+/// enumeration mechanism, and the cold-start bench's first-touch wave.
+std::vector<runtime::Job> catalog_jobs();
+
+/// Runs the catalog sweep for each variant, filling `cache` (which must
+/// have no artifact source attached) with every image and trace the sweep
+/// touches. Deterministic: fixed synthetic inputs, serial execution.
+void populate_catalog(isa::ImageCache& cache,
+                      const std::vector<soc::ArchConfig>& variants);
+
+/// Serializes the cache's images and traces into the on-disk format
+/// (format.hpp / docs/artifact.md): header, blobs, sorted indices,
+/// checksums. Deterministic for a deterministically populated cache.
+std::vector<std::uint8_t> serialize_cache(isa::ImageCache& cache);
+
+/// Build summary returned by build_artifact.
+struct BuildInfo {
+  std::size_t images = 0;
+  std::size_t traces = 0;
+  std::size_t bytes = 0;
+  std::uint64_t payload_fnv = 0;
+};
+
+/// populate + serialize + atomic write (temp file + rename, so a reader
+/// can never map a half-written artifact). Throws HostError on I/O
+/// failure.
+BuildInfo build_artifact(const std::string& path,
+                         const std::vector<soc::ArchConfig>& variants =
+                             default_variants());
+
+} // namespace vwr2a::artifact

@@ -40,6 +40,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -186,6 +187,17 @@ class CompiledTrace {
 /// result carries ok = false and the interpreter stays authoritative.
 std::shared_ptr<const CompiledTrace> compile_trace(const isa::ColumnProgram& prog);
 
+/// A read-only provider of precompiled traces consulted on cache miss
+/// (implemented by artifact::Store, the mmap'd binary artifact). Must be
+/// safe to call concurrently. Returning nullptr means "not in the
+/// artifact": the caller compiles in-process, transparently.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual std::shared_ptr<const CompiledTrace> load_trace(
+      const std::string& variant, const isa::ColumnProgram& prog) = 0;
+};
+
 /// Thread-safe cache of compiled traces, keyed by (variant namespace,
 /// program content). Negative results (ok = false) are cached too, so a
 /// non-traceable kernel costs one compile attempt fleet-wide, not one per
@@ -196,10 +208,12 @@ class TraceCache {
     std::uint64_t hits = 0;      ///< lookups served from the cache
     std::uint64_t compiled = 0;  ///< programs compiled to replayable traces
     std::uint64_t bailed = 0;    ///< programs that stayed on the interpreter
+    std::uint64_t hydrated = 0;  ///< misses served by the artifact source
   };
 
   /// Returns the compiled trace for `prog` under the `variant` namespace
-  /// (soc::ArchConfig::name()), compiling on first use.
+  /// (soc::ArchConfig::name()), on first use loading it from the attached
+  /// artifact source (when it has the entry) or compiling it in-process.
   std::shared_ptr<const CompiledTrace> get_or_compile(
       const std::string& variant, const isa::ColumnProgram& prog) {
     const std::uint64_t h = hash_program(variant, prog);
@@ -211,15 +225,39 @@ class TraceCache {
         return it->second.trace;
       }
     }
-    auto trace = compile_trace(prog);
-    trace->ok ? ++compiled_ : ++bailed_;
+    std::shared_ptr<const CompiledTrace> trace;
+    if (source_ != nullptr) trace = source_->load_trace(variant, prog);
+    if (trace != nullptr) {
+      ++hydrated_;
+    } else {
+      trace = compile_trace(prog);
+      trace->ok ? ++compiled_ : ++bailed_;
+    }
     entries_.emplace(h, Entry{variant, prog, trace});
     return trace;
   }
 
+  /// Attaches (or detaches, nullptr) the precompiled-trace source. Attach
+  /// before the cache goes concurrent (see ImageCache::set_source).
+  void set_source(TraceSource* source) {
+    std::lock_guard<std::mutex> lock(mu_);
+    source_ = source;
+  }
+
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return Stats{hits_, compiled_, bailed_};
+    return Stats{hits_, compiled_, bailed_, hydrated_};
+  }
+
+  /// Visits every cached trace (hash order; the artifact builder re-sorts
+  /// by content). Runs under the cache lock with the cache quiescent by
+  /// contract -- the builder's enumeration hook, not a runtime path.
+  void for_each_trace(
+      const std::function<void(const std::string&, const isa::ColumnProgram&,
+                               const std::shared_ptr<const CompiledTrace>&)>&
+          fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [h, e] : entries_) fn(e.variant, e.prog, e.trace);
   }
 
  private:
@@ -245,9 +283,11 @@ class TraceCache {
 
   mutable std::mutex mu_;
   std::multimap<std::uint64_t, Entry> entries_;
+  TraceSource* source_ = nullptr;
   std::uint64_t hits_ = 0;
   std::uint64_t compiled_ = 0;
   std::uint64_t bailed_ = 0;
+  std::uint64_t hydrated_ = 0;
 };
 
 namespace tc {

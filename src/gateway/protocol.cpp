@@ -193,6 +193,9 @@ Frame decode_payload(FrameType type, Reader& r) {
       f.total_device_cycles = r.u64();
       f.stagings = r.u64();
       f.total_pj = r.f64();
+      f.images_hydrated = r.u64();
+      f.traces_hydrated = r.u64();
+      f.artifact_attached = r.u8();
       return f;
     }
     case FrameType::kError: {
@@ -264,6 +267,9 @@ void encode_payload(const Frame& f, std::vector<std::uint8_t>& out) {
           put_u64(out, v.total_device_cycles);
           put_u64(out, v.stagings);
           put_f64(out, v.total_pj);
+          put_u64(out, v.images_hydrated);
+          put_u64(out, v.traces_hydrated);
+          put_u8(out, v.artifact_attached);
         } else {  // Error
           put_u32(out, v.stream);
           put_u16(out, v.code);

@@ -26,7 +26,9 @@
 namespace vwr2a::gateway {
 
 /// The versioning byte every frame carries (bumped on breaking changes).
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: STATS gained the artifact-hydration fields (images_hydrated,
+/// traces_hydrated, artifact_attached).
+inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Hard bound on one frame's payload; larger length prefixes are rejected
 /// before any allocation happens.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
@@ -146,6 +148,12 @@ struct Stats {
   std::uint64_t total_device_cycles = 0;  ///< sum of device-local clocks
   std::uint64_t stagings = 0;
   double total_pj = 0.0;  ///< fleet energy
+  /// Artifact warm-start telemetry (v2): kernel images / compiled traces
+  /// hydrated from the fleet's prebuilt artifact, and whether one is
+  /// attached at all (0/1).
+  std::uint64_t images_hydrated = 0;
+  std::uint64_t traces_hydrated = 0;
+  std::uint8_t artifact_attached = 0;
 };
 
 struct WindowResult {

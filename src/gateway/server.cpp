@@ -478,6 +478,9 @@ Stats Server::build_stats() const {
   s.total_device_cycles = fleet.total_device_cycles;
   s.stagings = fleet.stagings;
   s.total_pj = fleet.total_pj;
+  s.images_hydrated = fleet.image_cache.hydrated;
+  s.traces_hydrated = fleet.trace_cache.hydrated;
+  s.artifact_attached = fleet.artifact_attached ? 1 : 0;
   return s;
 }
 
