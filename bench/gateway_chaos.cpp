@@ -1,0 +1,217 @@
+// Gateway chaos soak: the fault-tolerance headline benchmark. 32 loopback
+// clients push fixed biosignal streams into a gateway over a 16-device
+// mixed-architecture trace-cache fleet while a scripted FaultPlan fail-stops
+// two devices mid-soak and revives one of them (kills land at job-count
+// boundaries; queued work is re-placed along failover chains, resident
+// per-device state travels by checkpoint). The identical workload then runs
+// on an identical fleet with no faults. Gates (exit status):
+//   * devices_failed == 2 and devices_revived == 1 actually happened;
+//   * per-stream WINDOW_RESULT indices strictly ordered 0..n-1 -- one miss
+//     is a lost, duplicated, or misordered window;
+//   * every window delivered, nothing dropped or failed;
+//   * window outputs bit-identical to the fault-free run, per stream --
+//     re-placed windows included (outputs are placement-independent).
+// Reported: chaos-run throughput plus the fleet's rescue counters, appended
+// to BENCH_runtime.json for the nightly perf-trajectory artifact.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "gateway/client.hpp"
+#include "gateway/server.hpp"
+#include "stream/server.hpp"
+
+int main() {
+  using namespace vwr2a;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr unsigned kClients = 32;
+  constexpr unsigned kWindowsPerClient = 6;
+  constexpr unsigned kChunk = 256;  // push granularity (samples)
+  constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  const unsigned kVictimA = 3;  // killed, later revived
+  const unsigned kVictimB = 7;  // killed, stays dead
+
+  // Fixed per-tenant streams (even: whole-app bio; odd: feature pipeline).
+  std::vector<std::vector<std::int32_t>> streams;
+  for (unsigned i = 0; i < kClients; ++i) {
+    dsp::RespirationParams p;
+    p.breath_hz = 0.12 + 0.04 * (i % 12);
+    Rng rng(8600 + i);
+    streams.push_back(dsp::respiration_q16_15(
+        kWindowsPerClient * app::kWindow, p, rng));
+  }
+
+  auto fleet_cfg = [&](bool chaos) {
+    stream::StreamServer::Config scfg;
+    scfg.pool.devices = 16;
+    scfg.pool.schedule = runtime::Schedule::kShortestLocalClock;
+    const std::vector<soc::ArchConfig> mix = {
+        soc::ArchConfig{.exec_mode = cgra::ExecMode::kTraceCache},
+        soc::ArchConfig{.vwr_count = 2,
+                        .exec_mode = cgra::ExecMode::kTraceCache},
+        soc::ArchConfig{.vwr_count = 4,
+                        .exec_mode = cgra::ExecMode::kTraceCache},
+        soc::ArchConfig{.simd_width = 16,
+                        .exec_mode = cgra::ExecMode::kTraceCache}};
+    for (unsigned d = 0; d < 16; ++d) {
+      scfg.pool.device_arch.push_back(mix[d % 4]);
+    }
+    if (chaos) {
+      // Roughly a quarter of the soak in, device 3 dies; at the halfway
+      // mark device 7 follows; device 3 comes back at ~5/8. Boundaries
+      // are fleet job counts, so the kills always land mid-workload.
+      const std::uint64_t total =
+          std::uint64_t{kClients} * kWindowsPerClient;
+      scfg.pool.faults.events = {
+          runtime::FaultEvent{kVictimA, total / 4, (total * 5) / 8},
+          runtime::FaultEvent{kVictimB, total / 2, 0}};
+    }
+    return scfg;
+  };
+
+  bench::header(
+      "Gateway chaos soak: 32 clients, 16 devices, kill 2 / revive 1");
+
+  auto run_gateway = [&](bool chaos, std::vector<std::uint64_t>& hash,
+                         std::vector<std::uint64_t>& windows,
+                         std::atomic<bool>& ordered,
+                         std::atomic<std::uint64_t>& failed,
+                         std::atomic<std::uint64_t>& dropped,
+                         runtime::FleetStats& fleet) -> double {
+    gateway::Server::Config cfg;
+    cfg.stream = fleet_cfg(chaos);
+    cfg.stream.completion_threads = 4;
+    gateway::Server server(cfg);
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (unsigned i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        gateway::Client client(server.connect_loopback());
+        gateway::Client::StreamOpts opts;
+        opts.tenant = i;
+        if (i % 2 == 1) opts.kind = 1;  // pipeline
+        const std::uint32_t sid = client.open(
+            opts, [&, i](const gateway::WindowResult& r) {
+              if (r.index != windows[i]) ordered = false;
+              ++windows[i];
+              for (std::int32_t w : r.output) {
+                hash[i] =
+                    (hash[i] ^ static_cast<std::uint32_t>(w)) * kFnvPrime;
+              }
+            });
+        std::size_t sent = 0;
+        while (sent < streams[i].size()) {
+          const std::size_t take =
+              std::min<std::size_t>(kChunk, streams[i].size() - sent);
+          client.push(sid, std::span<const std::int32_t>(streams[i])
+                               .subspan(sent, take));
+          sent += take;
+        }
+        client.flush(sid);
+        const gateway::CloseOk co = client.close_stream(sid);
+        failed += co.windows_failed;
+        dropped += co.dropped_samples;
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    fleet = server.streams().pool().stats();
+    server.stop();
+    return wall_s;
+  };
+
+  // --- chaos run --------------------------------------------------------------
+  std::vector<std::uint64_t> chaos_hash(kClients, kFnvOffset);
+  std::vector<std::uint64_t> chaos_windows(kClients, 0);
+  std::atomic<bool> chaos_ordered{true};
+  std::atomic<std::uint64_t> chaos_failed{0}, chaos_dropped{0};
+  runtime::FleetStats chaos_fleet;
+  const double chaos_wall_s =
+      run_gateway(true, chaos_hash, chaos_windows, chaos_ordered,
+                  chaos_failed, chaos_dropped, chaos_fleet);
+
+  // --- fault-free reference (identical fleet, identical workload) -------------
+  std::vector<std::uint64_t> ref_hash(kClients, kFnvOffset);
+  std::vector<std::uint64_t> ref_windows(kClients, 0);
+  std::atomic<bool> ref_ordered{true};
+  std::atomic<std::uint64_t> ref_failed{0}, ref_dropped{0};
+  runtime::FleetStats ref_fleet;
+  const double ref_wall_s =
+      run_gateway(false, ref_hash, ref_windows, ref_ordered, ref_failed,
+                  ref_dropped, ref_fleet);
+
+  // --- report & gates ---------------------------------------------------------
+  const std::uint64_t total_windows =
+      std::uint64_t{kClients} * kWindowsPerClient;
+  std::uint64_t chaos_total = 0, ref_total = 0;
+  for (unsigned i = 0; i < kClients; ++i) {
+    chaos_total += chaos_windows[i];
+    ref_total += ref_windows[i];
+  }
+  const bool faults_fired =
+      chaos_fleet.devices_failed == 2 && chaos_fleet.devices_revived == 1 &&
+      chaos_fleet.devices_dead == 1;
+  const bool identical = chaos_hash == ref_hash;
+  const bool complete = chaos_total == total_windows &&
+                        ref_total == total_windows && chaos_failed == 0 &&
+                        chaos_dropped == 0 && ref_failed == 0 &&
+                        ref_dropped == 0;
+  const bool ordered = chaos_ordered.load() && ref_ordered.load();
+
+  std::printf("  %-22s | %10s %12s %10s\n", "path", "windows", "wall s",
+              "win/s");
+  std::printf("  %-22s | %10llu %12.2f %10.0f\n", "chaos (2 kills)",
+              static_cast<unsigned long long>(chaos_total), chaos_wall_s,
+              chaos_wall_s > 0
+                  ? static_cast<double>(chaos_total) / chaos_wall_s
+                  : 0.0);
+  std::printf("  %-22s | %10llu %12.2f %10.0f\n", "fault-free reference",
+              static_cast<unsigned long long>(ref_total), ref_wall_s,
+              ref_wall_s > 0 ? static_cast<double>(ref_total) / ref_wall_s
+                             : 0.0);
+  std::printf("\n  faults: %llu killed, %llu revived, %llu dead at end; "
+              "%llu jobs rescued, %llu ckpt taken, %llu restored\n",
+              static_cast<unsigned long long>(chaos_fleet.devices_failed),
+              static_cast<unsigned long long>(chaos_fleet.devices_revived),
+              static_cast<unsigned long long>(chaos_fleet.devices_dead),
+              static_cast<unsigned long long>(chaos_fleet.jobs_rescued),
+              static_cast<unsigned long long>(chaos_fleet.checkpoints_taken),
+              static_cast<unsigned long long>(
+                  chaos_fleet.checkpoints_restored));
+  std::printf("  outputs: %s; delivery: %s; ordering: %s; plan: %s\n",
+              identical ? "bit-identical to fault-free" : "MISMATCH",
+              complete ? "complete, no drops/failures" : "INCOMPLETE",
+              ordered ? "per-stream ordered" : "OUT OF ORDER",
+              faults_fired ? "2 kills + 1 revive fired" : "FAULTS DID NOT FIRE");
+
+  bench::JsonRecord("gateway_chaos")
+      .field("config", std::string("loopback_32c_16d_kill2_revive1"))
+      .field("clients", std::uint64_t{kClients})
+      .field("windows", chaos_total)
+      .field("wall_seconds", chaos_wall_s)
+      .field("windows_per_wall_second",
+             chaos_wall_s > 0
+                 ? static_cast<double>(chaos_total) / chaos_wall_s
+                 : 0.0)
+      .field("devices_failed", chaos_fleet.devices_failed)
+      .field("devices_revived", chaos_fleet.devices_revived)
+      .field("jobs_rescued", chaos_fleet.jobs_rescued)
+      .field("checkpoints_taken", chaos_fleet.checkpoints_taken)
+      .field("checkpoints_restored", chaos_fleet.checkpoints_restored)
+      .field("bit_identical", identical)
+      .write();
+
+  return identical && complete && ordered && faults_fired ? 0 : 1;
+}

@@ -50,9 +50,9 @@ MBioTracker::MBioTracker(soc::Platform& platform, isa::ImageCache* cache,
       delin_(host_, cache),
       reduce_(host_, cache) {}
 
-void MBioTracker::init(unsigned sys_base) {
+void MBioTracker::adopt(unsigned sys_base) {
   if (inited_ && sys_base != sys_tw_) {
-    throw HostError("MBioTracker: init() must reuse the same sys_base");
+    throw HostError("MBioTracker: adopt() must reuse the same sys_base");
   }
   sys_tw_ = sys_base;
   sys_zeros_ = sys_tw_ + kernels::FftKernels::table_words();
@@ -60,8 +60,27 @@ void MBioTracker::init(unsigned sys_base) {
   sys_weights_ = sys_masks_ + 3 * kWindow;
   sys_io_ = sys_weights_ + 8;
   sys_scratch_ = sys_io_ + 2 * kWindow + 16;
+  // The drivers need their table bases; prepare() places constants through
+  // uncharged pokes, so re-placing over a restored image costs nothing and
+  // writes the identical values.
   fft_.prepare(sys_tw_);
   fir_.prepare(sys_zeros_);
+  inited_ = true;
+}
+
+unsigned MBioTracker::footprint_words() {
+  // The map adopt()/init() lay out, plus the scratch tail the delineation
+  // and SVM steps use past sys_scratch_ (16 scan words + 8 feature words,
+  // rounded up).
+  return kernels::FftKernels::table_words() + 32 + 3 * kWindow + 8 +
+         (2 * kWindow + 16) + 64;
+}
+
+void MBioTracker::init(unsigned sys_base) {
+  if (inited_ && sys_base != sys_tw_) {
+    throw HostError("MBioTracker: init() must reuse the same sys_base");
+  }
+  adopt(sys_base);
 
   // Band masks in bit-reversed spectrum order (weight 1 = 2^-16: keeps the
   // squared 16.15 bins inside 32 bits; ratios are scale-free).

@@ -109,6 +109,20 @@ class MBioTracker {
   /// rows); repeated calls keep the same memory map.
   void init(unsigned sys_base = 0);
 
+  /// Adopts an image another instance already staged at `sys_base` (the
+  /// checkpoint-restore path, runtime/checkpoint.hpp): lays out the same
+  /// memory map and prepares the kernel drivers, but stages nothing -- the
+  /// SRAM words and SPM mask rows are assumed restored out-of-band. Charges
+  /// no cycles or energy. After adopt(), run() works exactly as after
+  /// init(); if the restored mask rows were not intact, call init() to
+  /// re-stage them (same base).
+  void adopt(unsigned sys_base);
+
+  /// System-SRAM words init() reserves above sys_base (the resident app
+  /// footprint a device checkpoint serializes): tables, zero block, masks,
+  /// weights, window I/O and driver scratch.
+  static unsigned footprint_words();
+
   /// Processes one window of kWindow samples (natural units in [-1, 1])
   /// on the selected target.
   AppResult run(Target target, const std::vector<double>& x);

@@ -48,6 +48,7 @@ class Vwr2a {
   energy::EnergyMeter& meter() { return meter_; }
   const energy::EnergyMeter& meter() const { return meter_; }
   mem::Spm& spm() { return spm_; }
+  const mem::Spm& spm() const { return spm_; }
   mem::ConfigMem& config_mem() { return config_; }
   dma::Dma& dma() { return dma_; }
   Column& column(unsigned c);

@@ -196,6 +196,11 @@ Frame decode_payload(FrameType type, Reader& r) {
       f.images_hydrated = r.u64();
       f.traces_hydrated = r.u64();
       f.artifact_attached = r.u8();
+      f.devices_failed = r.u64();
+      f.devices_revived = r.u64();
+      f.devices_dead = r.u64();
+      f.jobs_rescued = r.u64();
+      f.checkpoints_restored = r.u64();
       return f;
     }
     case FrameType::kError: {
@@ -270,6 +275,11 @@ void encode_payload(const Frame& f, std::vector<std::uint8_t>& out) {
           put_u64(out, v.images_hydrated);
           put_u64(out, v.traces_hydrated);
           put_u8(out, v.artifact_attached);
+          put_u64(out, v.devices_failed);
+          put_u64(out, v.devices_revived);
+          put_u64(out, v.devices_dead);
+          put_u64(out, v.jobs_rescued);
+          put_u64(out, v.checkpoints_restored);
         } else {  // Error
           put_u32(out, v.stream);
           put_u16(out, v.code);

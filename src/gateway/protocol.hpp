@@ -28,7 +28,10 @@ namespace vwr2a::gateway {
 /// The versioning byte every frame carries (bumped on breaking changes).
 /// v2: STATS gained the artifact-hydration fields (images_hydrated,
 /// traces_hydrated, artifact_attached).
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// v3: STATS gained the fault-and-recovery fields (devices_failed,
+/// devices_revived, devices_dead, jobs_rescued, checkpoints_restored) --
+/// the DEVICE_LOST/RECOVERED picture a tenant polls for.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Hard bound on one frame's payload; larger length prefixes are rejected
 /// before any allocation happens.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
@@ -154,6 +157,14 @@ struct Stats {
   std::uint64_t images_hydrated = 0;
   std::uint64_t traces_hydrated = 0;
   std::uint8_t artifact_attached = 0;
+  /// Fault-and-recovery telemetry (v3): cumulative DEVICE_LOST/RECOVERED
+  /// counts, the current dead-device count, and how the fleet coped
+  /// (queued jobs re-placed, resident state adopted elsewhere).
+  std::uint64_t devices_failed = 0;
+  std::uint64_t devices_revived = 0;
+  std::uint64_t devices_dead = 0;
+  std::uint64_t jobs_rescued = 0;
+  std::uint64_t checkpoints_restored = 0;
 };
 
 struct WindowResult {

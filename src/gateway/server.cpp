@@ -1,10 +1,12 @@
 #include "gateway/server.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -32,6 +34,11 @@ class Server::Connection {
     if (reader_.joinable()) reader_.join();
     if (writer_.joinable()) writer_.join();
   }
+
+  /// True once the reader exited (streams settled, quota released) and the
+  /// writer is flushing its last frames: the connection is dead weight and
+  /// safe to destroy without blocking on the peer.
+  bool done() const { return done_.load(std::memory_order_acquire); }
 
   ~Connection() {
     begin_stop();
@@ -133,6 +140,7 @@ class Server::Connection {
       finishing_ = true;  // writer exits once the queue is flushed
     }
     w_cv_.notify_all();
+    done_.store(true, std::memory_order_release);
   }
 
   void handle(const Frame& f) {
@@ -293,6 +301,7 @@ class Server::Connection {
   std::size_t bound_;
   bool finishing_ = false;  ///< no more producers; flush and exit
   bool closed_ = false;     ///< transport dead; drop everything
+  std::atomic<bool> done_{false};  ///< reader exited; reapable
 };
 
 // --- Server -------------------------------------------------------------------
@@ -342,18 +351,29 @@ std::unique_ptr<Transport> Server::connect_loopback(std::size_t capacity) {
 }
 
 void Server::serve(std::unique_ptr<Transport> t) {
-  std::unique_ptr<Connection> conn;
+  // Settled connections (client closed or vanished; reader exited, quota
+  // already released) are reaped here, so a tenant that crash-loops
+  // through abrupt reconnects cannot grow the connection list without
+  // bound. Destruction (thread joins) happens outside the lock.
+  std::vector<std::unique_ptr<Connection>> dead;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       t->shutdown();
       return;
     }
+    for (auto& c : connections_) {
+      if (c->done()) dead.push_back(std::move(c));
+    }
+    connections_.erase(
+        std::remove(connections_.begin(), connections_.end(), nullptr),
+        connections_.end());
     ++tel_.connections;
-    conn = std::make_unique<Connection>(*this, std::move(t));
-    connections_.push_back(std::move(conn));
+    connections_.push_back(
+        std::make_unique<Connection>(*this, std::move(t)));
     connections_.back()->start();
   }
+  dead.clear();
 }
 
 void Server::stop() {
@@ -481,6 +501,11 @@ Stats Server::build_stats() const {
   s.images_hydrated = fleet.image_cache.hydrated;
   s.traces_hydrated = fleet.trace_cache.hydrated;
   s.artifact_attached = fleet.artifact_attached ? 1 : 0;
+  s.devices_failed = fleet.devices_failed;
+  s.devices_revived = fleet.devices_revived;
+  s.devices_dead = fleet.devices_dead;
+  s.jobs_rescued = fleet.jobs_rescued;
+  s.checkpoints_restored = fleet.checkpoints_restored;
   return s;
 }
 

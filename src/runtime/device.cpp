@@ -6,6 +6,7 @@
 #include "common/fixed_point.hpp"
 #include "common/status.hpp"
 #include "dma/dma.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace vwr2a::runtime {
 
@@ -285,6 +286,75 @@ JobResult Device::run_pipeline(const PipelineJob& job) {
   const auto bins = host_.from_sram(spec, job.n + 2);
   r.output.insert(r.output.end(), bins.begin(), bins.end());
   return r;
+}
+
+std::vector<std::uint8_t> Device::checkpoint() const {
+  if (!has_resident_bio()) return {};
+  const mem::Spm& spm = platform_.vwr2a().spm();
+  DeviceCheckpoint c;
+  c.arch = platform_.arch().name();
+  c.sys_base = kBioBase;
+  c.bio_resident =
+      spm.region_version(app::kMaskRowFirst, app::kMaskRowCount) ==
+      bio_rows_version_;
+  c.write_gen = spm.write_gen();
+  const unsigned words = app::MBioTracker::footprint_words();
+  c.sram.reserve(words);
+  for (unsigned i = 0; i < words; ++i) {
+    c.sram.push_back(platform_.sram().peek(kBioBase + i));
+  }
+  c.spm_rows.reserve(app::kMaskRowCount);
+  for (unsigned r = 0; r < app::kMaskRowCount; ++r) {
+    SpmRowImage row;
+    row.row = app::kMaskRowFirst + r;
+    row.stamp = spm.row_version(row.row);
+    const Word* data = spm.trace_row(row.row);
+    std::copy_n(data, arch::kVwrWords, row.data.begin());
+    c.spm_rows.push_back(row);
+  }
+  return encode_checkpoint(c);
+}
+
+Device::RestoreOutcome Device::restore(const std::vector<std::uint8_t>& blob,
+                                       std::string* why) {
+  DeviceCheckpoint c;
+  if (!decode_checkpoint(blob, &c, why)) return RestoreOutcome::kRejected;
+  if (c.sys_base != kBioBase ||
+      c.sram.size() != app::MBioTracker::footprint_words()) {
+    if (why != nullptr) *why = "checkpoint: layout mismatch";
+    return RestoreOutcome::kRejected;
+  }
+  if (has_resident_bio()) {
+    // The resident image holds session-independent constants: whatever this
+    // device already staged is bit-identical to the checkpointed one.
+    return RestoreOutcome::kSkippedResident;
+  }
+  // Out-of-band migration: pokes are simulator bookkeeping (no cycles, no
+  // energy), but SPM pokes still advance this device's own write stamps
+  // monotonically -- a restore can never rewind the residency clock.
+  for (std::size_t i = 0; i < c.sram.size(); ++i) {
+    platform_.sram().poke(kBioBase + static_cast<unsigned>(i), c.sram[i]);
+  }
+  mem::Spm& spm = platform_.vwr2a().spm();
+  for (const SpmRowImage& row : c.spm_rows) {
+    for (unsigned i = 0; i < arch::kVwrWords; ++i) {
+      spm.poke(row.row * arch::kVwrWords + i, row.data[i]);
+    }
+  }
+  if (bio_ == nullptr) {
+    bio_ = std::make_unique<app::MBioTracker>(platform_, cache_,
+                                              platform_.arch().name() + "/");
+  }
+  bio_->adopt(kBioBase);
+  bio_inited_ = true;
+  // Only an image whose mask rows were intact at capture counts as resident
+  // here; otherwise the stamp 0 can never match and the next bio window
+  // re-stages the masks exactly as the dead device would have.
+  bio_rows_version_ =
+      c.bio_resident
+          ? spm.region_version(app::kMaskRowFirst, app::kMaskRowCount)
+          : 0;
+  return RestoreOutcome::kApplied;
 }
 
 JobResult Device::run_bio(const BioTrackerJob& job) {

@@ -34,6 +34,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "app/mbiotracker.hpp"
 #include "isa/image_cache.hpp"
@@ -88,6 +90,34 @@ class Device {
 
   /// Device-local snapshot (local time + energy since construction).
   soc::Platform::Snapshot snapshot() const { return platform_.snapshot(); }
+
+  /// True when a resident MBioTracker image exists on this device (init()
+  /// ran at least once and was never discarded).
+  bool has_resident_bio() const { return bio_ != nullptr && bio_inited_; }
+
+  /// What restore() did with a checkpoint blob.
+  enum class RestoreOutcome {
+    kApplied,          ///< resident state adopted; next bio window skips init
+    kSkippedResident,  ///< this device already hosts a resident image
+    kRejected,         ///< blob malformed/corrupt; device unchanged
+  };
+
+  /// Serializes this device's resident application state (SRAM app region,
+  /// SPM mask rows + write stamps -- see runtime/checkpoint.hpp). Returns
+  /// an empty vector when nothing is resident. Called by the pool when the
+  /// device fail-stops; the device itself is left untouched.
+  std::vector<std::uint8_t> checkpoint() const;
+
+  /// Restores a checkpoint captured on another (dying) device. State lands
+  /// through simulator backdoors (pokes): migrating it costs this device no
+  /// cycles or energy -- the fleet moved it out-of-band. A device that
+  /// already hosts a resident image skips the restore (the image contents
+  /// are session-independent constants, so it is already equivalent); a
+  /// corrupt blob is rejected cleanly and the device stays intact (the next
+  /// bio window re-stages from scratch). `why` (optional) explains
+  /// kRejected.
+  RestoreOutcome restore(const std::vector<std::uint8_t>& blob,
+                         std::string* why = nullptr);
 
   /// The simulated platform (tests/benches: engine counters, meters).
   soc::Platform& platform() { return platform_; }

@@ -89,6 +89,13 @@ DevicePool::DevicePool(Config cfg) : cfg_(std::move(cfg)) {
     }
   }
 
+  for (const FaultEvent& ev : cfg_.faults.events) {
+    if (ev.device >= cfg_.devices) {
+      throw HostError("DevicePool: fault plan names a device outside the fleet");
+    }
+    fault_trace_.push_back(FaultTrace{ev, false, false});
+  }
+
   devices_.resize(cfg_.devices);
   sched_load_.resize(cfg_.devices, 0);
   sched_speed_.reserve(cfg_.devices);
@@ -120,6 +127,10 @@ DevicePool::DevicePool(Config cfg) : cfg_(std::move(cfg)) {
     for (std::thread& t : warmers) t.join();
   }
 
+  // A scripted fault at job 0 lands before any work is routed (no workers
+  // are running yet, so no lock is needed for the _locked helpers).
+  check_faults_locked();
+
   workers_.reserve(cfg_.workers);
   for (unsigned w = 0; w < cfg_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -137,7 +148,8 @@ DevicePool::~DevicePool() {
 
 int DevicePool::find_work() const {
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    if (!devices_[d].claimed && !devices_[d].queue.empty()) {
+    if (!devices_[d].claimed && !devices_[d].dead &&
+        !devices_[d].queue.empty()) {
       return static_cast<int>(d);
     }
   }
@@ -187,16 +199,33 @@ Cycle DevicePool::scaled_estimate(Cycle estimate, unsigned d) const {
 }
 
 unsigned DevicePool::pick_shortest(Cycle estimate) const {
-  unsigned best = 0;
-  Cycle best_done = sched_load_[0] + scaled_estimate(estimate, 0);
-  for (unsigned i = 1; i < sched_load_.size(); ++i) {
+  int best = -1;
+  Cycle best_done = 0;
+  for (unsigned i = 0; i < sched_load_.size(); ++i) {
+    if (devices_[i].dead) continue;
     const Cycle done = sched_load_[i] + scaled_estimate(estimate, i);
-    if (done < best_done) {
-      best = i;
+    if (best < 0 || done < best_done) {
+      best = static_cast<int>(i);
       best_done = done;
     }
   }
-  return best;
+  if (best < 0) throw HostError("DevicePool: no healthy device left");
+  return static_cast<unsigned>(best);
+}
+
+unsigned DevicePool::resolve_alive(unsigned d) const {
+  unsigned hops = 0;
+  while (devices_[d].dead) {
+    const int f = devices_[d].failover;
+    if (f < 0 || ++hops > devices_.size()) {
+      // Chain dead-ends (the device died while the whole fleet was down,
+      // or the chain loops through dead devices): fall back to fresh
+      // placement, which throws only if nothing is alive right now.
+      return pick_shortest(0);
+    }
+    d = static_cast<unsigned>(f);
+  }
+  return d;
 }
 
 Cycle DevicePool::estimate_locked(const Job& job) const {
@@ -241,11 +270,13 @@ unsigned DevicePool::route(const Job& job, std::uint64_t seq) {
   const Cycle est = estimate_locked(job);
   unsigned d;
   if (job.pin >= 0) {
-    d = static_cast<unsigned>(job.pin);
+    // A pin to a dead device follows its stable failover chain, so a
+    // session survives its device dying without ever seeing the fault.
+    d = resolve_alive(static_cast<unsigned>(job.pin));
   } else if (cfg_.schedule == Schedule::kShortestLocalClock) {
     d = pick_shortest(est);
   } else {
-    d = static_cast<unsigned>(seq % devices_.size());
+    d = resolve_alive(static_cast<unsigned>(seq % devices_.size()));
   }
   sched_load_[d] += scaled_estimate(est, d);
   return d;
@@ -256,6 +287,153 @@ unsigned DevicePool::place_load(Cycle estimate) {
   const unsigned d = pick_shortest(estimate);
   sched_load_[d] += scaled_estimate(estimate, d);
   return d;
+}
+
+void DevicePool::begin_kill_locked(unsigned d) {
+  DeviceState& ds = devices_[d];
+  ds.dead = true;
+  ++devices_failed_;
+  // Stable failover target for this device's pinned work, chosen by the
+  // same shortest-local-clock rule placement uses. Chains are fine: if the
+  // target later dies too, resolve_alive follows its failover in turn.
+  try {
+    ds.failover = static_cast<int>(pick_shortest(0));
+  } catch (const HostError&) {
+    ds.failover = -1;  // the last healthy device just died
+  }
+}
+
+void DevicePool::finish_kill_locked(unsigned d) {
+  DeviceState& ds = devices_[d];
+  // Move the resident state toward the failover target so it is adopted
+  // there before any rescued job runs.
+  std::vector<std::uint8_t> blob = ds.device->checkpoint();
+  if (!blob.empty()) {
+    ++ckpt_taken_;
+    if (ds.failover >= 0) {
+      devices_[static_cast<unsigned>(ds.failover)].pending_restore =
+          std::move(blob);
+    }
+  }
+  // A checkpoint parked here (this device was someone else's failover
+  // target and died before adopting it) is forwarded down the chain.
+  if (!ds.pending_restore.empty() && ds.failover >= 0) {
+    DeviceState& fs = devices_[static_cast<unsigned>(ds.failover)];
+    if (fs.pending_restore.empty()) {
+      fs.pending_restore = std::move(ds.pending_restore);
+    }
+  }
+  ds.pending_restore.clear();
+  // Re-place the queued jobs in order: pinned jobs follow the failover
+  // chain, unpinned jobs re-run placement. Their estimate charges move
+  // with them so the schedule stays honest if this device revives.
+  bool moved = false;
+  while (!ds.queue.empty()) {
+    Pending p = std::move(ds.queue.front());
+    ds.queue.pop_front();
+    const Cycle est = estimate_locked(p.job);
+    const Cycle charged = scaled_estimate(est, d);
+    sched_load_[d] = sched_load_[d] > charged ? sched_load_[d] - charged : 0;
+    int target = -1;
+    try {
+      target = static_cast<int>(
+          p.job.pin >= 0 ? resolve_alive(static_cast<unsigned>(p.job.pin))
+                         : pick_shortest(est));
+    } catch (const HostError&) {
+      target = -1;
+    }
+    if (target < 0) {
+      // No healthy fleet left: fail the job instead of stranding its
+      // future (a drain must never hang on a dead fleet).
+      p.promise.set_exception(std::make_exception_ptr(
+          HostError("DevicePool: device died with no healthy device left")));
+      ++failed_;
+      --inflight_;
+      continue;
+    }
+    sched_load_[static_cast<unsigned>(target)] +=
+        scaled_estimate(est, static_cast<unsigned>(target));
+    devices_[static_cast<unsigned>(target)].queue.push_back(std::move(p));
+    ++jobs_rescued_;
+    moved = true;
+  }
+  if (moved) work_cv_.notify_all();
+  if (inflight_ == 0) idle_cv_.notify_all();
+}
+
+bool DevicePool::kill_device(unsigned d) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (d >= devices_.size()) {
+      throw HostError("DevicePool: kill_device index out of range");
+    }
+    DeviceState& ds = devices_[d];
+    if (ds.dead) return false;
+    begin_kill_locked(d);
+    if (ds.claimed) {
+      // A worker is driving the device: the fault lands at its batch
+      // boundary (jobs are atomic); the worker completes the fail-stop.
+      ds.kill_pending = true;
+    } else {
+      finish_kill_locked(d);
+    }
+  }
+  work_cv_.notify_all();
+  return true;
+}
+
+bool DevicePool::revive_device(unsigned d) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (d >= devices_.size()) {
+      throw HostError("DevicePool: revive_device index out of range");
+    }
+    DeviceState& ds = devices_[d];
+    if (!ds.dead || ds.kill_pending) return false;
+    ds.dead = false;
+    ds.failover = -1;
+    ++devices_revived_;
+  }
+  work_cv_.notify_all();
+  return true;
+}
+
+bool DevicePool::device_dead(unsigned d) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (d >= devices_.size()) {
+    throw HostError("DevicePool: device_dead index out of range");
+  }
+  return devices_[d].dead;
+}
+
+void DevicePool::check_faults_locked() {
+  for (FaultTrace& t : fault_trace_) {
+    if (!t.killed && completed_ >= t.ev.kill_after_jobs) {
+      t.killed = true;
+      DeviceState& ds = devices_[t.ev.device];
+      if (!ds.dead) {
+        begin_kill_locked(t.ev.device);
+        if (ds.claimed) {
+          ds.kill_pending = true;
+        } else {
+          finish_kill_locked(t.ev.device);
+        }
+        work_cv_.notify_all();
+      }
+    }
+    if (t.killed && !t.revived && t.ev.revive_after_jobs > 0 &&
+        completed_ >= t.ev.revive_after_jobs) {
+      DeviceState& ds = devices_[t.ev.device];
+      if (ds.kill_pending) continue;  // fail-stop mid-flight; next boundary
+      t.revived = true;
+      if (ds.dead) {
+        ds.dead = false;
+        ds.failover = -1;
+        ++devices_revived_;
+        work_cv_.notify_all();
+      }
+    }
+  }
 }
 
 JobHandle DevicePool::submit(Job job) {
@@ -310,6 +488,10 @@ void DevicePool::worker_loop() {
     }
     DeviceState& ds = devices_[static_cast<std::size_t>(d)];
     ds.claimed = true;
+    // A checkpoint parked on this device (its source fail-stopped) is
+    // adopted before any rescued job runs, so residency carries over.
+    std::vector<std::uint8_t> restore_blob = std::move(ds.pending_restore);
+    ds.pending_restore.clear();
     // Batched dispatch: drain a chunk of this device's FIFO under one claim.
     std::vector<Pending> chunk;
     const std::size_t take =
@@ -320,6 +502,19 @@ void DevicePool::worker_loop() {
       ds.queue.pop_front();
     }
     lock.unlock();
+
+    bool restored = false;
+    if (!restore_blob.empty()) {
+      std::string why;
+      const Device::RestoreOutcome oc = ds.device->restore(restore_blob, &why);
+      restored = oc == Device::RestoreOutcome::kApplied;
+      if (oc == Device::RestoreOutcome::kRejected) {
+        log::Line(log::Level::kWarn)
+            << "pool: checkpoint rejected on device "
+                              << ds.device->id() << " (" << why
+                              << "); device re-stages cold";
+      }
+    }
 
     std::uint64_t ok = 0, bad = 0;
     // Measured-cost samples for the online estimator, normalized back to
@@ -360,8 +555,16 @@ void DevicePool::worker_loop() {
     completed_ += ok;
     failed_ += bad;
     inflight_ -= ok + bad;
+    if (restored) ++ckpt_restored_;
+    if (ds.kill_pending) {
+      // The fail-stop landed while we were driving the device; jobs are
+      // atomic, so the fault completes here, at the chunk boundary.
+      ds.kill_pending = false;
+      finish_kill_locked(static_cast<unsigned>(d));
+    }
+    check_faults_locked();
     if (inflight_ == 0) idle_cv_.notify_all();
-    if (!ds.queue.empty()) work_cv_.notify_one();
+    if (!ds.queue.empty() && !ds.dead) work_cv_.notify_one();
   }
 }
 
@@ -391,6 +594,7 @@ FleetStats DevicePool::stats() {
     fold_device(s, ds.device->snapshot(), ds.device->jobs_run(),
                 ds.device->stagings(), ds.device->arch());
   }
+  fold_faults_locked(s);
   fold_caches(s);
   return s;
 }
@@ -410,9 +614,23 @@ FleetStats DevicePool::peek_stats() const {
       fold_device(s, ds.cached_snapshot, ds.cached_jobs, ds.cached_stagings,
                   ds.device->arch());
     }
+    fold_faults_locked(s);
   }
   fold_caches(s);
   return s;
+}
+
+void DevicePool::fold_faults_locked(FleetStats& s) const {
+  s.devices_failed = devices_failed_;
+  s.devices_revived = devices_revived_;
+  s.jobs_rescued = jobs_rescued_;
+  s.checkpoints_taken = ckpt_taken_;
+  s.checkpoints_restored = ckpt_restored_;
+  s.device_dead.reserve(devices_.size());
+  for (const DeviceState& ds : devices_) {
+    s.device_dead.push_back(ds.dead ? 1 : 0);
+    if (ds.dead) ++s.devices_dead;
+  }
 }
 
 void DevicePool::fold_caches(FleetStats& s) const {

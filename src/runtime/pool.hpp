@@ -74,6 +74,24 @@ enum class Schedule : std::uint8_t {
 inline constexpr unsigned kJobFamilies =
     std::variant_size_v<decltype(Job::work)>;
 
+/// One scripted fault (Config::faults): device `device` fail-stops once the
+/// fleet has completed `kill_after_jobs` jobs, and -- when
+/// `revive_after_jobs` is non-zero -- rejoins once the fleet has completed
+/// that many. Faults land at batch boundaries (jobs are atomic; see
+/// docs/operations.md for the fail-stop model). kill_device()/
+/// revive_device() are the unscripted equivalents for chaos drivers.
+struct FaultEvent {
+  unsigned device = 0;
+  std::uint64_t kill_after_jobs = 0;
+  std::uint64_t revive_after_jobs = 0;  ///< 0: the device stays dead
+};
+
+/// A scripted fault-injection plan.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  bool empty() const { return events.empty(); }
+};
+
 /// Fleet-wide aggregate over all devices of a pool.
 struct FleetStats {
   std::uint64_t jobs_completed = 0;
@@ -109,6 +127,15 @@ struct FleetStats {
   /// prior is spot on; see DevicePool::estimate). Indexed by Job::work
   /// alternative.
   std::array<double, kJobFamilies> family_factor{};
+  // Fault-and-recovery picture (docs/operations.md). Counters are
+  // pool-lifetime cumulative; device_dead is the current health bitmap.
+  std::uint64_t devices_failed = 0;   ///< kill events observed
+  std::uint64_t devices_revived = 0;  ///< revive events observed
+  std::uint64_t devices_dead = 0;     ///< currently dead devices
+  std::uint64_t jobs_rescued = 0;     ///< queued jobs re-placed off the dead
+  std::uint64_t checkpoints_taken = 0;     ///< resident state serialized
+  std::uint64_t checkpoints_restored = 0;  ///< resident state adopted
+  std::vector<std::uint8_t> device_dead;   ///< per-device health (1 = dead)
 
   double total_uj() const { return total_pj * 1e-6; }
   double sim_seconds() const {
@@ -162,6 +189,9 @@ class DevicePool {
     /// prewarm trades a few ms at construction for zero warm-up tail --
     /// the serving-fleet configuration (see bench/cold_start.cpp).
     bool artifact_prewarm = false;
+    /// Scripted device faults, evaluated against the fleet's completed-job
+    /// count at batch boundaries. Empty (the default): no injected faults.
+    FaultPlan faults;
   };
 
   DevicePool() : DevicePool(Config()) {}
@@ -219,6 +249,26 @@ class DevicePool {
   /// the reservation makes the claim visible to the next placement.
   unsigned place_load(Cycle estimate);
 
+  // --- fault injection & recovery (docs/operations.md) ----------------------
+
+  /// Fail-stops device d: it stops receiving work immediately, its resident
+  /// state is checkpointed, its queued jobs are re-placed onto healthy
+  /// devices (in order; pinned jobs follow a stable failover target chosen
+  /// by shortest-local-clock), and subsequent submits pinned to d are
+  /// redirected the same way. A batch already claimed by a worker completes
+  /// first -- faults land at job boundaries (jobs are atomic). Thread-safe.
+  /// Returns false when d was already dead. Throws on an out-of-range d.
+  bool kill_device(unsigned d);
+
+  /// Brings a dead device back: it rejoins placement for new work (pins to
+  /// it stop redirecting; the first bio window re-stages the resident image
+  /// there, bit-identically). Thread-safe. Returns false when d is not dead
+  /// or its fail-stop is still completing. Throws on an out-of-range d.
+  bool revive_device(unsigned d);
+
+  /// Current health of device d. Thread-safe.
+  bool device_dead(unsigned d) const;
+
  private:
   struct Pending {
     Job job;
@@ -236,6 +286,19 @@ class DevicePool {
     soc::Platform::Snapshot cached_snapshot;
     std::uint64_t cached_jobs = 0;
     std::uint64_t cached_stagings = 0;
+    // Fault state (guarded by mu_).
+    bool dead = false;          ///< fail-stopped; receives no work
+    bool kill_pending = false;  ///< claimed at kill time; worker finishes it
+    int failover = -1;          ///< where this device's pinned work now goes
+    /// Checkpoint of a dead device awaiting adoption here: the claiming
+    /// worker applies it before running the next chunk.
+    std::vector<std::uint8_t> pending_restore;
+  };
+  /// Scripted-fault progress (guarded by mu_).
+  struct FaultTrace {
+    FaultEvent ev;
+    bool killed = false;
+    bool revived = false;
   };
 
   void worker_loop();
@@ -253,6 +316,19 @@ class DevicePool {
   unsigned route(const Job& job, std::uint64_t seq);
   /// estimate() with mu_ already held.
   Cycle estimate_locked(const Job& job) const;
+  /// Follows the failover chain from d to a live device. Throws HostError
+  /// when the chain dead-ends (no healthy device). Caller holds mu_.
+  unsigned resolve_alive(unsigned d) const;
+  /// Marks d dead, picks its failover target and counts the kill; the
+  /// fail-stop completes via finish_kill_locked (now, or at the claiming
+  /// worker's chunk end). Caller holds mu_; d must be alive.
+  void begin_kill_locked(unsigned d);
+  /// Completes a fail-stop: checkpoints the device, hands the blob to the
+  /// failover target, and re-places the queued jobs in order. Caller holds
+  /// mu_; d is dead and not driven by any other worker.
+  void finish_kill_locked(unsigned d);
+  /// Evaluates the scripted fault plan against completed_. Caller holds mu_.
+  void check_faults_locked();
   /// Folds the pending measured-cost sums into the EWMA factors. Called
   /// only when the fleet is quiescent (inflight_ == 0) under mu_, so the
   /// result is independent of worker count and completion order.
@@ -261,6 +337,8 @@ class DevicePool {
   /// Fills the cache/artifact fields of a FleetStats (shared by stats()
   /// and peek_stats()).
   void fold_caches(FleetStats& s) const;
+  /// Fills the fault fields of a FleetStats. Caller holds mu_.
+  void fold_faults_locked(FleetStats& s) const;
 
   isa::ImageCache cache_;
   std::shared_ptr<artifact::Store> artifact_;  ///< hydration source (optional)
@@ -285,6 +363,14 @@ class DevicePool {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   bool stopping_ = false;
+
+  // Fault bookkeeping (guarded by mu_).
+  std::vector<FaultTrace> fault_trace_;  ///< scripted-plan progress
+  std::uint64_t devices_failed_ = 0;
+  std::uint64_t devices_revived_ = 0;
+  std::uint64_t jobs_rescued_ = 0;
+  std::uint64_t ckpt_taken_ = 0;
+  std::uint64_t ckpt_restored_ = 0;
 };
 
 } // namespace vwr2a::runtime

@@ -95,9 +95,14 @@ void Session::submit_window(WindowView window) {
     try {
       completer_->enqueue(this, std::move(h));
     } catch (...) {
-      std::lock_guard<std::mutex> lock(smu_);
-      --inflight_n_;
-      --stats_.windows_submitted;
+      {
+        std::lock_guard<std::mutex> lock(smu_);
+        --inflight_n_;
+        --stats_.windows_submitted;
+      }
+      // The failed slot may be the one a concurrent drain()/wait_slot() is
+      // blocked on; no delivery will ever come to wake it.
+      slot_cv_.notify_all();
       throw;
     }
   } else {
@@ -111,6 +116,10 @@ void Session::account_delivery_locked(const runtime::JobResult& job) {
   const Cycle lat = job.cost.total_cycles();
   stats_.latency_cycles_total += lat;
   stats_.latency_cycles_max = std::max(stats_.latency_cycles_max, lat);
+  if (stats_.windows_delivered > 0 && job.device != stats_.device) {
+    ++stats_.windows_migrated;  // the pin's failover chain moved us
+  }
+  stats_.device = job.device;
   ++stats_.windows_delivered;
 }
 

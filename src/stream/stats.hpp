@@ -14,7 +14,10 @@ namespace vwr2a::stream {
 /// One session's counters (a point-in-time copy, see Session::stats()).
 struct SessionStats {
   std::uint64_t id = 0;
-  unsigned device = 0;  ///< the device the session is soft-pinned to
+  unsigned device = 0;  ///< device that ran the last delivered window (the
+                        ///< soft-pin until a fault re-places the session)
+  std::uint64_t windows_migrated = 0;  ///< deliveries from a device other
+                                       ///< than the previous window's
 
   std::uint64_t samples_in = 0;        ///< samples accepted into the ring
   std::uint64_t dropped_samples = 0;   ///< samples rejected by try_push

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "app/mbiotracker.hpp"
@@ -489,6 +491,133 @@ TEST(Gateway, MatchesDirectStreamServerBitForBit) {
     EXPECT_EQ(direct[i], gated[i]);
     EXPECT_GT(direct[i].size(), 0u);
   }
+}
+
+TEST(Gateway, ProtocolV3StatsRoundTripsFaultFields) {
+  // The v3 STATS payload grew five fault-and-recovery counters; a v3
+  // encoder/decoder pair must carry them bit-exactly (and the version
+  // constant must actually say 3).
+  ASSERT_EQ(kProtocolVersion, 3u);
+
+  Stats st;
+  st.devices = 16;
+  st.sessions = 3;
+  st.connections = 2;
+  st.windows_delivered = 40;
+  st.jobs_completed = 41;
+  st.jobs_failed = 1;
+  st.fleet_makespan = 123456;
+  st.total_device_cycles = 654321;
+  st.stagings = 7;
+  st.total_pj = 3.25;
+  st.images_hydrated = 4;
+  st.traces_hydrated = 9;
+  st.artifact_attached = 1;
+  st.devices_failed = 2;
+  st.devices_revived = 1;
+  st.devices_dead = 1;
+  st.jobs_rescued = 6;
+  st.checkpoints_restored = 5;
+
+  const auto bytes = encode(Frame{st});
+  Decoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  const auto* got = std::get_if<Stats>(&*f);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->devices, st.devices);
+  EXPECT_EQ(got->jobs_completed, st.jobs_completed);
+  EXPECT_EQ(got->artifact_attached, st.artifact_attached);
+  EXPECT_EQ(got->devices_failed, st.devices_failed);
+  EXPECT_EQ(got->devices_revived, st.devices_revived);
+  EXPECT_EQ(got->devices_dead, st.devices_dead);
+  EXPECT_EQ(got->jobs_rescued, st.jobs_rescued);
+  EXPECT_EQ(got->checkpoints_restored, st.checkpoints_restored);
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Gateway, StatsReportsDeviceFaultsOverTheWire) {
+  Server::Config cfg;
+  cfg.stream.pool.devices = 3;
+  Server server(cfg);
+  Client client(server.connect_loopback());
+
+  const std::uint32_t sid = client.open(Client::StreamOpts{}, nullptr);
+  const auto samples = make_stream_samples(2 * app::kWindow, 0.25, 8100);
+  client.push(sid, samples);
+  client.flush(sid);
+  server.streams().pool().wait_idle();
+
+  // Fail-stop a device the session is not pinned to (the fleet is idle,
+  // so the kill completes synchronously) and read the counters back over
+  // the wire.
+  const std::uint32_t victim = (client.device_of(sid) + 1) % 3;
+  ASSERT_TRUE(server.streams().pool().kill_device(victim));
+  Stats st = client.stats();
+  EXPECT_EQ(st.devices_failed, 1u);
+  EXPECT_EQ(st.devices_dead, 1u);
+  EXPECT_EQ(st.devices_revived, 0u);
+
+  ASSERT_TRUE(server.streams().pool().revive_device(victim));
+  st = client.stats();
+  EXPECT_EQ(st.devices_failed, 1u);
+  EXPECT_EQ(st.devices_dead, 0u);
+  EXPECT_EQ(st.devices_revived, 1u);
+  server.stop();
+}
+
+TEST(Gateway, AbruptDisconnectReleasesSessionQuota) {
+  // A client that vanishes without CLOSE (crash, cable pull) must not
+  // leak its session quota or its server-side Connection: the reader
+  // sees EOF, tears the streams down, and serve() reaps the connection.
+  Server::Config cfg;
+  cfg.stream.pool.devices = 1;
+  cfg.quotas.max_sessions_per_tenant = 1;
+  Server server(cfg);
+
+  {
+    // Drive the wire by hand so no CLOSE frame is ever sent.
+    auto t = server.connect_loopback();
+    OpenSession open;
+    open.stream = 1;
+    open.tenant = 42;
+    const auto bytes = encode(Frame{open});
+    ASSERT_TRUE(t->send(bytes.data(), bytes.size()));
+    Decoder dec;
+    std::uint8_t buf[4096];
+    for (;;) {
+      if (auto f = dec.next()) {
+        ASSERT_TRUE(std::holds_alternative<OpenOk>(*f));
+        break;
+      }
+      const std::size_t n = t->recv(buf, sizeof buf);
+      ASSERT_NE(n, 0u);
+      dec.feed(buf, n);
+    }
+  }  // transport dropped here: abrupt disconnect, no CLOSE
+
+  // The teardown runs on the server's reader thread after it notices
+  // EOF, so the quota release is asynchronous -- poll until the tenant's
+  // slot comes back.
+  Client client(server.connect_loopback());
+  Client::StreamOpts opts;
+  opts.tenant = 42;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    try {
+      (void)client.open(opts, nullptr);
+      break;
+    } catch (const GatewayError& e) {
+      ASSERT_EQ(e.error.code,
+                static_cast<std::uint16_t>(ErrorCode::kQuotaSessions));
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "session quota never released after an abrupt disconnect";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  server.stop();
 }
 
 } // namespace

@@ -3,13 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fixed_point.hpp"
 #include "common/rng.hpp"
 #include "dsp/reference.hpp"
 #include "dsp/signal.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/pool.hpp"
 
 namespace vwr2a::runtime {
@@ -466,6 +469,304 @@ TEST(RuntimePool, ImageCacheAssemblesOncePerKernel) {
   EXPECT_EQ(s.fleet_makespan, max_local);
   EXPECT_EQ(s.total_device_cycles, sum_local);
   EXPECT_GT(s.jobs_per_sim_second(), 0.0);
+}
+
+/// One quantized respiration window for BioTracker jobs.
+SharedBuffer make_bio_window(unsigned seed) {
+  dsp::RespirationParams p;
+  p.breath_hz = 0.2 + 0.05 * (seed % 5);
+  Rng sig(seed);
+  const auto xd = dsp::respiration(app::kWindow, p, sig);
+  std::vector<std::int32_t> xq(app::kWindow);
+  for (unsigned i = 0; i < app::kWindow; ++i) xq[i] = fx::to_q16_15(xd[i]);
+  return make_buffer(std::move(xq));
+}
+
+/// A scripted kill at a job-count boundary rescues the dead device's queue
+/// onto healthy devices with bit-identical outputs. One worker + max_batch 1
+/// makes the schedule deterministic: the worker drains device 0's four jobs
+/// first, the kill fires at completed == 4 while device 1 still holds its
+/// whole queue, so exactly those four jobs are rescued.
+TEST(RuntimeFaults, ScriptedKillRescuesQueuedJobsBitIdentically) {
+  const auto jobs = make_mixed_jobs(16, 91);
+  const auto reference = run_all(4, 1, jobs);
+
+  DevicePool::Config cfg;
+  cfg.devices = 4;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.faults.events.push_back(FaultEvent{1, 4, 0});
+  DevicePool pool(cfg);
+  auto handles = pool.submit_batch(jobs);
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    const JobResult r = handles[j].get();  // nothing may fail
+    EXPECT_EQ(r.output, reference[j].output) << "job " << j;
+  }
+  pool.wait_idle();
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.jobs_completed, jobs.size());
+  EXPECT_EQ(s.jobs_failed, 0u);
+  EXPECT_EQ(s.devices_failed, 1u);
+  EXPECT_EQ(s.devices_dead, 1u);
+  EXPECT_EQ(s.jobs_rescued, 4u);
+  ASSERT_EQ(s.device_dead.size(), 4u);
+  EXPECT_EQ(s.device_dead[1], 1u);
+  EXPECT_TRUE(pool.device_dead(1));
+  // The dead device ran nothing after the kill point.
+  EXPECT_EQ(s.device_jobs[1], 0u);
+}
+
+TEST(RuntimeFaults, PinsFollowFailoverAndReturnAfterRevive) {
+  DevicePool::Config cfg;
+  cfg.devices = 3;
+  DevicePool pool(cfg);
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  Rng rng(17);
+  std::vector<std::int32_t> x(64);
+  for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.9, 0.9));
+  const auto buf = make_buffer(std::move(x));
+  auto pinned = [&](int pin) {
+    Job job{FirJob{64, taps, buf}, "pin"};
+    job.pin = pin;
+    return job;
+  };
+
+  const JobResult before = pool.submit(pinned(1)).get();
+  EXPECT_EQ(before.device, 1u);
+  pool.wait_idle();
+
+  ASSERT_TRUE(pool.kill_device(1));
+  EXPECT_FALSE(pool.kill_device(1));  // already dead
+  const JobResult moved = pool.submit(pinned(1)).get();
+  EXPECT_NE(moved.device, 1u);
+  EXPECT_EQ(moved.output, before.output);  // placement-independent output
+
+  ASSERT_TRUE(pool.revive_device(1));
+  EXPECT_FALSE(pool.revive_device(1));  // already alive
+  const JobResult back = pool.submit(pinned(1)).get();
+  EXPECT_EQ(back.device, 1u);
+  EXPECT_EQ(back.output, before.output);
+
+  pool.wait_idle();
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.devices_failed, 1u);
+  EXPECT_EQ(s.devices_revived, 1u);
+  EXPECT_EQ(s.devices_dead, 0u);
+}
+
+TEST(RuntimeFaults, ScriptedReviveRestoresRoundRobinRouting) {
+  DevicePool::Config cfg;
+  cfg.devices = 2;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.faults.events.push_back(FaultEvent{1, 2, 4});
+  DevicePool pool(cfg);
+  for (auto& h : pool.submit_batch(make_mixed_jobs(8, 33))) h.get();
+  pool.wait_idle();  // completed = 8 >= 4: the revive has fired
+  EXPECT_FALSE(pool.device_dead(1));
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.devices_failed, 1u);
+  EXPECT_EQ(s.devices_revived, 1u);
+  // Round-robin routing uses the revived device again.
+  Job job = make_mixed_jobs(2, 34)[1];
+  job.pin = -1;
+  std::vector<Job> probe(2, job);
+  auto handles = pool.submit_batch(std::move(probe));
+  bool hit_revived = false;
+  for (auto& h : handles) hit_revived |= h.get().device == 1;
+  EXPECT_TRUE(hit_revived);
+}
+
+TEST(RuntimeFaults, LastDeviceDeadFailsSubmissionCleanly) {
+  DevicePool::Config cfg;
+  cfg.devices = 1;
+  DevicePool pool(cfg);
+  ASSERT_TRUE(pool.kill_device(0));
+  const auto taps = make_buffer(dsp::fir11_lowpass_q15());
+  const auto buf = make_buffer(std::vector<std::int32_t>(64, 1000));
+  EXPECT_THROW(pool.submit(Job{FirJob{64, taps, buf}, ""}), HostError);
+  // Revive brings the fleet back without a restart.
+  ASSERT_TRUE(pool.revive_device(0));
+  EXPECT_EQ(pool.submit(Job{FirJob{64, taps, buf}, ""}).get().device, 0u);
+}
+
+/// Checkpointed failover: the resident MBioTracker image of a dying device
+/// is adopted by its failover target, so post-fault windows deliver
+/// bit-identically to an uninterrupted run *and* skip the image re-staging.
+TEST(RuntimeFaults, CheckpointCarriesResidentBioAcrossFailover) {
+  std::vector<Job> windows;
+  for (unsigned w = 0; w < 4; ++w) {
+    Job job{BioTrackerJob{app::Target::kCpuVwr2a, make_bio_window(40 + w)},
+            "w" + std::to_string(w)};
+    job.pin = 0;
+    windows.push_back(std::move(job));
+  }
+
+  // Reference: all four windows on one undisturbed device.
+  std::vector<JobResult> ref;
+  {
+    DevicePool::Config cfg;
+    cfg.devices = 2;
+    DevicePool pool(cfg);
+    for (auto& h : pool.submit_batch(windows)) ref.push_back(h.get());
+    pool.wait_idle();
+  }
+
+  // Control: the last two windows served cold (fresh device, init runs).
+  std::uint64_t cold_stagings = 0;
+  {
+    DevicePool::Config cfg;
+    cfg.devices = 1;
+    DevicePool pool(cfg);
+    std::vector<Job> tail(windows.begin() + 2, windows.end());
+    for (auto& t : tail) t.pin = 0;
+    for (auto& h : pool.submit_batch(tail)) h.get();
+    cold_stagings = pool.stats().device_stagings[0];
+  }
+
+  // Faulted run: two windows on device 0, kill it, two more windows whose
+  // pin follows the failover chain onto device 1, which adopts the
+  // checkpoint before running them.
+  DevicePool::Config cfg;
+  cfg.devices = 2;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  DevicePool pool(cfg);
+  std::vector<JobResult> got;
+  {
+    std::vector<Job> head(windows.begin(), windows.begin() + 2);
+    for (auto& h : pool.submit_batch(head)) got.push_back(h.get());
+  }
+  pool.wait_idle();
+  ASSERT_TRUE(pool.kill_device(0));
+  {
+    std::vector<Job> tail(windows.begin() + 2, windows.end());
+    for (auto& h : pool.submit_batch(tail)) got.push_back(h.get());
+  }
+  pool.wait_idle();
+
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t w = 0; w < ref.size(); ++w) {
+    EXPECT_EQ(got[w].output, ref[w].output) << "window " << w;
+  }
+  EXPECT_EQ(got[2].device, 1u);  // re-placed
+  EXPECT_EQ(got[3].device, 1u);
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.checkpoints_taken, 1u);
+  EXPECT_EQ(s.checkpoints_restored, 1u);
+  // The adopted image spared device 1 the init staging a cold device pays.
+  EXPECT_LT(s.device_stagings[1], cold_stagings);
+}
+
+TEST(RuntimeFaults, CheckpointCodecRoundTripsAndRejectsCorruption) {
+  DeviceCheckpoint c;
+  c.arch = "vwr3-simd32";
+  c.sys_base = 32768;
+  c.bio_resident = true;
+  c.write_gen = 9001;
+  c.sram = {1u, 0xfffffffeu, 3u, 0xfffffffcu, 5u};
+  SpmRowImage row;
+  row.row = 7;
+  row.stamp = 41;
+  for (unsigned i = 0; i < arch::kVwrWords; ++i) {
+    row.data[i] = static_cast<Word>(i * 2654435761u);
+  }
+  c.spm_rows.push_back(row);
+
+  const std::vector<std::uint8_t> blob = encode_checkpoint(c);
+  DeviceCheckpoint d;
+  std::string why;
+  ASSERT_TRUE(decode_checkpoint(blob, &d, &why)) << why;
+  EXPECT_EQ(d.arch, c.arch);
+  EXPECT_EQ(d.sys_base, c.sys_base);
+  EXPECT_EQ(d.bio_resident, c.bio_resident);
+  EXPECT_EQ(d.write_gen, c.write_gen);
+  EXPECT_EQ(d.sram, c.sram);
+  ASSERT_EQ(d.spm_rows.size(), 1u);
+  EXPECT_EQ(d.spm_rows[0].row, row.row);
+  EXPECT_EQ(d.spm_rows[0].stamp, row.stamp);
+  EXPECT_EQ(d.spm_rows[0].data, row.data);
+
+  // Every single-byte corruption of the payload is caught by the checksum
+  // (prologue corruptions trip magic/version/checksum checks instead).
+  for (std::size_t i = 0; i < blob.size(); i += 7) {
+    std::vector<std::uint8_t> bad = blob;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(decode_checkpoint(bad, &d)) << "byte " << i;
+  }
+  // Truncations and trailing garbage are rejected too.
+  std::vector<std::uint8_t> cut(blob.begin(), blob.end() - 3);
+  EXPECT_FALSE(decode_checkpoint(cut, &d));
+  std::vector<std::uint8_t> fat = blob;
+  fat.push_back(0);
+  EXPECT_FALSE(decode_checkpoint(fat, &d));
+  EXPECT_FALSE(decode_checkpoint({}, &d));
+}
+
+TEST(RuntimeFaults, KillAndReviveUnderLoadNeverLosesAJob) {
+  DevicePool::Config cfg;
+  cfg.devices = 4;
+  cfg.workers = 2;
+  DevicePool pool(cfg);
+  auto handles = pool.submit_batch(make_mixed_jobs(32, 55));
+  pool.kill_device(2);  // lands wherever the fleet happens to be
+  // A kill on a claimed device settles at its chunk boundary; revive is
+  // refused until then.
+  while (!pool.revive_device(2)) std::this_thread::yield();
+  pool.kill_device(3);
+  std::size_t delivered = 0;
+  for (auto& h : handles) {
+    try {
+      h.get();
+      ++delivered;
+    } catch (const HostError&) {
+      // only legal if the whole fleet was dead at rescue time -- it wasn't
+      FAIL() << "job failed with healthy devices remaining";
+    }
+  }
+  EXPECT_EQ(delivered, 32u);
+  pool.wait_idle();
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.jobs_completed, 32u);
+  EXPECT_EQ(s.devices_failed, 2u);
+  EXPECT_EQ(s.devices_revived, 1u);
+  EXPECT_EQ(s.devices_dead, 1u);
+}
+
+/// peek_stats() is legal before any batch boundary (construction-fresh
+/// caches) and concurrently with running workers -- the TSan CI job drives
+/// this test; see .github/workflows/ci.yml.
+TEST(RuntimePool, PeekStatsBeforeFirstBatchAndConcurrentWithWorkers) {
+  DevicePool::Config cfg;
+  cfg.devices = 2;
+  DevicePool pool(cfg);
+
+  const FleetStats fresh = pool.peek_stats();
+  EXPECT_EQ(fresh.jobs_completed, 0u);
+  EXPECT_EQ(fresh.devices_failed, 0u);
+  EXPECT_EQ(fresh.devices_dead, 0u);
+  ASSERT_EQ(fresh.device_dead.size(), 2u);
+  EXPECT_EQ(fresh.device_dead[0] + fresh.device_dead[1], 0u);
+  ASSERT_EQ(fresh.device_cycles.size(), 2u);
+  EXPECT_EQ(fresh.fleet_makespan, 0u);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const FleetStats s = pool.peek_stats();
+      ASSERT_EQ(s.device_dead.size(), 2u);
+      ASSERT_LE(s.jobs_completed, 24u);
+    }
+  });
+  auto handles = pool.submit_batch(make_mixed_jobs(24, 61));
+  pool.kill_device(1);
+  for (auto& h : handles) h.get();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  pool.wait_idle();
+  const FleetStats s = pool.stats();
+  EXPECT_EQ(s.jobs_completed, 24u);
+  EXPECT_EQ(s.devices_failed, 1u);
 }
 
 } // namespace

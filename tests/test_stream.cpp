@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "dsp/reference.hpp"
 #include "dsp/signal.hpp"
+#include "stream/completer.hpp"
 #include "stream/server.hpp"
 
 namespace vwr2a::stream {
@@ -643,6 +644,166 @@ TEST(StreamServer, SessionsSpreadAcrossDevices) {
   }
   ASSERT_EQ(per_device.size(), 4u);
   for (const auto& [dev, count] : per_device) EXPECT_EQ(count, 2u) << dev;
+}
+
+TEST(Windower, StreamShorterThanOneHopFlushesExactlyOneTail) {
+  // Total samples < one hop: no full window exists, but the samples must
+  // not be dropped -- the flush emits exactly one zero-padded tail window,
+  // and never a second (spurious all-zero) one.
+  for (const unsigned hop : {8u, 4u}) {
+    SCOPED_TRACE("hop " + std::to_string(hop));
+    Windower w(8, hop, 32);
+    const std::vector<std::int32_t> tiny = {7, 8, 9};
+    w.push(tiny);
+    EXPECT_FALSE(w.has_window());
+    ASSERT_TRUE(w.has_tail());
+    const std::vector<std::int32_t> want = {7, 8, 9, 0, 0, 0, 0, 0};
+    EXPECT_EQ(w.pop_tail(), want);
+    EXPECT_FALSE(w.has_tail());  // one tail, never two
+    EXPECT_FALSE(w.has_window());
+  }
+}
+
+TEST(Windower, ExactWindowMultipleLeavesNoSpuriousTail) {
+  // Total samples an exact multiple of the window (hop == window): every
+  // sample is covered by a full window and a flush must emit nothing more.
+  Windower w(8, 8, 32);
+  std::vector<std::int32_t> stream(16);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::int32_t>(i + 1);
+  }
+  w.push(stream);
+  const auto want = slice_windows(stream, 8, 8, /*flush_tail=*/true);
+  ASSERT_EQ(want.size(), 2u);  // the golden agrees: no padded third window
+  std::vector<std::vector<std::int32_t>> got;
+  while (w.has_window()) got.push_back(w.pop_window());
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(w.has_tail());
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(StreamSession, BoundaryStreamsDeliverExactWindowCounts) {
+  // The Windower boundary pins, end to end through a session: an exact
+  // two-window stream delivers exactly 2 windows; a sub-hop stream
+  // delivers exactly 1 (padded); both bit-match the offline slicing.
+  StreamServer server;
+  for (const std::size_t total : {2 * (std::size_t)app::kWindow,
+                                  (std::size_t)137}) {
+    SCOPED_TRACE("stream of " + std::to_string(total));
+    const auto samples =
+        make_stream(total, 0.3, 1500 + static_cast<unsigned>(total));
+    std::vector<WindowResult> delivered;
+    Session& s = server.open_session(
+        {}, [&](const WindowResult& r) { delivered.push_back(r); });
+    s.push(samples);
+    s.finish();
+    const auto want =
+        slice_windows(samples, app::kWindow, app::kWindow, /*flush_tail=*/true);
+    ASSERT_EQ(delivered.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(delivered[i].job.output, offline_bio(want[i])) << i;
+    }
+    EXPECT_EQ(s.stats().windows_submitted, want.size());
+  }
+}
+
+TEST(StreamSession, EnqueueAfterStopRollsBackAndNeverHangsDrain) {
+  // PR 5 left a warning at the submit rollback: undoing the in-flight slot
+  // claim without waking slot_cv_ leaves a concurrent drain() asleep
+  // forever. Regression: push against a stopped completer must throw, and
+  // drain() afterwards must return promptly.
+  runtime::DevicePool pool;
+  Completer completer(1);
+  std::uint64_t delivered = 0;
+  Session session(1, pool, 0, SessionConfig{},
+                  [&](const WindowResult&) { ++delivered; }, &completer,
+                  nullptr);
+
+  const auto samples = make_stream(app::kWindow, 0.3, 1600);
+  session.push(samples);
+  session.drain();
+  EXPECT_EQ(delivered, 1u);
+
+  completer.stop();
+  EXPECT_THROW(session.push(samples), HostError);  // enqueue after stop
+  EXPECT_EQ(session.inflight(), 0u);               // slot rolled back
+
+  // The load-bearing part: drain() must see the rolled-back slot and
+  // return instead of waiting for a delivery that will never come.
+  std::atomic<bool> drained{false};
+  std::thread waiter([&] {
+    session.drain();
+    drained.store(true);
+  });
+  for (int spin = 0; spin < 500 && !drained.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(drained.load());  // would hang before the notify fix
+  waiter.join();
+  EXPECT_EQ(session.stats().windows_submitted, 1u);  // rollback accounted
+}
+
+TEST(StreamServer, SessionSurvivesItsDeviceDyingMidStream) {
+  // The tentpole, at the stream layer: a session's device dies between
+  // windows; the pin follows the failover chain, the resident image moves
+  // via checkpoint, and delivery stays ordered and bit-identical to an
+  // undisturbed run. The co-tenant on the surviving device never notices.
+  StreamServer::Config scfg;
+  scfg.pool.devices = 2;
+  scfg.pool.workers = 1;   // deterministic claim order
+  scfg.pool.max_batch = 1;
+  scfg.completion_threads = 2;
+  StreamServer server(scfg);
+
+  std::vector<std::vector<WindowResult>> delivered(2);
+  Session& victim = server.open_session(
+      {}, [&](const WindowResult& r) { delivered[0].push_back(r); });
+  Session& bystander = server.open_session(
+      {}, [&](const WindowResult& r) { delivered[1].push_back(r); });
+  ASSERT_NE(victim.device(), bystander.device());
+
+  const auto sv = make_stream(4 * app::kWindow, 0.2, 1700);
+  const auto sb = make_stream(4 * app::kWindow, 0.4, 1701);
+  const auto half = std::span<const std::int32_t>(sv).subspan(0, sv.size() / 2);
+
+  victim.push(half);
+  bystander.push(sb);
+  victim.drain();
+  bystander.drain();
+
+  ASSERT_TRUE(server.pool().kill_device(victim.device()));
+  victim.push(std::span<const std::int32_t>(sv).subspan(sv.size() / 2));
+  victim.finish();
+  bystander.finish();
+  server.finish();
+
+  for (unsigned i = 0; i < 2; ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    const auto& stream_i = i == 0 ? sv : sb;
+    const auto want = slice_windows(stream_i, app::kWindow, app::kWindow,
+                                    /*flush_tail=*/true);
+    ASSERT_EQ(delivered[i].size(), want.size());
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      EXPECT_EQ(delivered[i][w].index, w);  // ordered despite re-placement
+      EXPECT_EQ(delivered[i][w].job.output, offline_bio(want[w]))
+          << "window " << w;
+    }
+  }
+  // The victim's post-fault windows ran on the surviving device...
+  EXPECT_EQ(delivered[0][3].job.device, bystander.device());
+  const SessionStats vs = victim.stats();
+  EXPECT_GE(vs.windows_migrated, 1u);
+  EXPECT_EQ(vs.device, bystander.device());
+  // ...and the bystander never moved.
+  EXPECT_EQ(bystander.stats().windows_migrated, 0u);
+  const runtime::FleetStats fs = server.pool().stats();
+  EXPECT_EQ(fs.devices_failed, 1u);
+  EXPECT_EQ(fs.jobs_failed, 0u);
+  EXPECT_EQ(fs.checkpoints_taken, 1u);
+  // The failover target already hosts a resident image (the bystander's),
+  // which is bit-equivalent by construction -- adoption is skipped, and
+  // that skip is precisely why the outputs above could match the golden.
+  EXPECT_EQ(fs.checkpoints_restored, 0u);
 }
 
 } // namespace
