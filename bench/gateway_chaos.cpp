@@ -11,8 +11,12 @@
 //   * every window delivered, nothing dropped or failed;
 //   * window outputs bit-identical to the fault-free run, per stream --
 //     re-placed windows included (outputs are placement-independent).
-// Reported: chaos-run throughput plus the fleet's rescue counters, appended
-// to BENCH_runtime.json for the nightly perf-trajectory artifact.
+// Reported: chaos-run throughput, the fleet's rescue counters, and the
+// chaos run's client-observed end-to-end window latency percentiles (last
+// sample pushed -> result callback), recorded through the obs metrics
+// registry's log-bucketed histogram -- the same instrument the serving
+// stack exports -- and appended to BENCH_runtime.json for the nightly
+// perf-trajectory artifact.
 
 #include <algorithm>
 #include <atomic>
@@ -26,6 +30,8 @@
 #include "bench/bench_util.hpp"
 #include "gateway/client.hpp"
 #include "gateway/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "stream/server.hpp"
 
 int main() {
@@ -86,7 +92,8 @@ int main() {
                          std::atomic<bool>& ordered,
                          std::atomic<std::uint64_t>& failed,
                          std::atomic<std::uint64_t>& dropped,
-                         runtime::FleetStats& fleet) -> double {
+                         runtime::FleetStats& fleet,
+                         obs::Histogram* latency_us) -> double {
     gateway::Server::Config cfg;
     cfg.stream = fleet_cfg(chaos);
     cfg.stream.completion_threads = 4;
@@ -98,22 +105,38 @@ int main() {
     for (unsigned i = 0; i < kClients; ++i) {
       threads.emplace_back([&, i] {
         gateway::Client client(server.connect_loopback());
+        // Wall stamp of each window's final pushed sample (hop == window).
+        std::vector<Clock::time_point> pushed(kWindowsPerClient);
         gateway::Client::StreamOpts opts;
         opts.tenant = i;
         if (i % 2 == 1) opts.kind = 1;  // pipeline
         const std::uint32_t sid = client.open(
             opts, [&, i](const gateway::WindowResult& r) {
+              const auto now = Clock::now();
               if (r.index != windows[i]) ordered = false;
               ++windows[i];
               for (std::int32_t w : r.output) {
                 hash[i] =
                     (hash[i] ^ static_cast<std::uint32_t>(w)) * kFnvPrime;
               }
+              if (latency_us != nullptr && r.index < pushed.size()) {
+                latency_us->record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        now - pushed[r.index])
+                        .count()));
+              }
             });
         std::size_t sent = 0;
         while (sent < streams[i].size()) {
           const std::size_t take =
               std::min<std::size_t>(kChunk, streams[i].size() - sent);
+          // Stamped BEFORE the push: the result callback may fire as soon
+          // as the bytes are queued (see gateway_soak for the ordering
+          // argument).
+          for (std::size_t w = sent / app::kWindow + 1;
+               w <= (sent + take) / app::kWindow; ++w) {
+            if (w - 1 < pushed.size()) pushed[w - 1] = Clock::now();
+          }
           client.push(sid, std::span<const std::int32_t>(streams[i])
                                .subspan(sent, take));
           sent += take;
@@ -133,6 +156,12 @@ int main() {
   };
 
   // --- chaos run --------------------------------------------------------------
+  // E2e latency under faults goes through the obs registry histogram (the
+  // instrument the serving stack itself exports), so the percentiles here
+  // and a live Prometheus dump can never disagree on bucketing.
+  obs::set_metrics(true);
+  obs::Histogram& lat_us =
+      obs::Registry::get().histogram("bench.chaos_e2e_us");
   std::vector<std::uint64_t> chaos_hash(kClients, kFnvOffset);
   std::vector<std::uint64_t> chaos_windows(kClients, 0);
   std::atomic<bool> chaos_ordered{true};
@@ -140,7 +169,7 @@ int main() {
   runtime::FleetStats chaos_fleet;
   const double chaos_wall_s =
       run_gateway(true, chaos_hash, chaos_windows, chaos_ordered,
-                  chaos_failed, chaos_dropped, chaos_fleet);
+                  chaos_failed, chaos_dropped, chaos_fleet, &lat_us);
 
   // --- fault-free reference (identical fleet, identical workload) -------------
   std::vector<std::uint64_t> ref_hash(kClients, kFnvOffset);
@@ -150,7 +179,12 @@ int main() {
   runtime::FleetStats ref_fleet;
   const double ref_wall_s =
       run_gateway(false, ref_hash, ref_windows, ref_ordered, ref_failed,
-                  ref_dropped, ref_fleet);
+                  ref_dropped, ref_fleet, nullptr);
+  obs::set_metrics(false);
+
+  const double lat_p50_ms = static_cast<double>(lat_us.quantile(0.50)) / 1e3;
+  const double lat_p95_ms = static_cast<double>(lat_us.quantile(0.95)) / 1e3;
+  const double lat_p99_ms = static_cast<double>(lat_us.quantile(0.99)) / 1e3;
 
   // --- report & gates ---------------------------------------------------------
   const std::uint64_t total_windows =
@@ -190,6 +224,10 @@ int main() {
               static_cast<unsigned long long>(chaos_fleet.checkpoints_taken),
               static_cast<unsigned long long>(
                   chaos_fleet.checkpoints_restored));
+  std::printf("\n  chaos e2e window latency (wall): p50 %.1f ms, "
+              "p95 %.1f ms, p99 %.1f ms (%llu windows)\n",
+              lat_p50_ms, lat_p95_ms, lat_p99_ms,
+              static_cast<unsigned long long>(lat_us.count()));
   std::printf("  outputs: %s; delivery: %s; ordering: %s; plan: %s\n",
               identical ? "bit-identical to fault-free" : "MISMATCH",
               complete ? "complete, no drops/failures" : "INCOMPLETE",
@@ -210,6 +248,9 @@ int main() {
       .field("jobs_rescued", chaos_fleet.jobs_rescued)
       .field("checkpoints_taken", chaos_fleet.checkpoints_taken)
       .field("checkpoints_restored", chaos_fleet.checkpoints_restored)
+      .field("latency_p50_ms", lat_p50_ms)
+      .field("latency_p95_ms", lat_p95_ms)
+      .field("latency_p99_ms", lat_p99_ms)
       .field("bit_identical", identical)
       .write();
 

@@ -11,11 +11,19 @@
 // Reported: client-observed end-to-end window latency percentiles (last
 // sample pushed -> result callback, wall clock) and windows/s, appended to
 // BENCH_runtime.json for the nightly perf-trajectory artifact.
+//
+// Flight recorder: set VWR2A_TRACE=<path.vwr2trc> to record the gateway
+// run with obs tracing enabled and save the capture there (convert with
+// `vwr2a_trace convert`). Tracing is switched off again before the direct
+// run, so the bit-identical gate doubles as the observer-effect gate: the
+// traced gateway run must produce the same outputs as the untraced direct
+// run.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <thread>
@@ -24,6 +32,9 @@
 #include "bench/bench_util.hpp"
 #include "gateway/client.hpp"
 #include "gateway/server.hpp"
+#include "obs/capture.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "stream/server.hpp"
 
 int main() {
@@ -65,6 +76,9 @@ int main() {
   };
 
   bench::header("Gateway soak: 64 loopback clients, 16-device mixed fleet");
+
+  const char* trace_path = std::getenv("VWR2A_TRACE");
+  if (trace_path != nullptr) obs::set_tracing(true);
 
   // --- gateway run ------------------------------------------------------------
   std::vector<std::uint64_t> gw_hash(kClients, kFnvOffset);
@@ -136,6 +150,27 @@ int main() {
     const stream::ServerStats st = server.streams().stats();
     gw_windows_per_sim_s = st.windows_per_sim_second();
     server.stop();
+  }
+  if (trace_path != nullptr) {
+    // Off before the direct run: its (differently-numbered) sessions would
+    // otherwise emit colliding window ids into the same rings.
+    obs::set_tracing(false);
+    const obs::Tracer::Snapshot snap = obs::Tracer::get().snapshot();
+    std::string why;
+    if (!obs::save_capture(snap, trace_path, &why)) {
+      std::fprintf(stderr, "trace capture failed: %s\n", why.c_str());
+      return 1;
+    }
+    const obs::Capture cap = obs::to_capture(snap);
+    const auto chains = obs::analyze_windows(cap);
+    std::size_t complete_chains = 0;
+    for (const auto& c : chains) {
+      if (c.complete() && c.distinct_tids >= 3) ++complete_chains;
+    }
+    std::printf("  trace: %zu events -> %s (%zu/%zu windows chained, "
+                "%llu dropped)\n",
+                cap.events.size(), trace_path, complete_chains, chains.size(),
+                static_cast<unsigned long long>(cap.dropped));
   }
   for (auto& v : per_client_lat) {
     latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());

@@ -10,6 +10,8 @@
 
 #include "artifact/codec.hpp"
 #include "artifact/format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vwr2a::artifact {
 
@@ -190,6 +192,12 @@ std::shared_ptr<const isa::KernelImage> Store::load_image(
     return nullptr;
   }
   images_served_.fetch_add(1, std::memory_order_relaxed);
+  obs::instant("artifact.image", 0, it->second.len);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& m =
+        obs::Registry::get().counter("artifact.images_hydrated");
+    m.add(1);
+  }
   return image;
 }
 
@@ -213,6 +221,12 @@ std::shared_ptr<const cgra::CompiledTrace> Store::load_trace(
     return nullptr;
   }
   traces_served_.fetch_add(1, std::memory_order_relaxed);
+  obs::instant("artifact.trace", 0, it->second.len);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& m =
+        obs::Registry::get().counter("artifact.traces_hydrated");
+    m.add(1);
+  }
   return trace;
 }
 

@@ -118,6 +118,52 @@ class Reader {
   std::size_t off_ = 0;
 };
 
+// The STATS field block appears in two frames (STATS and STATS_PUSH);
+// one reader/writer pair keeps them from drifting.
+Stats read_stats(Reader& r) {
+  Stats f;
+  f.devices = r.u32();
+  f.sessions = r.u64();
+  f.connections = r.u64();
+  f.windows_delivered = r.u64();
+  f.jobs_completed = r.u64();
+  f.jobs_failed = r.u64();
+  f.fleet_makespan = r.u64();
+  f.total_device_cycles = r.u64();
+  f.stagings = r.u64();
+  f.total_pj = r.f64();
+  f.images_hydrated = r.u64();
+  f.traces_hydrated = r.u64();
+  f.artifact_attached = r.u8();
+  f.devices_failed = r.u64();
+  f.devices_revived = r.u64();
+  f.devices_dead = r.u64();
+  f.jobs_rescued = r.u64();
+  f.checkpoints_restored = r.u64();
+  return f;
+}
+
+void put_stats(std::vector<std::uint8_t>& out, const Stats& v) {
+  put_u32(out, v.devices);
+  put_u64(out, v.sessions);
+  put_u64(out, v.connections);
+  put_u64(out, v.windows_delivered);
+  put_u64(out, v.jobs_completed);
+  put_u64(out, v.jobs_failed);
+  put_u64(out, v.fleet_makespan);
+  put_u64(out, v.total_device_cycles);
+  put_u64(out, v.stagings);
+  put_f64(out, v.total_pj);
+  put_u64(out, v.images_hydrated);
+  put_u64(out, v.traces_hydrated);
+  put_u8(out, v.artifact_attached);
+  put_u64(out, v.devices_failed);
+  put_u64(out, v.devices_revived);
+  put_u64(out, v.devices_dead);
+  put_u64(out, v.jobs_rescued);
+  put_u64(out, v.checkpoints_restored);
+}
+
 Frame decode_payload(FrameType type, Reader& r) {
   switch (type) {
     case FrameType::kOpenSession: {
@@ -181,33 +227,54 @@ Frame decode_payload(FrameType type, Reader& r) {
       f.latency_cycles_max = r.u64();
       return f;
     }
-    case FrameType::kStats: {
-      Stats f;
-      f.devices = r.u32();
-      f.sessions = r.u64();
-      f.connections = r.u64();
-      f.windows_delivered = r.u64();
-      f.jobs_completed = r.u64();
-      f.jobs_failed = r.u64();
-      f.fleet_makespan = r.u64();
-      f.total_device_cycles = r.u64();
-      f.stagings = r.u64();
-      f.total_pj = r.f64();
-      f.images_hydrated = r.u64();
-      f.traces_hydrated = r.u64();
-      f.artifact_attached = r.u8();
-      f.devices_failed = r.u64();
-      f.devices_revived = r.u64();
-      f.devices_dead = r.u64();
-      f.jobs_rescued = r.u64();
-      f.checkpoints_restored = r.u64();
-      return f;
-    }
+    case FrameType::kStats:
+      return read_stats(r);
     case FrameType::kError: {
       Error f;
       f.stream = r.u32();
       f.code = r.u16();
       f.message = r.string();
+      return f;
+    }
+    case FrameType::kStatsSubscribe: {
+      StatsSubscribe f;
+      f.cadence_ms = r.u32();
+      f.enable = r.u8();
+      return f;
+    }
+    case FrameType::kStatsPush: {
+      StatsPush f;
+      f.seq = r.u64();
+      f.stats = read_stats(r);
+      // Both array counts are validated against the actual remaining bytes
+      // before any allocation (DeviceLoad = 17 bytes, SessionLoad = 44).
+      const std::uint32_t ndev = r.u32();
+      if (r.remaining() / 17 < ndev) {
+        throw ProtocolError("gateway: device-load array overruns its frame");
+      }
+      f.devices.reserve(ndev);
+      for (std::uint32_t i = 0; i < ndev; ++i) {
+        DeviceLoad d;
+        d.cycles = r.u64();
+        d.jobs = r.u64();
+        d.dead = r.u8();
+        f.devices.push_back(d);
+      }
+      const std::uint32_t nses = r.u32();
+      if (r.remaining() / 44 < nses) {
+        throw ProtocolError("gateway: session-load array overruns its frame");
+      }
+      f.sessions.reserve(nses);
+      for (std::uint32_t i = 0; i < nses; ++i) {
+        SessionLoad l;
+        l.id = r.u64();
+        l.device = r.u32();
+        l.windows_submitted = r.u64();
+        l.windows_delivered = r.u64();
+        l.dropped_samples = r.u64();
+        l.latency_cycles_total = r.u64();
+        f.sessions.push_back(l);
+      }
       return f;
     }
   }
@@ -262,24 +329,28 @@ void encode_payload(const Frame& f, std::vector<std::uint8_t>& out) {
           put_u64(out, v.latency_cycles_total);
           put_u64(out, v.latency_cycles_max);
         } else if constexpr (std::is_same_v<T, Stats>) {
-          put_u32(out, v.devices);
-          put_u64(out, v.sessions);
-          put_u64(out, v.connections);
-          put_u64(out, v.windows_delivered);
-          put_u64(out, v.jobs_completed);
-          put_u64(out, v.jobs_failed);
-          put_u64(out, v.fleet_makespan);
-          put_u64(out, v.total_device_cycles);
-          put_u64(out, v.stagings);
-          put_f64(out, v.total_pj);
-          put_u64(out, v.images_hydrated);
-          put_u64(out, v.traces_hydrated);
-          put_u8(out, v.artifact_attached);
-          put_u64(out, v.devices_failed);
-          put_u64(out, v.devices_revived);
-          put_u64(out, v.devices_dead);
-          put_u64(out, v.jobs_rescued);
-          put_u64(out, v.checkpoints_restored);
+          put_stats(out, v);
+        } else if constexpr (std::is_same_v<T, StatsSubscribe>) {
+          put_u32(out, v.cadence_ms);
+          put_u8(out, v.enable);
+        } else if constexpr (std::is_same_v<T, StatsPush>) {
+          put_u64(out, v.seq);
+          put_stats(out, v.stats);
+          put_u32(out, static_cast<std::uint32_t>(v.devices.size()));
+          for (const DeviceLoad& d : v.devices) {
+            put_u64(out, d.cycles);
+            put_u64(out, d.jobs);
+            put_u8(out, d.dead);
+          }
+          put_u32(out, static_cast<std::uint32_t>(v.sessions.size()));
+          for (const SessionLoad& l : v.sessions) {
+            put_u64(out, l.id);
+            put_u32(out, l.device);
+            put_u64(out, l.windows_submitted);
+            put_u64(out, l.windows_delivered);
+            put_u64(out, l.dropped_samples);
+            put_u64(out, l.latency_cycles_total);
+          }
         } else {  // Error
           put_u32(out, v.stream);
           put_u16(out, v.code);
@@ -303,7 +374,9 @@ FrameType frame_type(const Frame& f) {
     case 7: return FrameType::kFlushOk;
     case 8: return FrameType::kCloseOk;
     case 9: return FrameType::kStats;
-    default: return FrameType::kError;
+    case 10: return FrameType::kError;
+    case 11: return FrameType::kStatsSubscribe;
+    default: return FrameType::kStatsPush;
   }
 }
 

@@ -31,7 +31,11 @@ namespace vwr2a::gateway {
 /// v3: STATS gained the fault-and-recovery fields (devices_failed,
 /// devices_revived, devices_dead, jobs_rescued, checkpoints_restored) --
 /// the DEVICE_LOST/RECOVERED picture a tenant polls for.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// v4: push-mode stats -- STATS_SUBSCRIBE (client -> server: cadence +
+/// enable) and STATS_PUSH (server-initiated: seq + the full STATS picture
+/// + per-device and per-session load arrays), the router-tier feed that
+/// replaces polling.
+inline constexpr std::uint8_t kProtocolVersion = 4;
 /// Hard bound on one frame's payload; larger length prefixes are rejected
 /// before any allocation happens.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
@@ -72,6 +76,7 @@ enum class FrameType : std::uint8_t {
   kFlush = 0x03,
   kClose = 0x04,
   kStatsRequest = 0x05,
+  kStatsSubscribe = 0x06,
   // server -> client
   kOpenOk = 0x81,
   kWindowResult = 0x82,
@@ -79,6 +84,7 @@ enum class FrameType : std::uint8_t {
   kCloseOk = 0x84,
   kStats = 0x85,
   kError = 0x86,
+  kStatsPush = 0x87,
 };
 
 // --- frame structs ------------------------------------------------------------
@@ -182,9 +188,49 @@ struct Error {
   std::string message;
 };
 
+/// v4: starts (enable=1) or stops (enable=0) server-initiated STATS_PUSH
+/// frames on this connection, every `cadence_ms` milliseconds. A fresh
+/// subscribe while already subscribed re-configures the cadence. The first
+/// push is sent immediately (it doubles as the subscribe ack).
+/// enable=1 with cadence_ms=0 is rejected with ERROR kBadParams.
+struct StatsSubscribe {
+  std::uint32_t cadence_ms = 0;
+  std::uint8_t enable = 1;
+};
+
+/// One device's live load in a STATS_PUSH (index in the array = device id).
+struct DeviceLoad {
+  std::uint64_t cycles = 0;  ///< device-local clock (simulated)
+  std::uint64_t jobs = 0;    ///< jobs completed on this device
+  std::uint8_t dead = 0;     ///< 1 while fail-stopped
+};
+
+/// One session's live load in a STATS_PUSH.
+struct SessionLoad {
+  std::uint64_t id = 0;
+  std::uint32_t device = 0;  ///< device of the last delivered window
+  std::uint64_t windows_submitted = 0;
+  std::uint64_t windows_delivered = 0;
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t latency_cycles_total = 0;
+};
+
+/// v4: server-initiated stats frame. A distinct type from STATS so pushes
+/// can never be mistaken for the reply to an in-flight STATS_REQUEST.
+/// `sessions` carries at most the newest kMaxSessionLoads sessions.
+struct StatsPush {
+  static constexpr std::size_t kMaxSessionLoads = 256;
+  std::uint64_t seq = 0;  ///< per-connection push counter, from 0
+  Stats stats;
+  std::vector<DeviceLoad> devices;
+  std::vector<SessionLoad> sessions;
+};
+
+// New frame alternatives are appended (after Error) so Frame::index()
+// stays stable for the existing types; frame_type() maps the indices.
 using Frame = std::variant<OpenSession, PushSamples, Flush, Close,
                            StatsRequest, OpenOk, WindowResult, FlushOk,
-                           CloseOk, Stats, Error>;
+                           CloseOk, Stats, Error, StatsSubscribe, StatsPush>;
 
 /// The FrameType a Frame alternative encodes as.
 FrameType frame_type(const Frame& f);

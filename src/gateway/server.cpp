@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vwr2a::gateway {
 
@@ -32,6 +34,7 @@ class Server::Connection {
 
   void join() {
     if (reader_.joinable()) reader_.join();
+    stop_pusher();  // backstop; the reader normally joined it already
     if (writer_.joinable()) writer_.join();
   }
 
@@ -83,6 +86,11 @@ class Server::Connection {
         wq_.pop_front();
       }
       wspace_cv_.notify_one();
+      if (obs::metrics_enabled()) {
+        static obs::Counter& out =
+            obs::Registry::get().counter("gateway.bytes_out");
+        out.add(bytes.size());
+      }
       if (!t_->send(bytes.data(), bytes.size())) {
         std::lock_guard<std::mutex> lock(wmu_);
         closed_ = true;
@@ -96,6 +104,11 @@ class Server::Connection {
   void send_error(std::uint32_t stream, ErrorCode code,
                   const std::string& message) {
     srv_->note_error_sent();
+    if (obs::metrics_enabled()) {
+      static obs::Counter& errs =
+          obs::Registry::get().counter("gateway.errors_sent");
+      errs.add(1);
+    }
     enqueue(Error{stream, static_cast<std::uint16_t>(code), message});
   }
 
@@ -109,7 +122,14 @@ class Server::Connection {
     f.cycles = r.job.cost.total_cycles();
     f.pj = r.job.cost.total_pj();
     f.output = r.job.output;
-    if (enqueue(std::move(f))) srv_->note_result_sent();
+    if (enqueue(std::move(f))) {
+      srv_->note_result_sent();
+      if (obs::metrics_enabled()) {
+        static obs::Counter& results =
+            obs::Registry::get().counter("gateway.results_sent");
+        results.add(1);
+      }
+    }
   }
 
   // --- inbound ----------------------------------------------------------------
@@ -121,9 +141,21 @@ class Server::Connection {
       for (;;) {
         const std::size_t n = t_->recv(buf.data(), buf.size());
         if (n == 0) break;  // EOF / shutdown
+        if (obs::metrics_enabled()) {
+          static obs::Counter& in =
+              obs::Registry::get().counter("gateway.bytes_in");
+          in.add(n);
+        }
         dec.feed(buf.data(), n);
         while (auto f = dec.next()) {
           srv_->note_frame_in();
+          if (obs::metrics_enabled()) {
+            static obs::Counter& frames =
+                obs::Registry::get().counter("gateway.frames_in");
+            frames.add(1);
+          }
+          obs::Span sp("gateway.frame", 0,
+                       static_cast<std::uint64_t>(frame_type(*f)));
           handle(*f);
         }
       }
@@ -135,6 +167,9 @@ class Server::Connection {
       send_error(kConnectionStream, ErrorCode::kShutdown, e.what());
     }
     shutdown_streams();
+    // The stats pusher enqueues frames; it must be gone before the writer
+    // is told no more producers exist.
+    stop_pusher();
     {
       std::lock_guard<std::mutex> lock(wmu_);
       finishing_ = true;  // writer exits once the queue is flushed
@@ -154,6 +189,8 @@ class Server::Connection {
       handle_close(*close);
     } else if (std::get_if<StatsRequest>(&f) != nullptr) {
       enqueue(srv_->build_stats());
+    } else if (const auto* sub = std::get_if<StatsSubscribe>(&f)) {
+      handle_subscribe(*sub);
     } else {
       // A structurally valid frame of a server->client type: a confused
       // peer, not a framing corruption. Report, keep the connection.
@@ -272,6 +309,62 @@ class Server::Connection {
     enqueue(ok);
   }
 
+  // --- stats push (v4) --------------------------------------------------------
+
+  void handle_subscribe(const StatsSubscribe& sub) {
+    if (sub.enable != 0 && sub.cadence_ms == 0) {
+      send_error(kConnectionStream, ErrorCode::kBadParams,
+                 "gateway: STATS_SUBSCRIBE cadence_ms must be > 0");
+      return;
+    }
+    const std::uint32_t cadence =
+        sub.enable != 0
+            ? std::max(sub.cadence_ms, srv_->cfg_.min_stats_cadence_ms)
+            : 0;
+    bool start = false;
+    {
+      std::lock_guard<std::mutex> lock(pmu_);
+      cadence_ms_ = cadence;
+      push_now_ = cadence != 0;  // first push immediately (the ack)
+      start = cadence != 0 && !pusher_.joinable();
+      if (start) pusher_ = std::thread([this] { pusher_loop(); });
+    }
+    p_cv_.notify_all();
+  }
+
+  /// Periodic server-initiated STATS_PUSH frames. One lazily-started
+  /// thread per subscribed connection; lives until the reader exits.
+  void pusher_loop() {
+    std::uint64_t seq = 0;
+    std::unique_lock<std::mutex> lock(pmu_);
+    for (;;) {
+      p_cv_.wait(lock, [this] { return pusher_stop_ || cadence_ms_ != 0; });
+      if (pusher_stop_) return;
+      push_now_ = false;
+      const std::uint32_t cadence = cadence_ms_;
+      lock.unlock();
+      // Built and enqueued unlocked: build_stats_push takes server-side
+      // snapshots and enqueue may block on writer backpressure.
+      enqueue(srv_->build_stats_push(seq++));
+      lock.lock();
+      p_cv_.wait_for(lock, std::chrono::milliseconds(cadence),
+                     [this, cadence] {
+                       return pusher_stop_ || push_now_ ||
+                              cadence_ms_ != cadence;
+                     });
+      if (pusher_stop_) return;
+    }
+  }
+
+  void stop_pusher() {
+    {
+      std::lock_guard<std::mutex> lock(pmu_);
+      pusher_stop_ = true;
+    }
+    p_cv_.notify_all();
+    if (pusher_.joinable()) pusher_.join();
+  }
+
   /// EOF/teardown: settle every live stream (deliver what was submitted;
   /// buffered-but-unsubmitted samples are discarded -- the peer is gone)
   /// and release its quota.
@@ -293,6 +386,13 @@ class Server::Connection {
   std::thread writer_;
 
   std::map<std::uint32_t, StreamState> streams_;  ///< reader-thread-owned
+
+  std::mutex pmu_;                ///< pusher state below
+  std::condition_variable p_cv_;  ///< cadence change / immediate push / stop
+  std::thread pusher_;            ///< started on first STATS_SUBSCRIBE
+  std::uint32_t cadence_ms_ = 0;  ///< 0 = not subscribed
+  bool push_now_ = false;         ///< one immediate push requested
+  bool pusher_stop_ = false;
 
   std::mutex wmu_;
   std::condition_variable w_cv_;       ///< writer: frames queued / stop
@@ -482,16 +582,7 @@ Server::Telemetry Server::telemetry() const {
   return t;
 }
 
-Stats Server::build_stats() const {
-  Stats s;
-  const runtime::FleetStats fleet = stream_.pool().peek_stats();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s.sessions = tel_.sessions;
-    s.connections = tel_.connections;
-  }
-  s.windows_delivered = results_sent_.load(std::memory_order_relaxed);
-  s.devices = stream_.pool().num_devices();
+void fold_fleet(Stats& s, const runtime::FleetStats& fleet) {
   s.jobs_completed = fleet.jobs_completed;
   s.jobs_failed = fleet.jobs_failed;
   s.fleet_makespan = fleet.fleet_makespan;
@@ -506,7 +597,59 @@ Stats Server::build_stats() const {
   s.devices_dead = fleet.devices_dead;
   s.jobs_rescued = fleet.jobs_rescued;
   s.checkpoints_restored = fleet.checkpoints_restored;
+}
+
+Stats Server::build_stats() const {
+  return build_stats(stream_.pool().peek_stats());
+}
+
+Stats Server::build_stats(const runtime::FleetStats& fleet) const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.sessions = tel_.sessions;
+    s.connections = tel_.connections;
+  }
+  s.windows_delivered = results_sent_.load(std::memory_order_relaxed);
+  s.devices = stream_.pool().num_devices();
+  fold_fleet(s, fleet);
   return s;
+}
+
+StatsPush Server::build_stats_push(std::uint64_t seq) const {
+  const runtime::FleetStats fleet = stream_.pool().peek_stats();
+  StatsPush p;
+  p.seq = seq;
+  p.stats = build_stats(fleet);
+  p.devices.reserve(fleet.device_cycles.size());
+  for (std::size_t d = 0; d < fleet.device_cycles.size(); ++d) {
+    DeviceLoad load;
+    load.cycles = fleet.device_cycles[d];
+    load.jobs = d < fleet.device_jobs.size() ? fleet.device_jobs[d] : 0;
+    load.dead = d < fleet.device_dead.size() ? fleet.device_dead[d] : 0;
+    p.devices.push_back(load);
+  }
+  // StreamServer sessions are append-only (closed sessions keep their
+  // final counters), so on a long-lived server the newest tail is the
+  // live set -- and it bounds the frame size.
+  std::vector<stream::SessionStats> sessions = stream_.peek_sessions();
+  const std::size_t first =
+      sessions.size() > StatsPush::kMaxSessionLoads
+          ? sessions.size() - StatsPush::kMaxSessionLoads
+          : 0;
+  p.sessions.reserve(sessions.size() - first);
+  for (std::size_t i = first; i < sessions.size(); ++i) {
+    const stream::SessionStats& ss = sessions[i];
+    SessionLoad l;
+    l.id = ss.id;
+    l.device = ss.device;
+    l.windows_submitted = ss.windows_submitted;
+    l.windows_delivered = ss.windows_delivered;
+    l.dropped_samples = ss.dropped_samples;
+    l.latency_cycles_total = ss.latency_cycles_total;
+    p.sessions.push_back(l);
+  }
+  return p;
 }
 
 } // namespace vwr2a::gateway

@@ -42,6 +42,11 @@
 
 namespace vwr2a::gateway {
 
+/// The single runtime::FleetStats -> wire-Stats mapping. Both the v3 STATS
+/// reply and the v4 STATS_PUSH scalar block go through it (the
+/// stats-aggregation dedup: the frames can never drift from peek_stats).
+void fold_fleet(Stats& s, const runtime::FleetStats& fleet);
+
 /// The gateway.
 class Server {
  public:
@@ -64,6 +69,10 @@ class Server {
     Quotas quotas;
     /// Outbound frames buffered per connection before sinks block.
     std::size_t writer_queue_frames = 256;
+    /// Floor on STATS_SUBSCRIBE cadence: subscriptions asking for a
+    /// shorter period are clamped up to this, bounding the push load one
+    /// connection can demand.
+    std::uint32_t min_stats_cadence_ms = 1;
     /// Monotonic nanosecond clock the rate limiter reads; null = wall
     /// clock (std::chrono::steady_clock). Tests inject a fake.
     std::function<std::uint64_t()> clock_ns;
@@ -107,6 +116,13 @@ class Server {
   /// The STATS-frame picture: gateway counters + the pool's non-blocking
   /// fleet aggregate (runtime::DevicePool::peek_stats).
   Stats build_stats() const;
+  /// Same, over an already-fetched fleet snapshot (lets STATS_PUSH build
+  /// the scalar block and the per-device array from one snapshot).
+  Stats build_stats(const runtime::FleetStats& fleet) const;
+
+  /// One v4 STATS_PUSH frame: build_stats() + per-device loads + the
+  /// newest sessions' loads, all from live non-blocking snapshots.
+  StatsPush build_stats_push(std::uint64_t seq) const;
 
  private:
   class Connection;

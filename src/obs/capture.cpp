@@ -1,0 +1,324 @@
+#include "obs/capture.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <unordered_map>
+
+namespace vwr2a::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'W', 'R', '2', 'A', 'T', 'R', 'C'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+// Bounds-checked little-endian reader over the loaded file bytes.
+class Reader {
+ public:
+  explicit Reader(const std::string& buf) : buf_(buf) {}
+  bool u8(std::uint8_t* v) {
+    if (pos_ + 1 > buf_.size()) return false;
+    *v = static_cast<std::uint8_t>(buf_[pos_++]);
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > buf_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (pos_ + 8 > buf_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool bytes(std::string* v, std::size_t n) {
+    if (pos_ + n > buf_.size()) return false;
+    v->assign(buf_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+};
+
+bool fail(std::string* why, const char* msg) {
+  if (why != nullptr) *why = msg;
+  return false;
+}
+
+// JSON string escaping for event names (names are source literals, but the
+// exporter should never emit broken JSON regardless).
+void put_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+} // namespace
+
+Capture to_capture(const Tracer::Snapshot& snap) {
+  Capture cap;
+  cap.dropped = snap.dropped;
+  cap.threads = snap.threads;
+  std::unordered_map<const char*, std::uint32_t> interned;
+  cap.events.reserve(snap.events.size());
+  for (const TraceEvent& e : snap.events) {
+    const char* name = e.name != nullptr ? e.name : "";
+    auto [it, fresh] =
+        interned.try_emplace(name, static_cast<std::uint32_t>(cap.names.size()));
+    if (fresh) cap.names.emplace_back(name);
+    Capture::Ev ev;
+    ev.name = it->second;
+    ev.tid = e.tid;
+    ev.kind = e.kind;
+    ev.ts_ns = e.ts_ns;
+    ev.dur_ns = e.dur_ns;
+    ev.window = e.window;
+    ev.sim_begin = e.sim_begin;
+    ev.sim_dur = e.sim_dur;
+    ev.a1 = e.a1;
+    ev.a2 = e.a2;
+    ev.a3 = e.a3;
+    cap.events.push_back(ev);
+  }
+  return cap;
+}
+
+bool save_capture(const Tracer::Snapshot& snap, const std::string& path,
+                  std::string* why) {
+  const Capture cap = to_capture(snap);
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kFormatVersion);
+  put_u32(out, cap.threads);
+  put_u64(out, cap.dropped);
+  put_u32(out, static_cast<std::uint32_t>(cap.names.size()));
+  for (const std::string& n : cap.names) {
+    put_u32(out, static_cast<std::uint32_t>(n.size()));
+    out.append(n);
+  }
+  put_u64(out, cap.events.size());
+  for (const Capture::Ev& e : cap.events) {
+    put_u32(out, e.name);
+    put_u32(out, e.tid);
+    put_u8(out, e.kind);
+    put_u64(out, e.ts_ns);
+    put_u64(out, e.dur_ns);
+    put_u64(out, e.window);
+    put_u64(out, e.sim_begin);
+    put_u64(out, e.sim_dur);
+    put_u64(out, e.a1);
+    put_u64(out, e.a2);
+    put_u64(out, e.a3);
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return fail(why, "cannot open capture file for writing");
+  f.write(out.data(), static_cast<std::streamsize>(out.size()));
+  f.flush();
+  if (!f) return fail(why, "short write to capture file");
+  return true;
+}
+
+bool load_capture(const std::string& path, Capture* out, std::string* why) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return fail(why, "cannot open capture file");
+  std::string buf((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  Reader r(buf);
+  std::string magic;
+  if (!r.bytes(&magic, sizeof(kMagic)) ||
+      std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail(why, "bad magic (not a .vwr2trc capture)");
+  }
+  std::uint32_t version = 0;
+  if (!r.u32(&version)) return fail(why, "truncated header");
+  if (version != kFormatVersion) return fail(why, "unsupported capture version");
+  Capture cap;
+  std::uint64_t nevents = 0;
+  std::uint32_t nnames = 0;
+  if (!r.u32(&cap.threads) || !r.u64(&cap.dropped) || !r.u32(&nnames)) {
+    return fail(why, "truncated header");
+  }
+  // Every name needs at least its 4-byte length on disk.
+  if (nnames > r.remaining() / 4) return fail(why, "name count exceeds file");
+  cap.names.reserve(nnames);
+  for (std::uint32_t i = 0; i < nnames; ++i) {
+    std::uint32_t len = 0;
+    std::string n;
+    if (!r.u32(&len) || len > r.remaining() || !r.bytes(&n, len)) {
+      return fail(why, "truncated string table");
+    }
+    cap.names.push_back(std::move(n));
+  }
+  if (!r.u64(&nevents)) return fail(why, "truncated event count");
+  constexpr std::size_t kEvBytes = 4 + 4 + 1 + 8 * 8;
+  if (nevents > r.remaining() / kEvBytes) {
+    return fail(why, "event count exceeds file");
+  }
+  cap.events.reserve(nevents);
+  for (std::uint64_t i = 0; i < nevents; ++i) {
+    Capture::Ev e;
+    if (!r.u32(&e.name) || !r.u32(&e.tid) || !r.u8(&e.kind) ||
+        !r.u64(&e.ts_ns) || !r.u64(&e.dur_ns) || !r.u64(&e.window) ||
+        !r.u64(&e.sim_begin) || !r.u64(&e.sim_dur) || !r.u64(&e.a1) ||
+        !r.u64(&e.a2) || !r.u64(&e.a3)) {
+      return fail(why, "truncated event record");
+    }
+    if (e.name >= cap.names.size()) return fail(why, "event name out of range");
+    cap.events.push_back(e);
+  }
+  *out = std::move(cap);
+  return true;
+}
+
+void write_chrome_json(const Capture& cap, std::ostream& os) {
+  // Rebase timestamps so the viewer opens at t=0 with microsecond units.
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const Capture::Ev& e : cap.events) t0 = std::min(t0, e.ts_ns);
+  if (cap.events.empty()) t0 = 0;
+  auto us = [&](std::uint64_t ns) {
+    return static_cast<double>(ns - t0) / 1000.0;
+  };
+  auto dus = [](std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Capture::Ev& e : cap.events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    put_json_string(os, cap.name_of(e));
+    os << ",\"ph\":\"" << (e.kind == 1 ? "i" : "X") << "\"";
+    os << ",\"ts\":" << us(e.ts_ns);
+    if (e.kind != 1) os << ",\"dur\":" << dus(e.dur_ns);
+    if (e.kind == 1) os << ",\"s\":\"t\"";
+    os << ",\"pid\":1,\"tid\":" << e.tid;
+    os << ",\"args\":{";
+    os << "\"window\":" << e.window;
+    os << ",\"a1\":" << e.a1 << ",\"a2\":" << e.a2 << ",\"a3\":" << e.a3;
+    if (e.sim_dur != 0 || e.sim_begin != 0) {
+      os << ",\"sim_begin\":" << e.sim_begin << ",\"sim_cycles\":" << e.sim_dur;
+    }
+    os << "}}";
+  }
+  // Flow arrows: one chain per window id, start/step/finish through every
+  // window-bound complete span in timestamp order.
+  std::map<std::uint64_t, std::vector<std::size_t>> chains;
+  for (std::size_t i = 0; i < cap.events.size(); ++i) {
+    if (cap.events[i].window != 0 && cap.events[i].kind == 0) {
+      chains[cap.events[i].window].push_back(i);
+    }
+  }
+  for (auto& [window, idx] : chains) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return cap.events[a].ts_ns < cap.events[b].ts_ns;
+    });
+    if (idx.size() < 2) continue;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const Capture::Ev& e = cap.events[idx[k]];
+      const char* ph = k == 0 ? "s" : (k + 1 == idx.size() ? "f" : "t");
+      os << ",{\"name\":\"window\",\"cat\":\"window\",\"ph\":\"" << ph
+         << "\",\"id\":" << window << ",\"ts\":" << us(e.ts_ns)
+         << ",\"pid\":1,\"tid\":" << e.tid;
+      if (*ph == 'f') os << ",\"bp\":\"e\"";
+      os << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+     << cap.dropped << ",\"threads\":" << cap.threads << "}}\n";
+}
+
+std::vector<WindowChain> analyze_windows(const Capture& cap) {
+  std::map<std::uint64_t, WindowChain> by_window;
+  for (std::size_t i = 0; i < cap.events.size(); ++i) {
+    const Capture::Ev& e = cap.events[i];
+    if (e.window == 0) continue;
+    WindowChain& c = by_window[e.window];
+    c.window = e.window;
+    c.events.push_back(i);
+    const std::string& n = cap.name_of(e);
+    if (n == "window.slice") c.has_slice = true;
+    else if (n == "window.place") c.has_place = true;
+    else if (n == "window.queue") { c.has_queue = true; c.queue_ns += e.dur_ns; }
+    else if (n == "device.run") {
+      c.has_run = true;
+      c.run_ns += e.dur_ns;
+      c.run_cycles += e.sim_dur;
+    } else if (n == "window.complete") c.has_complete = true;
+    else if (n == "window.deliver") c.has_deliver = true;
+  }
+  // "push" is not window-bound (one push feeds many windows): credit a
+  // chain when a session.push/session.flush span on the slice's thread
+  // encloses the slice's begin timestamp.
+  struct PushSpan { std::uint32_t tid; std::uint64_t b, e; };
+  std::vector<PushSpan> pushes;
+  for (const Capture::Ev& e : cap.events) {
+    const std::string& n = cap.name_of(e);
+    if (n == "session.push" || n == "session.flush") {
+      pushes.push_back({e.tid, e.ts_ns, e.ts_ns + e.dur_ns});
+    }
+  }
+  std::vector<WindowChain> out;
+  out.reserve(by_window.size());
+  for (auto& [window, c] : by_window) {
+    std::sort(c.events.begin(), c.events.end(),
+              [&](std::size_t a, std::size_t b) {
+                return cap.events[a].ts_ns < cap.events[b].ts_ns;
+              });
+    std::set<std::uint32_t> tids;
+    for (std::size_t i : c.events) tids.insert(cap.events[i].tid);
+    c.distinct_tids = static_cast<std::uint32_t>(tids.size());
+    for (std::size_t i : c.events) {
+      const Capture::Ev& e = cap.events[i];
+      if (cap.name_of(e) != "window.slice") continue;
+      for (const PushSpan& p : pushes) {
+        if (p.tid == e.tid && p.b <= e.ts_ns && e.ts_ns <= p.e) {
+          c.has_push = true;
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+} // namespace vwr2a::obs

@@ -1,0 +1,85 @@
+#pragma once
+// Trace capture files (.vwr2trc): the on-disk form of a Tracer snapshot.
+// A capture is a string table (event names) plus fixed-size little-endian
+// event records; load/save, Chrome trace_event JSON export and window-chain
+// analysis live here so the vwr2a_trace tool, gateway_soak and the obs
+// tests all share one implementation. Format (all little-endian):
+//
+//   magic   "VWR2ATRC"                     8 bytes
+//   u32     format version (1)
+//   u32     threads (rings that recorded)
+//   u64     dropped (exact drop-oldest total)
+//   u32     name count, then per name: u32 length + bytes
+//   u64     event count, then per event:
+//           u32 name index, u32 tid, u8 kind,
+//           u64 ts_ns, dur_ns, window, sim_begin, sim_dur, a1, a2, a3
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace vwr2a::obs {
+
+struct Capture {
+  struct Ev {
+    std::uint32_t name = 0;  ///< index into names
+    std::uint32_t tid = 0;
+    std::uint8_t kind = 0;   ///< 0 complete, 1 instant
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint64_t window = 0;
+    std::uint64_t sim_begin = 0;
+    std::uint64_t sim_dur = 0;
+    std::uint64_t a1 = 0;
+    std::uint64_t a2 = 0;
+    std::uint64_t a3 = 0;
+  };
+  std::vector<std::string> names;
+  std::vector<Ev> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t threads = 0;
+
+  const std::string& name_of(const Ev& e) const { return names[e.name]; }
+};
+
+/// Intern a live snapshot into the string-table form (no I/O).
+Capture to_capture(const Tracer::Snapshot& snap);
+
+bool save_capture(const Tracer::Snapshot& snap, const std::string& path,
+                  std::string* why = nullptr);
+bool load_capture(const std::string& path, Capture* out,
+                  std::string* why = nullptr);
+
+/// Chrome trace_event JSON ("X" complete events, "i" instants, flow arrows
+/// chaining each window id across threads). Open in chrome://tracing or
+/// https://ui.perfetto.dev.
+void write_chrome_json(const Capture& cap, std::ostream& os);
+
+/// Per-window lifecycle reconstructed from the propagated window ids.
+struct WindowChain {
+  std::uint64_t window = 0;
+  std::vector<std::size_t> events;  ///< indices into Capture::events, by ts
+  bool has_push = false;     ///< a session.push/flush span encloses the slice
+  bool has_slice = false;    ///< window.slice
+  bool has_place = false;    ///< window.place
+  bool has_queue = false;    ///< window.queue
+  bool has_run = false;      ///< device.run
+  bool has_complete = false; ///< window.complete
+  bool has_deliver = false;  ///< window.deliver
+  std::uint32_t distinct_tids = 0;
+  std::uint64_t queue_ns = 0;    ///< summed window.queue host duration
+  std::uint64_t run_ns = 0;      ///< summed device.run host duration
+  std::uint64_t run_cycles = 0;  ///< summed device.run simulated cycles
+  bool complete() const {
+    return has_push && has_slice && has_place && has_queue && has_run &&
+           has_complete && has_deliver;
+  }
+};
+
+/// One chain per distinct non-zero window id, sorted by window id.
+std::vector<WindowChain> analyze_windows(const Capture& cap);
+
+} // namespace vwr2a::obs

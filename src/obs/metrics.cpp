@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace vwr2a::obs {
+
+// ---------------------------------------------------------------- Histogram
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  if (v < 8) return static_cast<std::size_t>(v);
+  // msb >= 3. Sub-bucket = the two bits below the msb: bucket widths grow
+  // with the value, keeping relative error < 1/4.
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const std::size_t sub = static_cast<std::size_t>((v >> (msb - 2)) & 3u);
+  return 8 + static_cast<std::size_t>(msb - 3) * 4 + sub;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t i) {
+  if (i < 8) return static_cast<std::uint64_t>(i);
+  const unsigned msb = static_cast<unsigned>((i - 8) / 4) + 3;
+  const std::uint64_t sub = (i - 8) % 4;
+  const std::uint64_t lower =
+      (std::uint64_t{1} << msb) + (sub << (msb - 2));
+  return lower + (std::uint64_t{1} << (msb - 2)) - 1;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.sum.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out[i] += s.bucket[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::quantile(double p) const {
+  const std::vector<std::uint64_t> b = buckets();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : b) total += c;
+  if (total == 0) return 0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  // Rank of the requested quantile, 1-based; p=0 maps to the first sample.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(p * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += b[i];
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      s.bucket[i].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------------- Registry
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // unique_ptr values: the maps may rehash/rebalance but metric addresses
+  // are stable, which is what lets call sites cache references.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& Registry::get() {
+  static Registry* r = new Registry();  // leaked: references outlive main
+  return *r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* i = new Impl();
+  return *i;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<Registry::Entry> Registry::entries() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<Entry> out;
+  out.reserve(im.counters.size() + im.gauges.size() + im.histograms.size());
+  for (const auto& [name, c] : im.counters) {
+    out.push_back({name, Entry::Kind::kCounter, c.get(), nullptr, nullptr});
+  }
+  for (const auto& [name, g] : im.gauges) {
+    out.push_back({name, Entry::Kind::kGauge, nullptr, g.get(), nullptr});
+  }
+  for (const auto& [name, h] : im.histograms) {
+    out.push_back({name, Entry::Kind::kHistogram, nullptr, nullptr, h.get()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+namespace {
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+} // namespace
+
+std::string Registry::dump_prometheus() const {
+  std::ostringstream os;
+  for (const Entry& e : entries()) {
+    const std::string n = sanitize(e.name);
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        os << "# TYPE " << n << " counter\n"
+           << n << " " << e.counter->value() << "\n";
+        break;
+      case Entry::Kind::kGauge:
+        os << "# TYPE " << n << " gauge\n"
+           << n << " " << e.gauge->value() << "\n";
+        break;
+      case Entry::Kind::kHistogram:
+        os << "# TYPE " << n << " summary\n";
+        os << n << "{quantile=\"0.5\"} " << e.histogram->quantile(0.5) << "\n";
+        os << n << "{quantile=\"0.95\"} " << e.histogram->quantile(0.95)
+           << "\n";
+        os << n << "{quantile=\"0.99\"} " << e.histogram->quantile(0.99)
+           << "\n";
+        os << n << "_sum " << e.histogram->sum() << "\n";
+        os << n << "_count " << e.histogram->count() << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+} // namespace vwr2a::obs

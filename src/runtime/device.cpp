@@ -6,6 +6,7 @@
 #include "common/fixed_point.hpp"
 #include "common/status.hpp"
 #include "dma/dma.hpp"
+#include "obs/trace.hpp"
 #include "runtime/checkpoint.hpp"
 
 namespace vwr2a::runtime {
@@ -39,6 +40,13 @@ Device::Device(unsigned id, isa::ImageCache& cache, const soc::ArchConfig& arch,
 
 JobResult Device::run(const Job& job, std::uint64_t seq) {
   const soc::Platform::Snapshot before = platform_.snapshot();
+  // device.run span: a1 = device id, a2 = stagings this job, a3 = engine
+  // (1 = trace-cache, 0 = interpreter); sim timestamps are the device's
+  // local clock before the job and the job's cycle delta.
+  obs::Span span(
+      "device.run", job.trace_id, id_, 0,
+      platform_.arch().exec_mode == cgra::ExecMode::kTraceCache ? 1 : 0);
+  const std::uint64_t stagings0 = stagings_;
   JobResult r = std::visit(
       [this](const auto& w) -> JobResult {
         using T = std::decay_t<decltype(w)>;
@@ -61,6 +69,12 @@ JobResult Device::run(const Job& job, std::uint64_t seq) {
   r.seq = seq;
   r.tag = job.tag;
   ++jobs_;
+  if (span.active()) {
+    span.set_sim(before.total_cycles(), r.cost.total_cycles());
+    span.set_args(
+        id_, stagings_ - stagings0,
+        platform_.arch().exec_mode == cgra::ExecMode::kTraceCache ? 1 : 0);
+  }
   return r;
 }
 
@@ -86,9 +100,12 @@ void Device::stage_rows(const SharedBuffer& buf) {
       spm.region_version(0, nrows) == staged_version_) {
     return;
   }
-  host_.to_sram(data_base_, data);
-  host_.dma({dma::Dir::kSysToSpm, data_base_, 0,
-             static_cast<std::uint32_t>(data.size()), 1, 1});
+  {
+    obs::Span stage("device.stage", 0, id_, data.size());
+    host_.to_sram(data_base_, data);
+    host_.dma({dma::Dir::kSysToSpm, data_base_, 0,
+               static_cast<std::uint32_t>(data.size()), 1, 1});
+  }
   ++stagings_;
   staged_buf_ = buf;
   staged_version_ = spm.region_version(0, nrows);
@@ -102,6 +119,7 @@ kernels::FirRunStats Device::run_fir11(unsigned n, const SharedBuffer& taps,
   const kernels::FirRunStats stats =
       fir_.fir11(n, *taps, sys_in, sys_out, resident);
   if (!resident) {
+    obs::instant("device.stage", 0, id_, taps->size());
     ++stagings_;
     staged_taps_ = taps;
     taps_version_ = spm.row_version(kernels::kFirTapRow);
@@ -264,8 +282,11 @@ JobResult Device::run_pipeline(const PipelineJob& job) {
   const unsigned spec = filt + job.n;
   const unsigned scratch = spec + job.n + 2;
   check_sys_fit(scratch + 2 * job.n);
-  host_.to_sram(in, std::span<const std::int32_t>(*job.input)
-                        .subspan(job.offset, job.n));
+  {
+    obs::Span stage("device.stage", 0, id_, job.n);
+    host_.to_sram(in, std::span<const std::int32_t>(*job.input)
+                          .subspan(job.offset, job.n));
+  }
   ++stagings_;
   JobResult r;
   // FIR preprocessing (tap staging dedup'd across pipeline/FIR jobs).
@@ -381,6 +402,7 @@ JobResult Device::run_bio(const BioTrackerJob& job) {
           bio_rows_version_;
   const std::uint64_t launches0 = platform_.vwr2a().launches();
   if (!resident) {
+    obs::Span stage("device.stage", 0, id_, app::kWindow);
     bio_->init(kBioBase);
     ++stagings_;
     bio_inited_ = true;

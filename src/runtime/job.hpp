@@ -139,6 +139,11 @@ struct Job {
       work;
   std::string tag;  ///< caller label, echoed into the result
   int pin = -1;     ///< pin_to_device: fixed device index, or -1 for round-robin
+  /// Observability correlation id (obs::window_id for stream windows,
+  /// 0 = untraced). Carried through placement, queueing and Device::run so
+  /// the flight recorder can chain one window's spans across threads.
+  /// Never consulted by scheduling or execution.
+  std::uint64_t trace_id = 0;
 };
 
 /// Completed-job report.

@@ -8,6 +8,8 @@
 #include "artifact/store.hpp"
 #include "common/log.hpp"
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vwr2a::runtime {
 
@@ -279,6 +281,10 @@ unsigned DevicePool::route(const Job& job, std::uint64_t seq) {
     d = resolve_alive(static_cast<unsigned>(seq % devices_.size()));
   }
   sched_load_[d] += scaled_estimate(est, d);
+  // Placement decision recorded after the fact: chosen device + the
+  // estimator inputs that drove the choice (prior estimate, resulting
+  // local-clock charge). Reads only.
+  obs::instant("window.place", job.trace_id, d, est, sched_load_[d]);
   return d;
 }
 
@@ -301,6 +307,13 @@ void DevicePool::begin_kill_locked(unsigned d) {
   } catch (const HostError&) {
     ds.failover = -1;  // the last healthy device just died
   }
+  obs::instant("fault.kill", 0, d,
+               static_cast<std::uint64_t>(ds.failover + 1));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& m =
+        obs::Registry::get().counter("fleet.devices_failed");
+    m.add(1);
+  }
 }
 
 void DevicePool::finish_kill_locked(unsigned d) {
@@ -310,6 +323,12 @@ void DevicePool::finish_kill_locked(unsigned d) {
   std::vector<std::uint8_t> blob = ds.device->checkpoint();
   if (!blob.empty()) {
     ++ckpt_taken_;
+    obs::instant("fault.checkpoint", 0, d, blob.size());
+    if (obs::metrics_enabled()) {
+      static obs::Counter& m =
+          obs::Registry::get().counter("fleet.checkpoints_taken");
+      m.add(1);
+    }
     if (ds.failover >= 0) {
       devices_[static_cast<unsigned>(ds.failover)].pending_restore =
           std::move(blob);
@@ -353,8 +372,16 @@ void DevicePool::finish_kill_locked(unsigned d) {
     }
     sched_load_[static_cast<unsigned>(target)] +=
         scaled_estimate(est, static_cast<unsigned>(target));
+    const std::uint64_t rescued_trace = p.job.trace_id;
     devices_[static_cast<unsigned>(target)].queue.push_back(std::move(p));
     ++jobs_rescued_;
+    obs::instant("fault.rescue", rescued_trace, d,
+                 static_cast<std::uint64_t>(target));
+    if (obs::metrics_enabled()) {
+      static obs::Counter& m =
+          obs::Registry::get().counter("fleet.jobs_rescued");
+      m.add(1);
+    }
     moved = true;
   }
   if (moved) work_cv_.notify_all();
@@ -393,6 +420,12 @@ bool DevicePool::revive_device(unsigned d) {
     ds.dead = false;
     ds.failover = -1;
     ++devices_revived_;
+    obs::instant("fault.revive", 0, d);
+    if (obs::metrics_enabled()) {
+      static obs::Counter& m =
+          obs::Registry::get().counter("fleet.devices_revived");
+      m.add(1);
+    }
   }
   work_cv_.notify_all();
   return true;
@@ -430,6 +463,12 @@ void DevicePool::check_faults_locked() {
         ds.dead = false;
         ds.failover = -1;
         ++devices_revived_;
+        obs::instant("fault.revive", 0, t.ev.device);
+        if (obs::metrics_enabled()) {
+          static obs::Counter& m =
+              obs::Registry::get().counter("fleet.devices_revived");
+          m.add(1);
+        }
         work_cv_.notify_all();
       }
     }
@@ -446,8 +485,9 @@ JobHandle DevicePool::submit(Job job) {
     const unsigned family = static_cast<unsigned>(job.work.index());
     DeviceState& ds = devices_[route(job, seq)];  // throws before enqueuing
     ++next_seq_;
+    const std::uint64_t enq = obs::tracing_enabled() ? obs::now_ns() : 0;
     ds.queue.push_back(
-        Pending{std::move(job), std::move(promise), seq, family});
+        Pending{std::move(job), std::move(promise), seq, family, enq});
     ++inflight_;
   }
   work_cv_.notify_one();
@@ -468,8 +508,9 @@ std::vector<JobHandle> DevicePool::submit_batch(std::vector<Job> jobs) {
       const std::uint64_t seq = next_seq_++;
       const unsigned family = static_cast<unsigned>(job.work.index());
       DeviceState& ds = devices_[route(job, seq)];
+      const std::uint64_t enq = obs::tracing_enabled() ? obs::now_ns() : 0;
       ds.queue.push_back(
-          Pending{std::move(job), std::move(promise), seq, family});
+          Pending{std::move(job), std::move(promise), seq, family, enq});
       ++inflight_;
     }
   }
@@ -508,6 +549,13 @@ void DevicePool::worker_loop() {
       std::string why;
       const Device::RestoreOutcome oc = ds.device->restore(restore_blob, &why);
       restored = oc == Device::RestoreOutcome::kApplied;
+      obs::instant("fault.restore", 0, static_cast<std::uint64_t>(d),
+                   restored ? 1 : 0);
+      if (restored && obs::metrics_enabled()) {
+        static obs::Counter& m =
+            obs::Registry::get().counter("fleet.checkpoints_restored");
+        m.add(1);
+      }
       if (oc == Device::RestoreOutcome::kRejected) {
         log::Line(log::Level::kWarn)
             << "pool: checkpoint rejected on device "
@@ -523,6 +571,14 @@ void DevicePool::worker_loop() {
     std::array<std::uint64_t, kJobFamilies> meas{};
     std::array<std::uint64_t, kJobFamilies> prior{};
     for (Pending& p : chunk) {
+      if (p.enq_ns != 0 && obs::tracing_enabled()) {
+        // Queue wait, stamped at submit and emitted here by the worker so
+        // the span needs no cross-thread begin/end pairing.
+        const std::uint64_t now = obs::now_ns();
+        obs::complete("window.queue", p.job.trace_id, p.enq_ns,
+                      now > p.enq_ns ? now - p.enq_ns : 0,
+                      static_cast<std::uint64_t>(d));
+      }
       try {
         JobResult r = ds.device->run(p.job, p.seq);
         const double norm = static_cast<double>(r.cost.total_cycles()) /
@@ -535,6 +591,15 @@ void DevicePool::worker_loop() {
         p.promise.set_exception(std::current_exception());
         ++bad;
       }
+    }
+
+    if (obs::metrics_enabled()) {
+      static obs::Counter& m_done =
+          obs::Registry::get().counter("fleet.jobs_completed");
+      static obs::Counter& m_fail =
+          obs::Registry::get().counter("fleet.jobs_failed");
+      if (ok != 0) m_done.add(ok);
+      if (bad != 0) m_fail.add(bad);
     }
 
     // Refresh the device's telemetry cache while nothing else can be

@@ -275,6 +275,9 @@ class DevicePool {
     std::promise<JobResult> promise;
     std::uint64_t seq = 0;
     unsigned family = 0;  ///< Job::work alternative (estimator family)
+    /// Host-ns enqueue stamp for the flight recorder's queue-wait span;
+    /// 0 when tracing was off at submit. Observability only.
+    std::uint64_t enq_ns = 0;
   };
   struct DeviceState {
     std::unique_ptr<Device> device;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
 #include "stream/session.hpp"
 
 namespace vwr2a::stream {
@@ -30,6 +31,11 @@ void Completer::enqueue(Session* s, runtime::JobHandle h) {
     }
     lane.q.push_back(Item{s, std::move(h)});
   }
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& depth =
+        obs::Registry::get().gauge("completer.queue_depth");
+    depth.add(1);
+  }
   lane.cv.notify_one();
 }
 
@@ -54,6 +60,14 @@ void Completer::lane_loop(Lane& lane) {
     Item item = std::move(lane.q.front());
     lane.q.pop_front();
     lock.unlock();
+    if (obs::metrics_enabled()) {
+      static obs::Gauge& depth =
+          obs::Registry::get().gauge("completer.queue_depth");
+      depth.add(-1);
+      static obs::Counter& items =
+          obs::Registry::get().counter("completer.items");
+      items.add(1);
+    }
     // The wait on the future and the sink both run unlocked: a blocking
     // sink holds up only this lane, never an enqueue.
     item.session->deliver_async(std::move(item.handle));

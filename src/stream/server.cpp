@@ -65,13 +65,16 @@ ServerStats StreamServer::stats() {
   std::lock_guard<std::mutex> lock(mu_);
   ServerStats out;
   out.sessions.reserve(sessions_.size());
-  for (const auto& s : sessions_) {
-    out.sessions.push_back(s->stats());
-    out.windows_delivered += out.sessions.back().windows_delivered;
-    out.windows_failed += out.sessions.back().windows_failed;
-    out.dropped_samples += out.sessions.back().dropped_samples;
-  }
+  for (const auto& s : sessions_) out.fold(s->stats());
   out.fleet = pool_.stats();
+  return out;
+}
+
+std::vector<SessionStats> StreamServer::peek_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionStats> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s->stats());
   return out;
 }
 

@@ -66,6 +66,11 @@ class StreamServer {
   /// the producers quiesced (e.g. after finish()).
   ServerStats stats();
 
+  /// Non-blocking per-session snapshots (Session::stats() is thread-safe):
+  /// safe to call while producers stream. Feeds the v4 STATS_PUSH
+  /// per-session load array.
+  std::vector<SessionStats> peek_sessions() const;
+
   runtime::DevicePool& pool() { return pool_; }
   const runtime::DevicePool& pool() const { return pool_; }
   std::size_t num_sessions() const;

@@ -7,6 +7,7 @@
 
 #include "common/status.hpp"
 #include "dsp/signal.hpp"
+#include "obs/trace.hpp"
 #include "stream/completer.hpp"
 
 namespace vwr2a::stream {
@@ -49,6 +50,10 @@ Session::Session(std::uint64_t id, runtime::DevicePool& pool, unsigned device,
       win_(cfg_.window, cfg_.hop, cfg_.buffer_capacity) {
   stats_.id = id_;
   stats_.device = device_;
+  if (obs::metrics_enabled()) {
+    m_delivered_ = &obs::Registry::get().counter(
+        "session." + std::to_string(id_) + ".windows_delivered");
+  }
 }
 
 runtime::Job Session::window_job(const SessionConfig& cfg) {
@@ -77,11 +82,22 @@ runtime::Job Session::make_job(WindowView window) {
   job.tag = "s" + std::to_string(id_) + "/w" +
             std::to_string(stats_.windows_submitted);
   job.pin = static_cast<int>(device_);
+  // Flight-recorder correlation id: stable across the window's whole life
+  // (placement, queue, device run, completion, delivery). windows_submitted
+  // is producer-owned, so this unlocked read matches the tag above.
+  if (obs::tracing_enabled()) {
+    job.trace_id = obs::window_id(id_, stats_.windows_submitted);
+  }
   return job;
 }
 
 void Session::submit_window(WindowView window) {
-  runtime::JobHandle h = pool_->submit(make_job(std::move(window)));
+  runtime::Job job = make_job(std::move(window));
+  const std::uint64_t wid = job.trace_id;
+  runtime::JobHandle h = [&] {
+    obs::Span slice("window.slice", wid, id_, stats_.windows_submitted);
+    return pool_->submit(std::move(job));
+  }();
   if (completer_ != nullptr) {
     {
       std::lock_guard<std::mutex> lock(smu_);
@@ -121,6 +137,15 @@ void Session::account_delivery_locked(const runtime::JobResult& job) {
   }
   stats_.device = job.device;
   ++stats_.windows_delivered;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& delivered =
+        obs::Registry::get().counter("session.windows_delivered");
+    delivered.add(1);
+    static obs::Histogram& latency =
+        obs::Registry::get().histogram("session.latency_cycles");
+    latency.record(lat);
+    if (m_delivered_ != nullptr) m_delivered_->add(1);
+  }
 }
 
 void Session::reap_front() {
@@ -130,11 +155,17 @@ void Session::reap_front() {
   WindowResult r;
   r.session = id_;
   r.index = stats_.windows_delivered;
-  r.job = h.get();  // rethrows job failures on the producer thread
+  const std::uint64_t wid =
+      obs::tracing_enabled() ? obs::window_id(id_, r.index) : 0;
+  {
+    obs::Span sp("window.complete", wid, id_);
+    r.job = h.get();  // rethrows job failures on the producer thread
+  }
   {
     std::lock_guard<std::mutex> lock(smu_);
     account_delivery_locked(r.job);
   }
+  obs::Span sp("window.deliver", wid, id_, 1);
   if (sink_) sink_(r);
 }
 
@@ -152,11 +183,18 @@ void Session::deliver_async(runtime::JobHandle h) {
   r.session = id_;
   bool ok = true;
   std::string err;
-  try {
-    r.job = h.get();
-  } catch (const std::exception& e) {
-    ok = false;
-    err = e.what();
+  // next_delivery_ is only ever advanced by this session's lane (the
+  // thread running here), so reading it early for the trace id is safe.
+  const std::uint64_t wid =
+      obs::tracing_enabled() ? obs::window_id(id_, next_delivery_) : 0;
+  {
+    obs::Span sp("window.complete", wid, id_);
+    try {
+      r.job = h.get();
+    } catch (const std::exception& e) {
+      ok = false;
+      err = e.what();
+    }
   }
   // Only this session's lane assigns indices, in enqueue (= submission)
   // order; failed windows consume their index too.
@@ -164,8 +202,11 @@ void Session::deliver_async(runtime::JobHandle h) {
   // The sink runs before the slot is released (and unlocked): a producer
   // blocked on backpressure resumes only once the delivery fully happened,
   // and drain() returning means every sink call has returned.
-  if (ok && sink_) sink_(r);
-  if (!ok && error_sink_) error_sink_(id_, r.index, err);
+  {
+    obs::Span sp("window.deliver", wid, id_, ok ? 1 : 0);
+    if (ok && sink_) sink_(r);
+    if (!ok && error_sink_) error_sink_(id_, r.index, err);
+  }
   {
     std::lock_guard<std::mutex> lock(smu_);
     if (ok) {
@@ -211,6 +252,11 @@ bool Session::pump(bool may_block) {
 }
 
 void Session::push(std::span<const std::int32_t> samples) {
+  obs::Span sp("session.push", 0, id_, samples.size());
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::Registry::get().counter("session.samples_in");
+    c.add(samples.size());
+  }
   std::size_t off = 0;
   while (off < samples.size()) {
     reap_ready();
@@ -229,13 +275,23 @@ void Session::push(std::span<const std::int32_t> samples) {
 }
 
 bool Session::try_push(std::span<const std::int32_t> samples) {
+  obs::Span sp("session.push", 0, id_, samples.size());
   reap_ready();
   pump(/*may_block=*/false);
   if (win_.free_space() < samples.size()) {
+    if (obs::metrics_enabled()) {
+      static obs::Counter& c =
+          obs::Registry::get().counter("session.dropped_samples");
+      c.add(samples.size());
+    }
     std::lock_guard<std::mutex> lock(smu_);
     stats_.dropped_samples += samples.size();
     ++stats_.dropped_pushes;
     return false;
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::Registry::get().counter("session.samples_in");
+    c.add(samples.size());
   }
   win_.push(samples);
   {
@@ -247,6 +303,7 @@ bool Session::try_push(std::span<const std::int32_t> samples) {
 }
 
 void Session::flush() {
+  obs::Span sp("session.flush", 0, id_);
   pump(/*may_block=*/true);
   if (win_.has_tail()) {
     if (at_inflight_limit()) {

@@ -31,9 +31,32 @@ std::string random_string(Rng& rng, unsigned max_len) {
   return s;
 }
 
+Stats random_stats(Rng& rng) {
+  Stats f;
+  f.devices = rng.next_u32();
+  f.sessions = rng.next_u64();
+  f.connections = rng.next_u64();
+  f.windows_delivered = rng.next_u64();
+  f.jobs_completed = rng.next_u64();
+  f.jobs_failed = rng.next_u64();
+  f.fleet_makespan = rng.next_u64();
+  f.total_device_cycles = rng.next_u64();
+  f.stagings = rng.next_u64();
+  f.total_pj = rng.next_range(0.0, 1e12);
+  f.images_hydrated = rng.next_u64();
+  f.traces_hydrated = rng.next_u64();
+  f.artifact_attached = static_cast<std::uint8_t>(rng.next_below(2));
+  f.devices_failed = rng.next_u64();
+  f.devices_revived = rng.next_u64();
+  f.devices_dead = rng.next_u64();
+  f.jobs_rescued = rng.next_u64();
+  f.checkpoints_restored = rng.next_u64();
+  return f;
+}
+
 /// One random frame of each wire type, round-robin by `i`.
 Frame random_frame(Rng& rng, unsigned i) {
-  switch (i % 11) {
+  switch (i % 13) {
     case 0: {
       OpenSession f;
       f.stream = rng.next_u32();
@@ -82,28 +105,61 @@ Frame random_frame(Rng& rng, unsigned i) {
       f.latency_cycles_max = rng.next_u64();
       return f;
     }
-    case 9: {
-      Stats f;
-      f.devices = rng.next_u32();
-      f.sessions = rng.next_u64();
-      f.connections = rng.next_u64();
-      f.windows_delivered = rng.next_u64();
-      f.jobs_completed = rng.next_u64();
-      f.jobs_failed = rng.next_u64();
-      f.fleet_makespan = rng.next_u64();
-      f.total_device_cycles = rng.next_u64();
-      f.stagings = rng.next_u64();
-      f.total_pj = rng.next_range(0.0, 1e12);
-      return f;
-    }
-    default: {
+    case 9:
+      return random_stats(rng);
+    case 10: {
       Error f;
       f.stream = rng.next_u32();
       f.code = static_cast<std::uint16_t>(rng.next_below(1u << 16));
       f.message = random_string(rng, 120);
       return f;
     }
+    case 11: {
+      StatsSubscribe f;
+      f.cadence_ms = rng.next_u32();
+      f.enable = static_cast<std::uint8_t>(rng.next_below(2));
+      return f;
+    }
+    default: {
+      StatsPush f;
+      f.seq = rng.next_u64();
+      f.stats = random_stats(rng);
+      f.devices.resize(rng.next_below(9));
+      for (auto& d : f.devices) {
+        d.cycles = rng.next_u64();
+        d.jobs = rng.next_u64();
+        d.dead = static_cast<std::uint8_t>(rng.next_below(2));
+      }
+      f.sessions.resize(rng.next_below(9));
+      for (auto& s : f.sessions) {
+        s.id = rng.next_u64();
+        s.device = rng.next_u32();
+        s.windows_submitted = rng.next_u64();
+        s.windows_delivered = rng.next_u64();
+        s.dropped_samples = rng.next_u64();
+        s.latency_cycles_total = rng.next_u64();
+      }
+      return f;
+    }
   }
+}
+
+bool stats_equal(const Stats& x, const Stats& y) {
+  return x.devices == y.devices && x.sessions == y.sessions &&
+         x.connections == y.connections &&
+         x.windows_delivered == y.windows_delivered &&
+         x.jobs_completed == y.jobs_completed &&
+         x.jobs_failed == y.jobs_failed &&
+         x.fleet_makespan == y.fleet_makespan &&
+         x.total_device_cycles == y.total_device_cycles &&
+         x.stagings == y.stagings && x.total_pj == y.total_pj &&
+         x.images_hydrated == y.images_hydrated &&
+         x.traces_hydrated == y.traces_hydrated &&
+         x.artifact_attached == y.artifact_attached &&
+         x.devices_failed == y.devices_failed &&
+         x.devices_revived == y.devices_revived &&
+         x.devices_dead == y.devices_dead && x.jobs_rescued == y.jobs_rescued &&
+         x.checkpoints_restored == y.checkpoints_restored;
 }
 
 bool frames_equal(const Frame& a, const Frame& b) {
@@ -148,14 +204,30 @@ bool frames_equal(const Frame& a, const Frame& b) {
                x.latency_cycles_total == y.latency_cycles_total &&
                x.latency_cycles_max == y.latency_cycles_max;
         } else if constexpr (std::is_same_v<T, Stats>) {
-          eq = x.devices == y.devices && x.sessions == y.sessions &&
-               x.connections == y.connections &&
-               x.windows_delivered == y.windows_delivered &&
-               x.jobs_completed == y.jobs_completed &&
-               x.jobs_failed == y.jobs_failed &&
-               x.fleet_makespan == y.fleet_makespan &&
-               x.total_device_cycles == y.total_device_cycles &&
-               x.stagings == y.stagings && x.total_pj == y.total_pj;
+          eq = stats_equal(x, y);
+        } else if constexpr (std::is_same_v<T, StatsSubscribe>) {
+          eq = x.cadence_ms == y.cadence_ms && x.enable == y.enable;
+        } else if constexpr (std::is_same_v<T, StatsPush>) {
+          eq = x.seq == y.seq && stats_equal(x.stats, y.stats) &&
+               x.devices.size() == y.devices.size() &&
+               x.sessions.size() == y.sessions.size();
+          for (std::size_t j = 0; eq && j < x.devices.size(); ++j) {
+            eq = x.devices[j].cycles == y.devices[j].cycles &&
+                 x.devices[j].jobs == y.devices[j].jobs &&
+                 x.devices[j].dead == y.devices[j].dead;
+          }
+          for (std::size_t j = 0; eq && j < x.sessions.size(); ++j) {
+            eq = x.sessions[j].id == y.sessions[j].id &&
+                 x.sessions[j].device == y.sessions[j].device &&
+                 x.sessions[j].windows_submitted ==
+                     y.sessions[j].windows_submitted &&
+                 x.sessions[j].windows_delivered ==
+                     y.sessions[j].windows_delivered &&
+                 x.sessions[j].dropped_samples ==
+                     y.sessions[j].dropped_samples &&
+                 x.sessions[j].latency_cycles_total ==
+                     y.sessions[j].latency_cycles_total;
+          }
         } else {  // Error
           eq = x.stream == y.stream && x.code == y.code &&
                x.message == y.message;
@@ -294,6 +366,31 @@ TEST(GatewayProtocol, TruncatedPayloadFieldsThrowNotCrash) {
   // every cut must throw (truncated read), never crash.
   const std::vector<std::uint8_t> full = encode(
       WindowResult{5, 123, 2, 456, 1.5, {10, 20, 30}});
+  const std::size_t payload = full.size() - 6;
+  for (std::size_t keep = 0; keep < payload; ++keep) {
+    std::vector<std::uint8_t> wire(full.begin(),
+                                   full.begin() + 6 + static_cast<long>(keep));
+    const auto len = static_cast<std::uint32_t>(keep + 2);
+    for (int i = 0; i < 4; ++i) {
+      wire[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(len >> (8 * i));
+    }
+    Decoder dec;
+    dec.feed(wire);
+    EXPECT_THROW(dec.next(), ProtocolError) << "keep " << keep;
+  }
+}
+
+TEST(GatewayProtocol, TruncatedStatsPushThrowsNotCrash) {
+  // Same cut-everywhere sweep over a v4 STATS_PUSH: every truncation must
+  // hit the count-vs-remaining validation (or a truncated scalar read) and
+  // throw before allocating either load array.
+  StatsPush push;
+  push.seq = 7;
+  push.stats.devices = 4;
+  push.devices.resize(3);
+  push.sessions.resize(2);
+  const std::vector<std::uint8_t> full = encode(push);
   const std::size_t payload = full.size() - 6;
   for (std::size_t keep = 0; keep < payload; ++keep) {
     std::vector<std::uint8_t> wire(full.begin(),

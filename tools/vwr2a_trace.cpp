@@ -1,0 +1,157 @@
+// vwr2a_trace: convert / inspect / verify flight-recorder captures
+// (.vwr2trc, src/obs/capture.hpp).
+//
+//   vwr2a_trace convert <in.vwr2trc> <out.json>
+//                                   export a capture as Chrome trace_event
+//                                   JSON (open in chrome://tracing or
+//                                   https://ui.perfetto.dev)
+//   vwr2a_trace inspect <in.vwr2trc>
+//                                   print event/name/thread counts, the
+//                                   per-name event histogram and the
+//                                   window-chain summary
+//   vwr2a_trace verify <in.vwr2trc>
+//                                   parse the capture and check that every
+//                                   traced window's lifecycle chain is
+//                                   complete (push -> slice -> place ->
+//                                   queue -> run -> complete -> deliver)
+//                                   and crosses >= 3 threads
+//
+// Exit status: 0 on success, 1 on usage error, 2 when the file is rejected
+// or verification fails.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/capture.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace vwr2a;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vwr2a_trace convert <in.vwr2trc> <out.json>\n"
+               "       vwr2a_trace inspect <in.vwr2trc>\n"
+               "       vwr2a_trace verify <in.vwr2trc>\n");
+  return 1;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  obs::Capture cap;
+  std::string why;
+  if (!obs::load_capture(in, &cap, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 2;
+  }
+  obs::write_chrome_json(cap, os);
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "write failed: %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("wrote %s: %zu events across %u threads (%llu dropped)\n",
+              out.c_str(), cap.events.size(), cap.threads,
+              static_cast<unsigned long long>(cap.dropped));
+  return 0;
+}
+
+int cmd_inspect(const std::string& in) {
+  obs::Capture cap;
+  std::string why;
+  if (!obs::load_capture(in, &cap, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu events, %zu names, %u threads, %llu dropped\n",
+              in.c_str(), cap.events.size(), cap.names.size(), cap.threads,
+              static_cast<unsigned long long>(cap.dropped));
+  std::map<std::string, std::size_t> by_name;
+  for (const auto& e : cap.events) ++by_name[cap.name_of(e)];
+  for (const auto& [name, n] : by_name) {
+    std::printf("  %-20s %zu\n", name.c_str(), n);
+  }
+  const std::vector<obs::WindowChain> chains = obs::analyze_windows(cap);
+  std::size_t complete = 0;
+  std::uint32_t max_tids = 0;
+  for (const auto& c : chains) {
+    if (c.complete()) ++complete;
+    max_tids = std::max(max_tids, c.distinct_tids);
+  }
+  std::printf("windows: %zu traced, %zu complete chains, max %u threads "
+              "per window\n",
+              chains.size(), complete, max_tids);
+  return 0;
+}
+
+int cmd_verify(const std::string& in) {
+  obs::Capture cap;
+  std::string why;
+  if (!obs::load_capture(in, &cap, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
+  const std::vector<obs::WindowChain> chains = obs::analyze_windows(cap);
+  if (chains.empty()) {
+    std::fprintf(stderr, "verify failed: no traced windows in %s\n",
+                 in.c_str());
+    return 2;
+  }
+  std::size_t bad = 0;
+  for (const auto& c : chains) {
+    // Ring overflow legitimately truncates the oldest windows' chains, so
+    // a capture with drops only has to produce *some* complete chains;
+    // a drop-free capture must chain every window.
+    if (c.complete() && c.distinct_tids >= 3) continue;
+    ++bad;
+    if (bad <= 8) {
+      std::fprintf(stderr,
+                   "  window %llu (session %llu index %llu): "
+                   "push=%d slice=%d place=%d queue=%d run=%d complete=%d "
+                   "deliver=%d tids=%u\n",
+                   static_cast<unsigned long long>(c.window),
+                   static_cast<unsigned long long>(obs::window_session(c.window)),
+                   static_cast<unsigned long long>(obs::window_index(c.window)),
+                   c.has_push, c.has_slice, c.has_place, c.has_queue,
+                   c.has_run, c.has_complete, c.has_deliver, c.distinct_tids);
+    }
+  }
+  const bool ok = cap.dropped > 0 ? bad < chains.size() : bad == 0;
+  std::printf("%s: %zu/%zu windows chain completely across >= 3 threads "
+              "(%llu events dropped)\n",
+              in.c_str(), chains.size() - bad, chains.size(),
+              static_cast<unsigned long long>(cap.dropped));
+  if (!ok) {
+    std::fprintf(stderr, "verify failed: %zu broken chains\n", bad);
+    return 2;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "convert") {
+    if (argc != 4) return usage();
+    return cmd_convert(argv[2], argv[3]);
+  }
+  if (cmd == "inspect") {
+    if (argc != 3) return usage();
+    return cmd_inspect(argv[2]);
+  }
+  if (cmd == "verify") {
+    if (argc != 3) return usage();
+    return cmd_verify(argv[2]);
+  }
+  return usage();
+}
