@@ -1,4 +1,4 @@
-// Runtime-pool throughput, two experiments:
+// Runtime-pool throughput, three experiments:
 //
 //  1. Fleet scaling (simulated metric): a 1000-job FIR-11 batch (256 points
 //     each) served by fleets of 1/2/4/8 devices, one worker per device.
@@ -11,7 +11,15 @@
 //     wall-clock -- the ceiling for every simulated cycle the fleet and
 //     stream layers can deliver.
 //
-// Both experiments append machine-readable records to BENCH_runtime.json
+//  3. Sync-scheduled vs per-cycle lockstep replay (host metric): a cfft
+//     batch -- its split stages read the partner column's SPM rows, the
+//     lockstep-heaviest shape in the catalog -- on one trace-mode device,
+//     with the replay tiers as compiled vs forced per-cycle lockstep
+//     (Vwr2a::set_replay_lockstep_only, the pre-sync-plan behaviour).
+//     Identity must hold and block-level dependence analysis must be
+//     >= 1.5x faster in host wall-clock.
+//
+// All experiments append machine-readable records to BENCH_runtime.json
 // (host wall-clock, simulated cycles per host second, makespan) for the
 // nightly perf-trajectory artifact.
 
@@ -20,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "runtime/device.hpp"
 #include "runtime/pool.hpp"
 
 int main() {
@@ -51,6 +60,7 @@ int main() {
 
   struct Run {
     runtime::FleetStats stats;
+    runtime::ReplayStats replay;
     std::uint64_t output_hash = 1469598103934665603ull;  // FNV-1a
     double sys_pj_total = 0.0;
     Cycle job_cycles = 0;
@@ -150,7 +160,83 @@ int main() {
         .write();
   }
 
+  // ---- experiment 3: scheduled replay vs forced per-cycle lockstep ---------
+  bench::header("Block-scheduled replay vs per-cycle lockstep (cfft-2048)");
+  constexpr unsigned kFftJobs = 16;
+  constexpr unsigned kFftN = 2048;
+  std::vector<runtime::SharedBuffer> fft_inputs;
+  for (unsigned i = 0; i < 6; ++i) {
+    std::vector<std::int32_t> x(2 * kFftN);
+    for (auto& v : x) v = fx::to_q16_15(rng.next_range(-0.4, 0.4));
+    fft_inputs.push_back(runtime::make_buffer(std::move(x)));
+  }
+  auto run_device = [&](cgra::ExecMode mode, bool lockstep_only) {
+    isa::ImageCache cache;
+    runtime::Device dev(0, cache, soc::ArchConfig{.exec_mode = mode});
+    dev.platform().vwr2a().set_replay_lockstep_only(lockstep_only);
+    Run r;
+    const auto t0 = Clock::now();
+    for (unsigned j = 0; j < kFftJobs; ++j) {
+      const runtime::JobResult jr = dev.run(
+          runtime::Job{runtime::CfftJob{kFftN, fft_inputs[j % 6]}, ""}, j);
+      for (std::int32_t w : jr.output) {
+        r.output_hash =
+            (r.output_hash ^ static_cast<std::uint32_t>(w)) * 1099511628211ull;
+      }
+      r.job_cycles += jr.cost.vwr2a_cycles;
+      r.sys_pj_total += jr.cost.total_pj();
+    }
+    r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    r.replay = dev.replay_stats();
+    return r;
+  };
+  const Run fft_interp = run_device(cgra::ExecMode::kInterpret, false);
+  const Run fft_sched = run_device(cgra::ExecMode::kTraceCache, false);
+  const Run fft_lock = run_device(cgra::ExecMode::kTraceCache, true);
+  auto tier_row = [](const char* name, const Run& r) {
+    std::printf("  %-12s | %8.1f ms | dec %10llu lock %10llu interp %10llu | "
+                "sync %llu\n",
+                name, r.wall_s * 1e3,
+                static_cast<unsigned long long>(r.replay.decoupled_cycles),
+                static_cast<unsigned long long>(r.replay.lockstep_cycles),
+                static_cast<unsigned long long>(r.replay.interpreted_cycles),
+                static_cast<unsigned long long>(r.replay.sync_points));
+  };
+  tier_row("interpret", fft_interp);
+  tier_row("scheduled", fft_sched);
+  tier_row("lockstep", fft_lock);
+  const bool fft_identical =
+      fft_interp.output_hash == fft_sched.output_hash &&
+      fft_sched.output_hash == fft_lock.output_hash &&
+      fft_interp.job_cycles == fft_sched.job_cycles &&
+      fft_sched.job_cycles == fft_lock.job_cycles &&
+      fft_interp.sys_pj_total == fft_sched.sys_pj_total &&
+      fft_sched.sys_pj_total == fft_lock.sys_pj_total;
+  const double lockstep_speedup =
+      fft_sched.wall_s > 0 ? fft_lock.wall_s / fft_sched.wall_s : 0.0;
+  std::printf("\n  identity: %s (outputs, cycles, energy; 3 engines)\n",
+              fft_identical ? "bit-exact" : "MISMATCH");
+  std::printf("  scheduled-over-lockstep speedup: %.2fx (%s 1.5x target)\n",
+              lockstep_speedup, lockstep_speedup >= 1.5 ? "meets" : "MISSES");
+  bench::JsonRecord("runtime_throughput")
+      .field("config", std::string("decoupled_lockstep"))
+      .field("jobs", static_cast<std::uint64_t>(kFftJobs))
+      .field("fft_n", static_cast<std::uint64_t>(kFftN))
+      .field("wall_seconds_scheduled", fft_sched.wall_s)
+      .field("wall_seconds_lockstep", fft_lock.wall_s)
+      .field("wall_seconds_interpret", fft_interp.wall_s)
+      .field("replay_decoupled_cycles", fft_sched.replay.decoupled_cycles)
+      .field("replay_lockstep_cycles", fft_sched.replay.lockstep_cycles)
+      .field("replay_interpreted_cycles", fft_sched.replay.interpreted_cycles)
+      .field("replay_sync_points", fft_sched.replay.sync_points)
+      .field("bit_identical", fft_identical)
+      .field("speedup_vs_lockstep", lockstep_speedup)
+      .write();
+
   std::printf("\n  4-worker fleet speedup: %.2fx (%s 2x target)\n", fleet4,
               fleet4 > 2.0 ? "meets" : "MISSES");
-  return (fleet4 > 2.0 && identical && speedup >= 5.0) ? 0 : 1;
+  return (fleet4 > 2.0 && identical && speedup >= 5.0 && fft_identical &&
+          lockstep_speedup >= 1.5)
+             ? 0
+             : 1;
 }

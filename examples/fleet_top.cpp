@@ -3,7 +3,8 @@
 // gateway for STATS_PUSH frames every 200 ms (no polling -- the server
 // initiates every frame) while 8 producer threads stream biosignals
 // through their own connections. Each push repaints:
-//   * the fleet scalar line (jobs, makespan, energy, faults);
+//   * the fleet scalar lines (jobs, makespan, energy, faults, and the
+//     replay tier mix: traced/batched launches + per-tier cycles);
 //   * per-device occupancy bars (device-local cycles relative to the
 //     busiest device), job counts and the health bitmap;
 //   * per-session window rates computed from consecutive pushes.
@@ -93,7 +94,7 @@ int main() {
                 static_cast<unsigned long long>(p.seq), kCadenceMs,
                 p.stats.devices);
     std::printf("jobs %llu done / %llu failed | makespan %llu cy | "
-                "%.1f uJ | faults %llu (dead %llu, rescued %llu)\n\n",
+                "%.1f uJ | faults %llu (dead %llu, rescued %llu)\n",
                 static_cast<unsigned long long>(p.stats.jobs_completed),
                 static_cast<unsigned long long>(p.stats.jobs_failed),
                 static_cast<unsigned long long>(p.stats.fleet_makespan),
@@ -101,6 +102,16 @@ int main() {
                 static_cast<unsigned long long>(p.stats.devices_failed),
                 static_cast<unsigned long long>(p.stats.devices_dead),
                 static_cast<unsigned long long>(p.stats.jobs_rescued));
+    std::printf("replay %llu traced (%llu batched, %llu rollbacks) | "
+                "cy dec %llu / lock %llu / interp %llu | sync %llu\n\n",
+                static_cast<unsigned long long>(p.stats.traced_launches),
+                static_cast<unsigned long long>(p.stats.batched_launches),
+                static_cast<unsigned long long>(p.stats.traced_rollbacks),
+                static_cast<unsigned long long>(p.stats.replay_decoupled_cycles),
+                static_cast<unsigned long long>(p.stats.replay_lockstep_cycles),
+                static_cast<unsigned long long>(
+                    p.stats.replay_interpreted_cycles),
+                static_cast<unsigned long long>(p.stats.replay_sync_points));
 
     std::uint64_t busiest = 1;
     for (const auto& d : p.devices) busiest = std::max(busiest, d.cycles);

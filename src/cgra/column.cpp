@@ -571,7 +571,7 @@ void Column::restore_state(const Checkpoint& ck) {
 
 inline const Word* Column::spm_trace_read_row(unsigned row) {
   const Word* p = spm_->trace_row(row);  // range-checks like the interpreter
-  spm_read_mask_ |= 1ull << row;
+  spm_rmask_[mask_tier_] |= 1ull << row;
   return p;
 }
 
@@ -584,12 +584,12 @@ inline void Column::spm_trace_write_row(unsigned row, const mem::Vwr::Row& v) {
     undo_->versions[row] = spm_->row_version(row);
   }
   spm_->trace_write_row(row, v);
-  spm_write_mask_ |= 1ull << row;
+  spm_wmask_[mask_tier_] |= 1ull << row;
 }
 
 inline Word Column::spm_trace_read_word(unsigned word) {
   const Word v = spm_->trace_read_word(word);
-  spm_read_mask_ |= 1ull << (word / arch::kVwrWords);
+  spm_rmask_[mask_tier_] |= 1ull << (word / arch::kVwrWords);
   return v;
 }
 
@@ -603,7 +603,7 @@ inline void Column::spm_trace_write_word(unsigned word, Word v) {
     undo_->versions[row] = spm_->row_version(row);
   }
   spm_->trace_write_word(word, v);
-  spm_write_mask_ |= 1ull << row;
+  spm_wmask_[mask_tier_] |= 1ull << row;
 }
 
 inline Word Column::trace_src(const tc::Src& s) const {
@@ -619,8 +619,16 @@ inline Word Column::trace_src(const tc::Src& s) const {
       return srf_.trace_read(s.idx);
     case K::kPrev:
       return rc_prev_[s.rc];
+    case K::kCross:
+      if (cross_ == nullptr) {
+        // Same fault as the interpreter; the caller rolls back and reruns
+        // interpreted so the error surfaces with the exact partial state.
+        throw SimError("RC: kRcCross operand used without a synchronized "
+                       "partner column");
+      }
+      return (*cross_)[s.rc];
     default:
-      return 0;  // kCross never survives compilation
+      return 0;
   }
 }
 
@@ -1049,53 +1057,57 @@ bool Column::run_fused_quad1(const tc::Line& L, std::uint64_t iters) {
   return true;
 }
 
-Cycle Column::run_traced(tc::SpmUndo* undo, Cycle budget) {
-  if (!has_trace()) throw HostError("Column: run_traced without a trace");
-  undo_ = undo;
-  spm_read_mask_ = 0;
-  spm_write_mask_ = 0;
+Cycle Column::step_block_traced(Cycle budget_left) {
   const CompiledTrace& T = *trace_;
   const tc::Line* lines = T.lines.data();
+  const tc::Block& b = T.blocks[T.block_of[pc_]];
+  unsigned next = b.first + b.len;  // fallthrough
+  Cycle n = 0;
+  if (b.fuse_self_loop) {
+    // Hardware loop: replay the whole (runtime-read) trip count fused.
+    const Word cnt = lcu_rf_[b.rd];
+    const std::uint64_t iters = cnt == 0 ? (1ull << 32) : cnt;
+    if (iters * b.len > budget_left) throw tc::ReplayBudgetExceeded{};
+    // Single-line elementwise bodies take the batched path (routing
+    // hoisted out of the trip count); everything else replays per line.
+    if (b.len != 1 || !run_fused_quad1(lines[b.first], iters)) {
+      for (std::uint64_t it = 0; it < iters; ++it) {
+        for (unsigned i = 0; i < b.len; ++i) {
+          exec_dispatch(lines[b.first + i]);
+        }
+      }
+    }
+    lcu_rf_[b.rd] = 0;  // dbnz leaves the counter at zero
+    meter_->add_block(b.energy, iters);
+    executed_ += iters * b.len;
+    n = iters * b.len;
+  } else {
+    for (unsigned i = 0; i < b.len; ++i) exec_dispatch(lines[b.first + i]);
+    meter_->add_block(b.energy, 1);
+    executed_ += b.len;
+    n = b.len;
+    bool exit = false;
+    next = eval_term(b, exit);
+    if (exit) running_ = false;
+  }
+  if (!running_) {
+    pc_ = b.first + b.len - 1;  // the interpreter leaves pc at the EXIT line
+    return n;
+  }
+  if (next >= T.length()) {
+    throw SimError("Column: branch past end of program");
+  }
+  pc_ = next;
+  return n;
+}
+
+Cycle Column::run_traced(tc::SpmUndo* undo, Cycle budget) {
+  if (!has_trace()) throw HostError("Column: run_traced without a trace");
+  begin_traced(undo);
   Cycle n = 0;
   while (running_) {
     if (n > budget) throw tc::ReplayBudgetExceeded{};  // caller rolls back
-    const tc::Block& b = T.blocks[T.block_of[pc_]];
-    unsigned next = b.first + b.len;  // fallthrough
-    if (b.fuse_self_loop) {
-      // Hardware loop: replay the whole (runtime-read) trip count fused.
-      const Word cnt = lcu_rf_[b.rd];
-      const std::uint64_t iters = cnt == 0 ? (1ull << 32) : cnt;
-      if (n + iters * b.len > budget) throw tc::ReplayBudgetExceeded{};
-      // Single-line elementwise bodies take the batched path (routing
-      // hoisted out of the trip count); everything else replays per line.
-      if (b.len != 1 || !run_fused_quad1(lines[b.first], iters)) {
-        for (std::uint64_t it = 0; it < iters; ++it) {
-          for (unsigned i = 0; i < b.len; ++i) {
-            exec_dispatch(lines[b.first + i]);
-          }
-        }
-      }
-      lcu_rf_[b.rd] = 0;  // dbnz leaves the counter at zero
-      meter_->add_block(b.energy, iters);
-      executed_ += iters * b.len;
-      n += iters * b.len;
-    } else {
-      for (unsigned i = 0; i < b.len; ++i) exec_dispatch(lines[b.first + i]);
-      meter_->add_block(b.energy, 1);
-      executed_ += b.len;
-      n += b.len;
-      bool exit = false;
-      next = eval_term(b, exit);
-      if (exit) running_ = false;
-    }
-    if (!running_) {
-      pc_ = b.first + b.len - 1;  // the interpreter leaves pc at the EXIT line
-      break;
-    }
-    if (next >= T.length()) {
-      throw SimError("Column: branch past end of program");
-    }
-    pc_ = next;
+    n += step_block_traced(budget - n);
   }
   // Sync the per-RC result registers the replay tracked via rc_prev_.
   for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) rcs_[r].out = rc_prev_[r];

@@ -110,9 +110,38 @@ class Column {
   /// writes would otherwise spin forever.
   Cycle run_traced(tc::SpmUndo* undo, Cycle budget = ~Cycle{0});
 
-  /// SPM rows this column read / wrote during the last run_traced().
-  std::uint64_t spm_read_mask() const { return spm_read_mask_; }
-  std::uint64_t spm_write_mask() const { return spm_write_mask_; }
+  /// Replays exactly one superblock from the current PC (a fused self-loop
+  /// replays its whole trip count). Returns the cycles executed; clears
+  /// running() at EXIT. Throws tc::ReplayBudgetExceeded when a fused loop
+  /// alone would exceed `budget_left`. The caller brackets a sequence of
+  /// these with begin_traced()/end_traced(); the sync scheduler and the
+  /// fleet batch replayer drive free stretches through this entry point.
+  Cycle step_block_traced(Cycle budget_left);
+
+  /// SPM rows this column read / wrote during the last replay, across both
+  /// mask tiers (free-running and sync-scheduled accesses).
+  std::uint64_t spm_read_mask() const { return spm_rmask_[0] | spm_rmask_[1]; }
+  std::uint64_t spm_write_mask() const { return spm_wmask_[0] | spm_wmask_[1]; }
+
+  /// Free-tier-only masks: rows touched while free-running (decoupled
+  /// blocks and dynamically addressed accesses). The post-hoc conflict
+  /// check intersects these with the partner's totals; sync-tier accesses
+  /// are excluded because the schedule already ordered them.
+  std::uint64_t spm_free_read_mask() const { return spm_rmask_[0]; }
+  std::uint64_t spm_free_write_mask() const { return spm_wmask_[0]; }
+
+  /// Selects which mask tier subsequent traced SPM accesses accumulate
+  /// into: 0 = free-running, 1 = sync-scheduled. begin_traced() resets to 0.
+  void set_mask_tier(unsigned tier) { mask_tier_ = tier & 1u; }
+
+  /// Publishes (or clears, nullptr) the partner column's previous-cycle RC
+  /// results for kCross operands. Only the per-cycle lockstep tier keeps
+  /// this current; anywhere else a kCross read faults like the interpreter.
+  void set_cross(const RcOutputs* cross) { cross_ = cross; }
+
+  /// True while a sync-scheduled block is mid-flight (between step_traced()
+  /// calls); block classification cannot change until it completes.
+  bool mid_block() const { return tb_ != nullptr; }
 
   /// Lockstep traced stepping, for kernels whose columns communicate
   /// through the SPM: begin_traced() arms the replay state, step_traced()
@@ -121,8 +150,10 @@ class Column {
   /// observable state back. Bit-identical to step() for traceable programs.
   void begin_traced(tc::SpmUndo* undo) {
     undo_ = undo;
-    spm_read_mask_ = 0;
-    spm_write_mask_ = 0;
+    spm_rmask_[0] = spm_rmask_[1] = 0;
+    spm_wmask_[0] = spm_wmask_[1] = 0;
+    mask_tier_ = 0;
+    cross_ = nullptr;
     tb_ = nullptr;
   }
   void step_traced();
@@ -223,8 +254,14 @@ class Column {
   // --- trace replay state ----------------------------------------------------
   std::shared_ptr<const CompiledTrace> trace_;
   tc::SpmUndo* undo_ = nullptr;      ///< active only during traced replay
-  std::uint64_t spm_read_mask_ = 0;  ///< SPM rows read by the last replay
-  std::uint64_t spm_write_mask_ = 0; ///< SPM rows written by the last replay
+  /// SPM row-access masks of the current replay, split by tier ([0] = free-
+  /// running, [1] = sync-scheduled) so the post-hoc conflict check can
+  /// exclude accesses the sync schedule already ordered. Indexed stores
+  /// keep the hot accessors branch-free.
+  std::uint64_t spm_rmask_[2] = {0, 0};
+  std::uint64_t spm_wmask_[2] = {0, 0};
+  unsigned mask_tier_ = 0;
+  const RcOutputs* cross_ = nullptr; ///< partner snapshot for kCross operands
   mem::Vwr::Row shuf_scratch_{};     ///< pending shuffle result staging
   const tc::Block* tb_ = nullptr;    ///< lockstep replay: current block
   unsigned tb_line_ = 0;             ///< lockstep replay: line within block

@@ -255,8 +255,9 @@ void add_line_energy(const DecodedLine& L,
   }
 }
 
-/// Resolves one RC source. Returns false for sources the replayer cannot
-/// execute (kRcCross: the decoupled replay has no partner snapshot).
+/// Resolves one RC source. kRcCross resolves to the partner-snapshot slot:
+/// it replays on the per-cycle lockstep tier (Column::set_cross) and faults
+/// like the interpreter anywhere else.
 bool resolve_src(RcSrc s, const isa::RcInstr& I, unsigned r, tc::Src& out) {
   using K = tc::Src::K;
   switch (s) {
@@ -298,6 +299,9 @@ bool resolve_src(RcSrc s, const isa::RcInstr& I, unsigned r, tc::Src& out) {
              static_cast<Word>(static_cast<SWord>(I.imm))};
       return true;
     case RcSrc::kRcCross:
+      out.k = K::kCross;
+      out.rc = static_cast<std::uint8_t>(r);  // same lane, partner column
+      return true;
     default:
       return false;
   }
@@ -338,6 +342,51 @@ bool resolve_rc(const isa::RcInstr& I, unsigned r, tc::RcUop& u) {
 /// Lane-uniform shape test: all four RCs run the same op with the same
 /// source/destination kinds and shared indices, differing only in their
 /// slice. The rc_all() idiom every kernel's inner loop uses.
+/// Accumulates the statically-addressed SPM rows one execution of `line`
+/// touches (LSU kImm address mode only). Dynamic modes (SRF/pointer)
+/// contribute nothing: those accesses stay on the free tier and the runtime
+/// masks validate them post hoc. Statically out-of-range rows contribute
+/// nothing either -- replay faults there before the access lands, and the
+/// launch reruns on the interpreter.
+void add_static_spm(const tc::Line& line, std::uint64_t& sread,
+                    std::uint64_t& swrite) {
+  if (!line.has_lsu || line.lsu.amode != LsuAddrMode::kImm) return;
+  const unsigned addr = static_cast<unsigned>(line.lsu.imm);
+  unsigned row = 0;
+  bool is_write = false;
+  switch (line.lsu.op) {
+    case LsuOp::kLdVwr:
+      row = addr;
+      break;
+    case LsuOp::kStVwr:
+      row = addr;
+      is_write = true;
+      break;
+    case LsuOp::kLdSrf:
+      row = addr / arch::kVwrWords;
+      break;
+    case LsuOp::kStSrf:
+      row = addr / arch::kVwrWords;
+      is_write = true;
+      break;
+    default:
+      return;
+  }
+  if (row >= arch::kSpmRows) return;
+  (is_write ? swrite : sread) |= 1ull << row;
+}
+
+/// True when any active RC of the line reads the partner column.
+bool line_has_cross(const tc::Line& line) {
+  using K = tc::Src::K;
+  for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
+    if (((line.rc_mask >> r) & 1u) == 0) continue;
+    const tc::RcUop& u = line.rc[r];
+    if (u.a.k == K::kCross || (!u.unary && u.b.k == K::kCross)) return true;
+  }
+  return false;
+}
+
 bool quad_shape(const tc::Line& line) {
   if (line.rc_mask != 0xF) return false;
   const tc::RcUop& a = line.rc[0];
@@ -424,13 +473,6 @@ std::shared_ptr<const CompiledTrace> compile_trace(
     if (is_lcu_control(L.lcu.op) && L.lcu.op != LcuOp::kExit &&
         L.lcu.target >= len) {
       return bail("branch target past program end");
-    }
-    for (unsigned r = 0; r < arch::kRcsPerColumn; ++r) {
-      if (L.rc[r].op != RcOp::kNop &&
-          (L.rc[r].src_a == RcSrc::kRcCross ||
-           (!alu_is_unary(L.rc[r].op) && L.rc[r].src_b == RcSrc::kRcCross))) {
-        return bail("kRcCross operand (columns not decoupable)");
-      }
     }
   }
 
@@ -543,14 +585,21 @@ std::shared_ptr<const CompiledTrace> compile_trace(
         break;
     }
 
-    // Energy of one full block replay.
+    // Energy of one full block replay, and the block's static SPM rows (the
+    // dependence facts the sync scheduler partitions the kernel with).
     std::array<std::uint64_t, static_cast<unsigned>(Event::kCount)> counts{};
-    for (unsigned i = pc; i <= end; ++i) add_line_energy(dec[i], counts);
+    for (unsigned i = pc; i <= end; ++i) {
+      add_line_energy(dec[i], counts);
+      add_static_spm(trace->lines[i], b.sread, b.swrite);
+      if (line_has_cross(trace->lines[i])) trace->has_cross = true;
+    }
     for (unsigned e = 0; e < counts.size(); ++e) {
       if (counts[e] != 0) {
         b.energy.push_back({static_cast<Event>(e), counts[e]});
       }
     }
+    trace->static_reads |= b.sread;
+    trace->static_writes |= b.swrite;
 
     // Hardware-loop fusion: a DBNZ back to this block's own start whose
     // body never touches the trip-count register elsewhere replays its
@@ -589,5 +638,44 @@ std::shared_ptr<const CompiledTrace> compile_trace(
   trace->ok = true;
   return trace;
 }
+
+namespace tc {
+
+SyncPlan make_sync_plan(const CompiledTrace* t0, const CompiledTrace* t1) {
+  SyncPlan p;
+  if (t0 == nullptr || t1 == nullptr || !t0->ok || !t1->ok) {
+    // Single-column kernel (or a non-replayable partner, which the caller
+    // gates on anyway): nothing to order against, free-run.
+    return p;
+  }
+  if (t0->has_cross || t1->has_cross) {
+    // The cross-column operand network needs per-cycle partner snapshots.
+    p.mode = SyncPlan::Mode::kLockstep;
+    return p;
+  }
+  const std::array<const CompiledTrace*, arch::kNumColumns> t{t0, t1};
+  bool any = false;
+  for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+    const CompiledTrace& self = *t[c];
+    const CompiledTrace& peer = *t[1 - c];
+    p.sync[c].assign(self.blocks.size(), 0);
+    for (std::size_t i = 0; i < self.blocks.size(); ++i) {
+      const Block& b = self.blocks[i];
+      // Ordered iff the block's rows can carry data across columns: my
+      // write vs any peer access, or my read vs a peer write. Read-read
+      // sharing (e.g. both columns loading one coefficient row) stays free.
+      if (((b.swrite & (peer.static_reads | peer.static_writes)) |
+           (b.sread & peer.static_writes)) != 0) {
+        p.sync[c][i] = 1;
+        ++p.sync_blocks[c];
+        any = true;
+      }
+    }
+  }
+  p.mode = any ? SyncPlan::Mode::kScheduled : SyncPlan::Mode::kDecoupled;
+  return p;
+}
+
+} // namespace tc
 
 } // namespace vwr2a::cgra

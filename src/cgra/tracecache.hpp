@@ -70,7 +70,10 @@ struct Src {
     kVwr,      ///< vwrs_[vwr] word at slice base + shared index
     kSrf,      ///< SRF[idx]
     kPrev,     ///< rc_prev_[idx] (neighbour result, index pre-wrapped)
-    kCross,    ///< partner column result (makes the program non-decoupled)
+    kCross,    ///< partner column's previous-cycle RC result, read from the
+               ///< per-cycle snapshot the lockstep tier publishes via
+               ///< Column::set_cross (decoupled tiers have no snapshot and
+               ///< fault exactly like the interpreter)
   };
   K k = K::kImm;
   std::uint8_t vwr = 0;    ///< VWR select for kVwr
@@ -165,6 +168,12 @@ struct Block {
   std::uint16_t target = 0;     ///< branch-taken program address
   bool fuse_self_loop = false;  ///< DBNZ back to `first`, trip-count fusable
   std::vector<energy::EventDelta> energy;  ///< one full block replay
+  /// Statically-addressed SPM rows one replay of this block reads / writes
+  /// (LSU kImm address mode; kSpmRows = 64, one word each). Dynamically
+  /// addressed accesses (SRF/pointer modes) are absent here -- they stay on
+  /// the free-running tier and are validated post hoc by the runtime masks.
+  std::uint64_t sread = 0;
+  std::uint64_t swrite = 0;
 };
 
 } // namespace tc
@@ -179,6 +188,12 @@ class CompiledTrace {
   std::vector<tc::Line> lines;
   std::vector<tc::Block> blocks;
   std::vector<std::uint16_t> block_of;  ///< pc -> index into blocks
+  /// Whole-trace unions of the per-block static SPM row masks, and whether
+  /// any kRcCross operand survives into the micro-ops (such a trace replays
+  /// only on the per-cycle lockstep tier, which has partner snapshots).
+  std::uint64_t static_reads = 0;
+  std::uint64_t static_writes = 0;
+  bool has_cross = false;
 
   unsigned length() const { return static_cast<unsigned>(lines.size()); }
 };
@@ -321,6 +336,63 @@ struct SpmUndo {
     saved_mask = 0;
     write_gen = gen;
   }
+};
+
+/// The compiled sync schedule of one two-column kernel: which replay tier
+/// the launch takes, and -- on the scheduled tier -- which superblocks of
+/// each column are sync points. A block is a sync point when its static SPM
+/// rows intersect the partner trace's static unions (write/write,
+/// write/read or read/write); such blocks replay one line per local cycle
+/// under the behind-column-first schedule, which reproduces the
+/// interpreter's access order exactly. All other blocks free-run (fused
+/// loops included) and their runtime access masks are validated post hoc.
+struct SyncPlan {
+  enum class Mode : std::uint8_t {
+    kDecoupled = 0,  ///< no static overlap: whole-kernel free-run per column
+    kScheduled,      ///< static overlap: free stretches + per-line sync blocks
+    kLockstep,       ///< kRcCross present: per-cycle alternation, cross snapshots
+  };
+  Mode mode = Mode::kDecoupled;
+  std::array<std::vector<std::uint8_t>, arch::kNumColumns> sync;  ///< [col][block]
+  std::array<std::uint32_t, arch::kNumColumns> sync_blocks{};     ///< SYNC count
+};
+
+/// Builds the sync schedule for a kernel occupying the given column traces
+/// (nullptr = column idle). Null/non-ok traces yield the decoupled plan:
+/// the caller gates on has_trace() before replaying at all.
+SyncPlan make_sync_plan(const CompiledTrace* t0, const CompiledTrace* t1);
+
+} // namespace tc
+
+class Vwr2a;
+
+namespace tc {
+
+/// Fleet-batched replay: one compiled trace driven across N devices' SPM /
+/// VWR state in a single host loop (the Ara-style "one decode, many lanes"
+/// move lifted to the fleet dimension). Lanes advance block-lockstep --
+/// each superblock is dispatched once and executed across every aligned
+/// device back to back, with per-device trip counts in fused loops -- and
+/// any lane that diverges on a data-dependent branch, faults, or fails the
+/// post-hoc conflict check detaches and finishes through the standard
+/// scalar rollback ladder. Every lane's result is bit/cycle/energy-
+/// identical to devs[i]->run_kernel(kids[i]) run alone, so batching is
+/// invisible to everything but host wall-clock.
+struct BatchReplayer {
+  /// Batch-eligibility probe, side-effect free. True when `kernel_id` on
+  /// `dev` is warm (memoized compiled traces from a previous launch), fully
+  /// decoupled (SyncPlan::kDecoupled, no kRcCross, no runtime lockstep
+  /// hint) and trace-mode with no tracer attached. `key` receives the
+  /// per-column trace identities: two devices may share a batch iff their
+  /// keys are equal (the content-keyed TraceCache makes identical programs
+  /// pointer-identical fleet-wide).
+  static bool identity(const Vwr2a& dev, unsigned kernel_id,
+                       std::array<const void*, arch::kNumColumns>& key);
+
+  /// Runs kernel kids[i] on devs[i] for all n lanes. Requires every lane to
+  /// have passed identity() with equal keys; falls back to scalar
+  /// completion per lane otherwise (correct, just not batched).
+  static void run(Vwr2a* const* devs, const unsigned* kids, std::size_t n);
 };
 
 } // namespace tc

@@ -1,5 +1,7 @@
 #include "cgra/vwr2a.hpp"
 
+#include <vector>
+
 #include "common/status.hpp"
 
 namespace vwr2a::cgra {
@@ -81,6 +83,17 @@ void Vwr2a::start_kernel(unsigned kernel_id) {
         loaded_[c] = kernel_id;
       }
     }
+    if (exec_mode_ == ExecMode::kTraceCache) {
+      // Re-evaluate the replay schedule on every (re)load: the sync plan is
+      // a cheap mask intersection over the memoized traces, and clearing
+      // the runtime lockstep hint here lets a kernel whose trip counts or
+      // pointer parameters stopped conflicting leave the slow path again.
+      rt.plan = tc::make_sync_plan(
+          isa::contains(img.columns, 0) ? rt.trace[0].get() : nullptr,
+          isa::contains(img.columns, 1) ? rt.trace[1].get() : nullptr);
+      rt.plan_ready = true;
+      rt.lockstep_hint = false;
+    }
   }
   advance(kLaunchCycles);
   for (unsigned c = 0; c < arch::kNumColumns; ++c) {
@@ -93,6 +106,8 @@ bool Vwr2a::busy() const { return col0_.running() || col1_.running(); }
 void Vwr2a::step() {
   if (tracer_ != nullptr) tracer_->on_cycle(cycles_, col0_, col1_);
   const bool synced = col0_.running() && col1_.running();
+  interpreted_cycles_ += static_cast<std::uint64_t>(col0_.running()) +
+                         static_cast<std::uint64_t>(col1_.running());
   // Snapshot both columns' previous-cycle results before either commits, so
   // cross-column operands observe a consistent pre-cycle state.
   const Column::RcOutputs outs0 = col0_.rc_outputs();
@@ -120,27 +135,91 @@ Cycle Vwr2a::run_kernel(unsigned kernel_id) {
 Cycle Vwr2a::run_lockstep_traced() {
   // Per-cycle alternation, exactly the interpreter's interleaving: column 0
   // executes (and commits, including its SPM side effects) before column 1
-  // each cycle, so cross-column SPM dataflow is observed identically.
+  // each cycle, so cross-column SPM dataflow is observed identically. Both
+  // columns' previous-cycle RC results are snapshotted before either
+  // commits, so kCross operands observe a consistent pre-cycle state --
+  // the slot that used to punt such kernels all the way to the interpreter.
   col0_.begin_traced(undo_.get());
   col1_.begin_traced(undo_.get());
+  const KernelRuntime& rt = kernel_rt_[cur_kernel_];
+  const bool cross = (rt.trace[0] != nullptr && rt.trace[0]->has_cross) ||
+                     (rt.trace[1] != nullptr && rt.trace[1]->has_cross);
+  Column::RcOutputs outs0{}, outs1{};
   Cycle n = 0;
   while (col0_.running() || col1_.running()) {
-    if (col0_.running()) col0_.step_traced();
-    if (col1_.running()) col1_.step_traced();
+    if (cross) {
+      const bool synced = col0_.running() && col1_.running();
+      outs0 = col0_.rc_outputs();
+      outs1 = col1_.rc_outputs();
+      col0_.set_cross(synced ? &outs1 : nullptr);
+      col1_.set_cross(synced ? &outs0 : nullptr);
+    }
+    if (col0_.running()) {
+      col0_.step_traced();
+      ++replayed_lockstep_;
+    }
+    if (col1_.running()) {
+      col1_.step_traced();
+      ++replayed_lockstep_;
+    }
     ++n;
   }
+  col0_.set_cross(nullptr);
+  col1_.set_cross(nullptr);
   col0_.end_traced();
   col1_.end_traced();
   return n;
+}
+
+Cycle Vwr2a::run_scheduled_traced(const tc::SyncPlan& plan) {
+  // Behind-column-first schedule over local clocks (a column's local time
+  // equals its interpreter global cycle: columns launch together and never
+  // stall). The behind column advances; ties go to column 0, matching the
+  // interpreter's intra-cycle column order. Sync blocks advance one line
+  // (one cycle) per pick, so for any two sync-classified accesses A (col 0,
+  // time a) and B (col 1, time b): A executes only once t1 >= a and B only
+  // once t0 > b, which forbids either from overtaking the other -- the
+  // interpreter's (time, column) access order is reproduced exactly. Free
+  // blocks leap whole (fused trip counts included); the rows they touch are
+  // checked against the partner's totals after the run.
+  col0_.begin_traced(undo_.get());
+  col1_.begin_traced(undo_.get());
+  const KernelRuntime& rt = kernel_rt_[cur_kernel_];
+  const std::array<const CompiledTrace*, arch::kNumColumns> tr{
+      rt.trace[0].get(), rt.trace[1].get()};
+  Cycle t0 = 0, t1 = 0;
+  while (col0_.running() || col1_.running()) {
+    const bool pick0 = col0_.running() && (!col1_.running() || t0 <= t1);
+    Column& col = pick0 ? col0_ : col1_;
+    Cycle& t = pick0 ? t0 : t1;
+    const unsigned c = pick0 ? 0u : 1u;
+    if (t > tc::kReplayBudget) throw tc::ReplayBudgetExceeded{};
+    const unsigned bi = tr[c]->block_of[col.pc()];
+    if (plan.sync[c][bi] != 0) {
+      if (!col.mid_block()) ++sync_points_;
+      col.set_mask_tier(1);
+      col.step_traced();
+      ++t;
+      ++replayed_lockstep_;
+    } else {
+      col.set_mask_tier(0);
+      const Cycle n = col.step_block_traced(tc::kReplayBudget - t);
+      t += n;
+      replayed_decoupled_ += n;
+    }
+  }
+  col0_.end_traced();
+  col1_.end_traced();
+  return std::max(t0, t1);
 }
 
 void Vwr2a::run_kernel_traced() {
   const bool r0 = col0_.running();
   const bool r1 = col1_.running();
   if ((r0 && !col0_.has_trace()) || (r1 && !col1_.has_trace())) {
-    // Non-traceable program (static hazard, kRcCross, ...): the interpreter
-    // stays authoritative, including its documented runtime faults.
-    while (busy()) step();
+    // Non-traceable program (static hazard, undecodable line, ...): the
+    // interpreter stays authoritative, including its documented faults.
+    run_interpreted();
     return;
   }
   // Checkpoint everything the replay can touch, so a cross-column SPM
@@ -167,50 +246,296 @@ void Vwr2a::run_kernel_traced() {
 
   if (kernel_rt_.size() <= cur_kernel_) kernel_rt_.resize(cur_kernel_ + 1);
   KernelRuntime& rt = kernel_rt_[cur_kernel_];
-  if (!(r0 && r1 && rt.lockstep)) {
-    // Decoupled replay: each column free-runs its compiled blocks to EXIT
-    // (hardware-loop fusion applies). Valid unless the columns exchange
-    // data through the SPM, which the access masks detect after the fact.
+  if (!rt.plan_ready) {
+    rt.plan = tc::make_sync_plan(r0 ? rt.trace[0].get() : nullptr,
+                                 r1 ? rt.trace[1].get() : nullptr);
+    rt.plan_ready = true;
+  }
+  const tc::SyncPlan& plan = rt.plan;
+  const bool both = r0 && r1;
+  if (!both || (!replay_lockstep_only_ &&
+                plan.mode != tc::SyncPlan::Mode::kLockstep &&
+                !rt.lockstep_hint)) {
+    // Free tiers: whole-kernel decoupled free-run, or the compiled sync
+    // schedule when some blocks statically share SPM rows. Either way the
+    // free-running accesses are validated against the partner's totals
+    // after the fact; sync-scheduled accesses are already ordered.
     bool conflict = false;
     try {
-      Cycle n0 = 0, n1 = 0;
-      // A per-column cycle budget (only needed with a partner: a column
-      // polling the other's SPM writes would free-run forever).
-      const Cycle budget = (r0 && r1) ? tc::kReplayBudget : ~Cycle{0};
-      if (r0) n0 = col0_.run_traced(undo_.get(), budget);
-      if (r1) n1 = col1_.run_traced(undo_.get(), budget);
-      if (r0 && r1) {
-        conflict = ((col0_.spm_write_mask() &
-                     (col1_.spm_read_mask() | col1_.spm_write_mask())) |
-                    (col1_.spm_write_mask() & col0_.spm_read_mask())) != 0;
+      Cycle n = 0;
+      if (both && plan.mode == tc::SyncPlan::Mode::kScheduled) {
+        n = run_scheduled_traced(plan);
+      } else {
+        // Decoupled replay: each column free-runs its compiled blocks to
+        // EXIT (hardware-loop fusion applies). A per-column cycle budget is
+        // only needed with a partner: a column polling the other's SPM
+        // writes would free-run forever.
+        Cycle n0 = 0, n1 = 0;
+        const Cycle budget = both ? tc::kReplayBudget : ~Cycle{0};
+        if (r0) n0 = col0_.run_traced(undo_.get(), budget);
+        if (r1) n1 = col1_.run_traced(undo_.get(), budget);
+        replayed_decoupled_ += n0 + n1;
+        n = std::max(n0, n1);
+      }
+      if (both) {
+        const std::uint64_t t0r = col0_.spm_read_mask();
+        const std::uint64_t t0w = col0_.spm_write_mask();
+        const std::uint64_t t1r = col1_.spm_read_mask();
+        const std::uint64_t t1w = col1_.spm_write_mask();
+        conflict = ((col0_.spm_free_write_mask() & (t1r | t1w)) |
+                    (col1_.spm_free_write_mask() & (t0r | t0w)) |
+                    (col0_.spm_free_read_mask() & t1w) |
+                    (col1_.spm_free_read_mask() & t0w)) != 0;
       }
       if (!conflict) {
-        advance(std::max(n0, n1));
+        advance(n);
         ++traced_launches_;
         return;
       }
     } catch (const tc::ReplayBudgetExceeded&) {
       // Undetectable-in-advance cross-column poll: handled exactly like a
-      // detected conflict below (rollback, then lockstep).
+      // detected conflict below (rollback, then per-cycle lockstep).
     } catch (...) {
       // Replay fault: rerun interpreted so the documented error surfaces
       // with the interpreter's exact partial state.
       rollback();
-      while (busy()) step();
+      run_interpreted();
       return;
     }
     ++traced_rollbacks_;
     rollback();
-    rt.lockstep = true;  // sticky: this kernel's columns share SPM rows
+    // Dynamically addressed rows carried data across columns this launch;
+    // assume they will again until the next reload re-evaluates.
+    rt.lockstep_hint = true;
   }
-  // Lockstep traced replay (cross-column SPM dataflow preserved).
+  // Per-cycle lockstep replay: cross-column SPM dataflow and kCross
+  // operands preserved with the interpreter's exact interleaving.
   try {
     advance(run_lockstep_traced());
     ++traced_launches_;
   } catch (...) {
     rollback();
-    while (busy()) step();
+    run_interpreted();
   }
 }
+
+namespace tc {
+
+bool BatchReplayer::identity(const Vwr2a& dev, unsigned kernel_id,
+                             std::array<const void*, arch::kNumColumns>& key) {
+  key.fill(nullptr);
+  if (dev.exec_mode_ != ExecMode::kTraceCache || dev.tracer_ != nullptr ||
+      dev.replay_lockstep_only_) {
+    return false;
+  }
+  if (kernel_id >= dev.kernel_rt_.size()) return false;  // cold: never launched
+  const Vwr2a::KernelRuntime& rt = dev.kernel_rt_[kernel_id];
+  if (!rt.plan_ready || rt.lockstep_hint ||
+      rt.plan.mode != SyncPlan::Mode::kDecoupled) {
+    return false;
+  }
+  bool any = false;
+  for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+    if (rt.trace[c] == nullptr) continue;  // column idle for this kernel
+    if (!rt.trace[c]->ok) return false;    // interpreter-only program
+    key[c] = rt.trace[c].get();
+    any = true;
+  }
+  return any;
+}
+
+namespace {
+
+/// Per-lane batch state: the device plus the rollback checkpoint taken
+/// right after start_kernel (same snapshot the scalar path takes).
+struct BatchLane {
+  Vwr2a* dev = nullptr;
+  std::array<Column::Checkpoint, arch::kNumColumns> ck{};
+  energy::EnergyMeter meter_ck;
+  std::array<bool, arch::kNumColumns> occ{};
+  std::array<Cycle, arch::kNumColumns> cycles{};
+  bool scalar = false;  ///< detached: finishes through the scalar ladder
+};
+
+} // namespace
+
+void BatchReplayer::run(Vwr2a* const* devs, const unsigned* kids,
+                        std::size_t n) {
+  if (n == 0) return;
+  std::vector<BatchLane> lanes(n);
+  auto lane_rollback = [](BatchLane& lane) {
+    Vwr2a& d = *lane.dev;
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      if (lane.occ[c]) d.column(c).restore_state(lane.ck[c]);
+    }
+    d.meter_ = lane.meter_ck;
+    for (unsigned row = 0; row < arch::kSpmRows; ++row) {
+      if ((d.undo_->saved_mask >> row) & 1u) {
+        d.spm_.trace_restore_row(row, d.undo_->rows[row],
+                                 d.undo_->versions[row]);
+      }
+    }
+    d.spm_.trace_restore_write_gen(d.undo_->write_gen);
+    d.undo_->reset(d.spm_.write_gen());
+  };
+  // Completes one started lane through the standard scalar ladder -- the
+  // exact tail of Vwr2a::run_kernel after start_kernel(), so a detached
+  // lane's outcome is indistinguishable from never having been batched.
+  auto lane_finish_scalar = [](Vwr2a& d) {
+    d.run_kernel_traced();
+    d.meter_.add(Event::kIrq);
+    d.advance(kIrqCycles);
+    ++d.launches_;
+  };
+  // Start every lane: per-device configuration-load / launch-cycle
+  // accounting is exactly the scalar sequence, then checkpoint for rollback.
+  for (std::size_t i = 0; i < n; ++i) {
+    BatchLane& lane = lanes[i];
+    lane.dev = devs[i];
+    Vwr2a& d = *lane.dev;
+    d.start_kernel(kids[i]);
+    if (d.undo_ == nullptr) d.undo_ = std::make_unique<SpmUndo>();
+    d.undo_->reset(d.spm_.write_gen());
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      lane.occ[c] = d.column(c).running();
+      if (lane.occ[c]) d.column(c).save_state(lane.ck[c]);
+    }
+    lane.meter_ck = d.meter_;
+  }
+  // Homogeneity: every lane must replay the identical trace pair. The
+  // caller checked identity() before dispatching; re-verify against lane 0
+  // (reloads in start_kernel recompute plans) and detach mismatches.
+  std::array<const void*, arch::kNumColumns> key0{};
+  const bool elig0 = identity(*devs[0], kids[0], key0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<const void*, arch::kNumColumns> k{};
+    if (!elig0 || !identity(*devs[i], kids[i], k) || k != key0) {
+      lanes[i].scalar = true;
+    }
+  }
+
+  // Batched decoupled replay, column-major like the scalar path (column 0
+  // free-runs to EXIT, then column 1). Within a column the lanes advance
+  // block-lockstep: one superblock dispatch drives every aligned device
+  // back to back, per-device trip counts included. A lane that takes a
+  // different branch than the others drops to a scalar block-replay tail
+  // (same engine, just not shared dispatch); a lane that faults or blows
+  // its budget rolls back and detaches to the scalar ladder.
+  for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!lanes[i].scalar && lanes[i].occ[c]) {
+        devs[i]->column(c).begin_traced(devs[i]->undo_.get());
+        live.push_back(i);
+      }
+    }
+    auto budget_of = [&](const BatchLane& lane) {
+      return (lane.occ[0] && lane.occ[1]) ? kReplayBudget : ~Cycle{0};
+    };
+    auto fault = [&](std::size_t i) {
+      lane_rollback(lanes[i]);
+      lanes[i].scalar = true;
+    };
+    // Block-lockstep phase: all running lanes share one pc.
+    bool aligned = true;
+    while (aligned) {
+      // Prune lanes whose column exited.
+      std::vector<std::size_t> run;
+      for (std::size_t i : live) {
+        if (devs[i]->column(c).running()) run.push_back(i);
+      }
+      live = run;
+      if (live.empty()) break;
+      const unsigned pc0 = devs[live[0]]->column(c).pc();
+      for (std::size_t i : live) {
+        if (devs[i]->column(c).pc() != pc0) aligned = false;
+      }
+      if (!aligned) break;
+      std::vector<std::size_t> keep;
+      for (std::size_t i : live) {
+        BatchLane& lane = lanes[i];
+        const Cycle budget = budget_of(lane);
+        try {
+          if (lane.cycles[c] > budget) throw ReplayBudgetExceeded{};
+          lane.cycles[c] +=
+              devs[i]->column(c).step_block_traced(budget - lane.cycles[c]);
+          keep.push_back(i);
+        } catch (...) {
+          fault(i);
+        }
+      }
+      live = keep;
+    }
+    // Scalar tails for lanes that diverged: finish this column block by
+    // block on the same engine.
+    for (std::size_t i : live) {
+      BatchLane& lane = lanes[i];
+      Column& col = devs[i]->column(c);
+      const Cycle budget = budget_of(lane);
+      try {
+        while (col.running()) {
+          if (lane.cycles[c] > budget) throw ReplayBudgetExceeded{};
+          lane.cycles[c] += col.step_block_traced(budget - lane.cycles[c]);
+        }
+      } catch (...) {
+        fault(i);
+      }
+    }
+  }
+
+  // Per-lane epilogue: close the replay, run the post-hoc conflict check,
+  // commit cycles and counters -- the same sequence the scalar decoupled
+  // path performs, one lane at a time.
+  for (std::size_t i = 0; i < n; ++i) {
+    BatchLane& lane = lanes[i];
+    if (lane.scalar) continue;
+    Vwr2a& d = *lane.dev;
+    for (unsigned c = 0; c < arch::kNumColumns; ++c) {
+      if (lane.occ[c]) d.column(c).end_traced();
+    }
+    bool conflict = false;
+    if (lane.occ[0] && lane.occ[1]) {
+      const std::uint64_t t0r = d.col0_.spm_read_mask();
+      const std::uint64_t t0w = d.col0_.spm_write_mask();
+      const std::uint64_t t1r = d.col1_.spm_read_mask();
+      const std::uint64_t t1w = d.col1_.spm_write_mask();
+      conflict = ((d.col0_.spm_free_write_mask() & (t1r | t1w)) |
+                  (d.col1_.spm_free_write_mask() & (t0r | t0w)) |
+                  (d.col0_.spm_free_read_mask() & t1w) |
+                  (d.col1_.spm_free_read_mask() & t0w)) != 0;
+    }
+    if (conflict) {
+      // Roll back and rerun through the scalar ladder, which re-detects the
+      // conflict, counts the rollback, and takes per-cycle lockstep --
+      // identical outcome to a scalar launch.
+      lane_rollback(lane);
+      lane.scalar = true;
+      continue;
+    }
+    d.replayed_decoupled_ += lane.cycles[0] + lane.cycles[1];
+    d.advance(std::max(lane.cycles[0], lane.cycles[1]));
+    ++d.traced_launches_;
+    ++d.batched_launches_;
+    d.meter_.add(Event::kIrq);
+    d.advance(kIrqCycles);
+    ++d.launches_;
+  }
+  // Detached lanes finish through the scalar ladder. A faulting lane's
+  // exception (the interpreter surfacing a documented fault with exact
+  // partial state) is deferred until every other lane has completed, so one
+  // bad lane never leaves its batch peers half-run.
+  std::exception_ptr first_fault;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!lanes[i].scalar) continue;
+    try {
+      lane_finish_scalar(*lanes[i].dev);
+    } catch (...) {
+      if (first_fault == nullptr) first_fault = std::current_exception();
+    }
+  }
+  if (first_fault != nullptr) std::rethrow_exception(first_fault);
+}
+
+} // namespace tc
 
 } // namespace vwr2a::cgra

@@ -126,14 +126,54 @@ class Vwr2a {
   std::uint64_t traced_launches() const { return traced_launches_; }
   std::uint64_t traced_rollbacks() const { return traced_rollbacks_; }
 
+  /// Per-engine column-cycle counters: how much simulated work each replay
+  /// tier carried. Decoupled covers free-running block replay (whole-kernel
+  /// decoupled runs, the free stretches of scheduled runs, and fleet-batched
+  /// replay); lockstep covers per-line sync blocks and the per-cycle
+  /// alternation tier; interpreted covers cycles stepped by the reference
+  /// interpreter (interpret mode, tracers, and replay fallbacks alike). A
+  /// kernel stuck on the slow tiers shows up here long before a profiler.
+  std::uint64_t replayed_decoupled_cycles() const { return replayed_decoupled_; }
+  std::uint64_t replayed_lockstep_cycles() const { return replayed_lockstep_; }
+  std::uint64_t interpreted_cycles() const { return interpreted_cycles_; }
+
+  /// Sync-block executions performed by scheduled replays, and kernel
+  /// launches completed through the fleet batch replayer.
+  std::uint64_t sync_points() const { return sync_points_; }
+  std::uint64_t batched_launches() const { return batched_launches_; }
+
+  /// Debug/benchmark knob: when set, two-column traced replays skip the
+  /// decoupled and scheduled tiers and run the per-cycle lockstep tier
+  /// unconditionally -- the pre-sync-plan behaviour of cross-column
+  /// kernels. Results are identical by construction (lockstep is the
+  /// conservative tier); only host-side replay throughput changes.
+  /// Single-column replays are unaffected (free-running them is already
+  /// conflict-free). Also makes the device ineligible for fleet-batched
+  /// replay until cleared.
+  void set_replay_lockstep_only(bool on) { replay_lockstep_only_ = on; }
+  bool replay_lockstep_only() const { return replay_lockstep_only_; }
+
  private:
+  friend struct tc::BatchReplayer;
   void advance(Cycle n);
-  /// run_kernel body for ExecMode::kTraceCache: decoupled column replay
-  /// with copy-on-write SPM undo; rolls back to lockstep traced replay on a
-  /// cross-column SPM conflict, or to the interpreter on a replay fault.
+  /// run_kernel body for ExecMode::kTraceCache: replays the kernel on the
+  /// tier its compiled sync plan selects (decoupled free-run, scheduled
+  /// free/sync stretches, or per-cycle lockstep), with copy-on-write SPM
+  /// undo; rolls back to per-cycle lockstep on a runtime conflict, or to
+  /// the interpreter on a replay fault.
   void run_kernel_traced();
-  /// Per-cycle lockstep traced replay (columns alternate like step()).
+  /// Per-cycle lockstep traced replay (columns alternate like step(), with
+  /// per-cycle cross snapshots serving kCross operands).
   Cycle run_lockstep_traced();
+  /// Scheduled replay: free blocks free-run whole (fused loops included),
+  /// sync blocks advance one line per local cycle under the behind-column-
+  /// first schedule, which reproduces the interpreter's cross-column access
+  /// order for every sync/sync pair.
+  Cycle run_scheduled_traced(const tc::SyncPlan& plan);
+  /// Runs the started kernel interpreted until both columns exit.
+  void run_interpreted() {
+    while (busy()) step();
+  }
   Tracer* tracer_ = nullptr;
 
   energy::EnergyMeter meter_;
@@ -153,9 +193,16 @@ class Vwr2a {
     std::array<std::shared_ptr<const Column::DecodedProgram>,
                arch::kNumColumns> dec{};
     std::array<std::shared_ptr<const CompiledTrace>, arch::kNumColumns> trace{};
-    /// Sticky: this kernel's columns were observed communicating through
-    /// the SPM, so decoupled replay would be wrong -- use lockstep replay.
-    bool lockstep = false;
+    /// Compiled sync schedule for this kernel's trace pair (recomputed from
+    /// the memoized traces on every reload -- cheap mask intersections).
+    tc::SyncPlan plan;
+    bool plan_ready = false;
+    /// Runtime hint: a *dynamically* addressed cross-column conflict (or a
+    /// budget-expired cross-column poll) forced a rollback, so later
+    /// launches go straight to per-cycle lockstep. Cleared on reload: trip
+    /// counts and pointer parameters may have changed, so the free tiers
+    /// get re-evaluated instead of pinning the slow path forever.
+    bool lockstep_hint = false;
   };
   std::vector<KernelRuntime> kernel_rt_;
   unsigned cur_kernel_ = 0;  ///< kernel id of the last start_kernel()
@@ -167,6 +214,12 @@ class Vwr2a {
   std::unique_ptr<tc::SpmUndo> undo_;  ///< lazily allocated (trace mode only)
   std::uint64_t traced_launches_ = 0;
   std::uint64_t traced_rollbacks_ = 0;
+  std::uint64_t replayed_decoupled_ = 0;
+  std::uint64_t replayed_lockstep_ = 0;
+  std::uint64_t interpreted_cycles_ = 0;
+  std::uint64_t sync_points_ = 0;
+  std::uint64_t batched_launches_ = 0;
+  bool replay_lockstep_only_ = false;
 };
 
 } // namespace vwr2a::cgra

@@ -35,7 +35,11 @@ namespace vwr2a::gateway {
 /// enable) and STATS_PUSH (server-initiated: seq + the full STATS picture
 /// + per-device and per-session load arrays), the router-tier feed that
 /// replaces polling.
-inline constexpr std::uint8_t kProtocolVersion = 4;
+/// v5: STATS gained the replay-engine fields (traced_launches,
+/// traced_rollbacks, batched_launches, jobs_batched, and the per-tier
+/// replayed-cycle / sync-point counters) -- which execution tier the
+/// fleet's accelerator work actually ran on.
+inline constexpr std::uint8_t kProtocolVersion = 5;
 /// Hard bound on one frame's payload; larger length prefixes are rejected
 /// before any allocation happens.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
@@ -171,6 +175,20 @@ struct Stats {
   std::uint64_t devices_dead = 0;
   std::uint64_t jobs_rescued = 0;
   std::uint64_t checkpoints_restored = 0;
+  /// Replay-engine telemetry (v5): launches replayed from compiled traces,
+  /// replays rolled back by cross-column SPM conflicts, launches executed
+  /// through the fleet batch replayer (and jobs dispatched in SIMD-over-
+  /// devices groups), plus per-tier column-cycle counters -- decoupled
+  /// free-run vs lockstep vs interpreter -- and the sync-block count of
+  /// scheduled replays. Work pinned to the slow tiers is visible here.
+  std::uint64_t traced_launches = 0;
+  std::uint64_t traced_rollbacks = 0;
+  std::uint64_t batched_launches = 0;
+  std::uint64_t jobs_batched = 0;
+  std::uint64_t replay_decoupled_cycles = 0;
+  std::uint64_t replay_lockstep_cycles = 0;
+  std::uint64_t replay_interpreted_cycles = 0;
+  std::uint64_t replay_sync_points = 0;
 };
 
 struct WindowResult {

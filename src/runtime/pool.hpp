@@ -136,6 +136,22 @@ struct FleetStats {
   std::uint64_t checkpoints_taken = 0;     ///< resident state serialized
   std::uint64_t checkpoints_restored = 0;  ///< resident state adopted
   std::vector<std::uint8_t> device_dead;   ///< per-device health (1 = dead)
+  // Replay-engine picture (src/cgra/tracecache.hpp): how the fleet's
+  // accelerator work actually executed, as fleet totals. The cycle
+  // counters are column-cycles per tier -- work stuck on the slow tiers
+  // (lockstep, interpreter) shows up here long before a profiler would.
+  std::uint64_t traced_launches = 0;   ///< launches replayed from traces
+  std::uint64_t traced_rollbacks = 0;  ///< replays undone by SPM conflicts
+  std::uint64_t batched_launches = 0;  ///< launches via the fleet batch replayer
+  std::uint64_t replay_decoupled_cycles = 0;    ///< free-running replay work
+  std::uint64_t replay_lockstep_cycles = 0;     ///< lockstep replay work
+  std::uint64_t replay_interpreted_cycles = 0;  ///< interpreter work
+  std::uint64_t replay_sync_points = 0;  ///< sync blocks run by scheduled replay
+  // Fleet-batch dispatch picture (pool side): SIMD-over-devices groups the
+  // workers formed, and the jobs that rode in them (batched or not, a
+  // grouped job's cost is identical to scalar dispatch).
+  std::uint64_t batch_groups = 0;
+  std::uint64_t jobs_batched = 0;
 
   double total_uj() const { return total_pj * 1e-6; }
   double sim_seconds() const {
@@ -192,6 +208,17 @@ class DevicePool {
     /// Scripted device faults, evaluated against the fleet's completed-job
     /// count at batch boundaries. Empty (the default): no injected faults.
     FaultPlan faults;
+    /// SIMD-over-devices dispatch: a worker claiming a trace-mode device
+    /// whose next job is a FIR also claims other idle devices of the same
+    /// variant whose next job is a same-shape FIR, and runs one job from
+    /// each through a single batched trace replay (Device::run_fir_group).
+    /// Every result stays bit/cycle/energy-identical to scalar dispatch
+    /// (the batch replayer is exact and peels divergent lanes off to
+    /// scalar), and each device still consumes its own queue in order, so
+    /// placement determinism is untouched; only host throughput -- and the
+    /// batch_groups/batched_launches telemetry, which depends on which
+    /// devices happened to be idle -- varies with worker timing.
+    bool fleet_batch = true;
   };
 
   DevicePool() : DevicePool(Config()) {}
@@ -289,6 +316,7 @@ class DevicePool {
     soc::Platform::Snapshot cached_snapshot;
     std::uint64_t cached_jobs = 0;
     std::uint64_t cached_stagings = 0;
+    ReplayStats cached_replay;
     // Fault state (guarded by mu_).
     bool dead = false;          ///< fail-stopped; receives no work
     bool kill_pending = false;  ///< claimed at kill time; worker finishes it
@@ -305,6 +333,20 @@ class DevicePool {
   };
 
   void worker_loop();
+  /// Runs one FIR job from each device of `group` (indices into devices_,
+  /// primary first, all claimed by this worker) as a single fleet-batched
+  /// dispatch, then releases the claims. Mirrors the scalar chunk path's
+  /// bookkeeping exactly (estimator samples, telemetry caches, fault
+  /// completion). Enters with mu_ held, returns with mu_ held.
+  void run_group(std::unique_lock<std::mutex>& lock,
+                 const std::vector<std::size_t>& group);
+  /// Refreshes one device's batch-boundary telemetry cache and bumps the
+  /// fleet replay obs:: counters by the delta since the previous cache.
+  /// Caller holds mu_ and still owns the device's claim.
+  static void cache_device_locked(DeviceState& ds,
+                                  const soc::Platform::Snapshot& snap,
+                                  std::uint64_t jobs, std::uint64_t stagings,
+                                  const ReplayStats& replay);
   /// Index of a serviceable device (unclaimed, non-empty queue), or -1.
   int find_work() const;
   /// Throws unless the job's pin (if any) names a device of the fleet.
@@ -374,6 +416,10 @@ class DevicePool {
   std::uint64_t jobs_rescued_ = 0;
   std::uint64_t ckpt_taken_ = 0;
   std::uint64_t ckpt_restored_ = 0;
+
+  // Fleet-batch bookkeeping (guarded by mu_).
+  std::uint64_t batch_groups_ = 0;
+  std::uint64_t jobs_batched_ = 0;
 };
 
 } // namespace vwr2a::runtime

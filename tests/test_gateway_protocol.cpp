@@ -51,6 +51,14 @@ Stats random_stats(Rng& rng) {
   f.devices_dead = rng.next_u64();
   f.jobs_rescued = rng.next_u64();
   f.checkpoints_restored = rng.next_u64();
+  f.traced_launches = rng.next_u64();
+  f.traced_rollbacks = rng.next_u64();
+  f.batched_launches = rng.next_u64();
+  f.jobs_batched = rng.next_u64();
+  f.replay_decoupled_cycles = rng.next_u64();
+  f.replay_lockstep_cycles = rng.next_u64();
+  f.replay_interpreted_cycles = rng.next_u64();
+  f.replay_sync_points = rng.next_u64();
   return f;
 }
 
@@ -159,7 +167,15 @@ bool stats_equal(const Stats& x, const Stats& y) {
          x.devices_failed == y.devices_failed &&
          x.devices_revived == y.devices_revived &&
          x.devices_dead == y.devices_dead && x.jobs_rescued == y.jobs_rescued &&
-         x.checkpoints_restored == y.checkpoints_restored;
+         x.checkpoints_restored == y.checkpoints_restored &&
+         x.traced_launches == y.traced_launches &&
+         x.traced_rollbacks == y.traced_rollbacks &&
+         x.batched_launches == y.batched_launches &&
+         x.jobs_batched == y.jobs_batched &&
+         x.replay_decoupled_cycles == y.replay_decoupled_cycles &&
+         x.replay_lockstep_cycles == y.replay_lockstep_cycles &&
+         x.replay_interpreted_cycles == y.replay_interpreted_cycles &&
+         x.replay_sync_points == y.replay_sync_points;
 }
 
 bool frames_equal(const Frame& a, const Frame& b) {
