@@ -18,6 +18,12 @@
 // run, so the bit-identical gate doubles as the observer-effect gate: the
 // traced gateway run must produce the same outputs as the untraced direct
 // run.
+//
+// Black box: set VWR2A_JOURNAL=<path.vwr2jrn> to record the gateway run's
+// full inbound traffic (with v6 spans enabled -- the heavier recording
+// posture) as a replayable journal; `vwr2a_replay verify <path>` then
+// re-drives the whole 64-client soak against a fresh server and gates
+// per-stream output identity against the journal trailer.
 
 #include <algorithm>
 #include <atomic>
@@ -79,6 +85,8 @@ int main() {
 
   const char* trace_path = std::getenv("VWR2A_TRACE");
   if (trace_path != nullptr) obs::set_tracing(true);
+  const char* journal_path = std::getenv("VWR2A_JOURNAL");
+  if (journal_path != nullptr) obs::set_spans(true);
 
   // --- gateway run ------------------------------------------------------------
   std::vector<std::uint64_t> gw_hash(kClients, kFnvOffset);
@@ -93,6 +101,7 @@ int main() {
     gateway::Server::Config cfg;
     cfg.stream = fleet_cfg();
     cfg.stream.completion_threads = 4;
+    if (journal_path != nullptr) cfg.journal_path = journal_path;
     gateway::Server server(cfg);
 
     const auto t0 = Clock::now();
@@ -150,6 +159,14 @@ int main() {
     const stream::ServerStats st = server.streams().stats();
     gw_windows_per_sim_s = st.windows_per_sim_second();
     server.stop();
+  }
+  if (journal_path != nullptr) {
+    // Spans off before the direct run (symmetry with tracing below): the
+    // bit-identical gate must compare a spans-on gateway run against a
+    // spans-off direct run -- the observer-effect check for the v6 path.
+    obs::set_spans(false);
+    std::printf("  journal: recorded to %s (replay with `vwr2a_replay "
+                "verify`)\n", journal_path);
   }
   if (trace_path != nullptr) {
     // Off before the direct run: its (differently-numbered) sessions would

@@ -1,16 +1,20 @@
 // Observability overhead gate: the flight recorder must be free when off
 // and must never steer the simulation when on. A fixed streaming workload
-// (8 sessions x 10 windows on a 4-device mixed trace-cache fleet) runs in
-// interleaved modes [off, on, off, on]:
-//   * HARD gate -- observer effect: per-session output hashes, fleet
+// (8 gateway streams x 10 windows on a 4-device mixed trace-cache fleet,
+// driven through gateway::Server over loopback so the full wire path --
+// codec, journal tap, v6 span stamps -- is inside the measurement) runs in
+// interleaved modes [off, on, off, on]. "on" enables everything at once:
+// metrics, tracing, spans AND the black-box traffic journal.
+//   * HARD gate -- observer effect: per-stream output hashes, fleet
 //     makespan, total device cycles and total energy are exactly equal
-//     across every mode. Metrics and tracing read the simulation; they
-//     never steer it.
+//     across every mode. Metrics, tracing, spans and the journal read the
+//     simulation; they never steer it.
 //   * SOFT gate -- disabled-mode cost: the best disabled wall time is
 //     within 2% of the best overall wall time (the disabled hot path is
-//     one relaxed atomic load per site, which must be unmeasurable). Wall
-//     clocks are noisy in CI, so a miss warns and is recorded but only a
-//     gross regression (> 25%) fails the run.
+//     one relaxed atomic load per site plus one null-pointer check at the
+//     journal tap, which must be unmeasurable). Wall clocks are noisy in
+//     CI, so a miss warns and is recorded but only a gross regression
+//     (> 25%) fails the run.
 // Both figures land in BENCH_runtime.json for the nightly trajectory.
 
 #include <algorithm>
@@ -20,26 +24,29 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "gateway/client.hpp"
+#include "gateway/server.hpp"
+#include "stream/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
-#include "stream/server.hpp"
 
 int main() {
   using namespace vwr2a;
   using Clock = std::chrono::steady_clock;
 
-  constexpr unsigned kSessions = 8;
-  constexpr unsigned kWindowsPerSession = 10;
+  constexpr unsigned kStreams = 8;
+  constexpr unsigned kWindowsPerStream = 10;
   constexpr unsigned kChunk = 256;
+  const char* kJournalPath = "obs_overhead.vwr2jrn";
 
   std::vector<std::vector<std::int32_t>> streams;
-  for (unsigned i = 0; i < kSessions; ++i) {
+  for (unsigned i = 0; i < kStreams; ++i) {
     dsp::RespirationParams p;
     p.breath_hz = 0.16 + 0.05 * (i % 6);
     Rng rng(6100 + i);
     streams.push_back(dsp::respiration_q16_15(
-        kWindowsPerSession * app::kWindow, p, rng));
+        kWindowsPerStream * app::kWindow, p, rng));
   }
 
   struct Run {
@@ -49,10 +56,10 @@ int main() {
     double total_pj = 0.0;
     double wall_ms = 0.0;
   };
-  auto soak = [&streams] {
-    stream::StreamServer::Config cfg;
-    cfg.pool.devices = 4;
-    cfg.pool.schedule = runtime::Schedule::kShortestLocalClock;
+  auto soak = [&streams, kJournalPath](bool journal) {
+    gateway::Server::Config cfg;
+    cfg.stream.pool.devices = 4;
+    cfg.stream.pool.schedule = runtime::Schedule::kShortestLocalClock;
     const std::vector<soc::ArchConfig> mix = {
         soc::ArchConfig{.exec_mode = cgra::ExecMode::kTraceCache},
         soc::ArchConfig{.vwr_count = 2,
@@ -62,19 +69,22 @@ int main() {
         soc::ArchConfig{.simd_width = 16,
                         .exec_mode = cgra::ExecMode::kTraceCache}};
     for (unsigned d = 0; d < 4; ++d) {
-      cfg.pool.device_arch.push_back(mix[d]);
+      cfg.stream.pool.device_arch.push_back(mix[d]);
     }
-    stream::StreamServer server(cfg);
+    if (journal) cfg.journal_path = kJournalPath;
+    gateway::Server server(cfg);
+    gateway::Client client(server.connect_loopback());
 
     std::vector<std::uint64_t> hashes(streams.size(), 1469598103934665603ull);
-    std::vector<stream::Session*> sessions;
+    std::vector<std::uint32_t> sids;
     for (unsigned i = 0; i < streams.size(); ++i) {
-      stream::SessionConfig scfg;
-      if (i % 2 == 1) scfg.kind = stream::SessionKind::kPipeline;
-      sessions.push_back(
-          &server.open_session(scfg, [&hashes](const stream::WindowResult& r) {
-            std::uint64_t& h = hashes[r.session];
-            for (std::int32_t w : r.job.output) {
+      gateway::Client::StreamOpts opts;
+      opts.tenant = i;
+      if (i % 2 == 1) opts.kind = 1;
+      sids.push_back(client.open(
+          opts, [&hashes, i](const gateway::WindowResult& wr) {
+            std::uint64_t& h = hashes[i];
+            for (std::int32_t w : wr.output) {
               h = (h ^ static_cast<std::uint32_t>(w)) * 1099511628211ull;
             }
           }));
@@ -87,26 +97,34 @@ int main() {
         if (off >= streams[i].size()) continue;
         const std::size_t take =
             std::min<std::size_t>(kChunk, streams[i].size() - off);
-        sessions[i]->push(
-            std::span<const std::int32_t>(streams[i]).subspan(off, take));
+        client.push(sids[i], std::span<const std::int32_t>(streams[i])
+                                 .subspan(off, take));
         any = true;
       }
       if (!any) break;
     }
-    server.finish();
+    for (std::uint32_t sid : sids) client.flush(sid);
     Run r;
     r.wall_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-    const stream::ServerStats st = server.stats();
+    // CLOSE_OK rides the same FIFO as WINDOW_RESULT, so once every close
+    // returns, every result callback has fired and the hashes are final.
+    for (std::uint32_t sid : sids) client.close_stream(sid);
+    // The wire STATS frame is a live *peek* (batch-boundary freshness);
+    // the identity gate needs the exact quiescent picture, so read the
+    // fleet totals in-process, which blocks until the pool is idle.
+    const stream::ServerStats st = server.streams().stats();
     r.makespan = st.fleet.fleet_makespan;
     r.total_cycles = st.fleet.total_device_cycles;
     r.total_pj = st.fleet.total_pj;
     r.output_hash = std::move(hashes);
+    server.stop();
     return r;
   };
 
   bench::header(
-      "Observability overhead: 8 sessions x 10 windows, modes off/on/off/on");
+      "Observability overhead: 8 streams x 10 windows via gateway, "
+      "modes off/on/off/on (on = metrics+tracing+spans+journal)");
   std::printf("  %-10s | %13s %13s %11s | %8s\n", "mode", "makespan cyc",
               "total cyc", "energy uJ", "wall ms");
 
@@ -120,7 +138,8 @@ int main() {
     obs::Tracer::get().reset();
     obs::set_metrics(enabled_mode[m]);
     obs::set_tracing(enabled_mode[m]);
-    runs[m] = soak();
+    obs::set_spans(enabled_mode[m]);
+    runs[m] = soak(enabled_mode[m]);
     std::printf("  %-10s | %13llu %13llu %11.1f | %8.2f\n",
                 enabled_mode[m] ? "on" : "off",
                 static_cast<unsigned long long>(runs[m].makespan),
@@ -129,6 +148,7 @@ int main() {
   }
   obs::set_metrics(false);
   obs::set_tracing(false);
+  obs::set_spans(false);
 
   // HARD: bit/cycle/energy identity across every mode.
   bool identical = true;
@@ -152,7 +172,7 @@ int main() {
               overhead * 100.0, within_budget ? "" : "  ** over budget **");
 
   bench::JsonRecord("obs_overhead")
-      .field("config", std::string("stream_8s_4d_trace"))
+      .field("config", std::string("gateway_8s_4d_trace_journal"))
       .field("modes", std::uint64_t{4})
       .field("identical_across_modes", identical)
       .field("disabled_overhead_pct", overhead * 100.0)

@@ -7,7 +7,10 @@
 //     replay tier mix: traced/batched launches + per-tier cycles);
 //   * per-device occupancy bars (device-local cycles relative to the
 //     busiest device), job counts and the health bitmap;
-//   * per-session window rates computed from consecutive pushes.
+//   * per-session window rates computed from consecutive pushes, plus the
+//     mean end-to-end latency from the v6 WINDOW_RESULT span breakdown
+//     (queue + run + deliver host ns, accumulated by the producers'
+//     result callbacks) -- per-stage truth, not a push-delta guess.
 // The demo renders a fixed number of frames and exits; point the same
 // code at listen_tcp/connect_tcp for a real remote dashboard.
 
@@ -16,6 +19,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -24,6 +28,7 @@
 #include "dsp/signal.hpp"
 #include "gateway/client.hpp"
 #include "gateway/server.hpp"
+#include "obs/obs.hpp"
 
 int main() {
   using namespace vwr2a;
@@ -43,17 +48,37 @@ int main() {
   }
   gateway::Server server(cfg);
 
+  // v6 span breakdown: the server stamps queue/run/deliver into every
+  // WINDOW_RESULT, which is where the e2e column comes from.
+  obs::set_spans(true);
+
+  // Per-session e2e accumulation, fed by the producers' result callbacks
+  // (keyed by the *server-side* session id so the dashboard can join it
+  // against STATS_PUSH session rows).
+  struct E2eAcc {
+    std::mutex mu;
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+        by_session;  ///< session id -> (summed e2e ns, windows)
+  };
+  E2eAcc e2e;
+
   // --- producers: 8 tenants streaming in 256-sample chunks --------------------
   std::atomic<bool> stop_producing{false};
   std::vector<std::thread> producers;
   for (unsigned i = 0; i < kProducers; ++i) {
-    producers.emplace_back([&server, &stop_producing, i] {
+    producers.emplace_back([&server, &stop_producing, &e2e, i] {
       gateway::Client client(server.connect_loopback());
       gateway::Client::StreamOpts opts;
       opts.tenant = i;
       if (i % 2 == 1) opts.kind = 1;  // alternate feature-pipeline tenants
-      const std::uint32_t sid =
-          client.open(opts, [](const gateway::WindowResult&) {});
+      const std::uint32_t sid = client.open(
+          opts, [&client, &e2e](const gateway::WindowResult& wr) {
+            const std::uint64_t session = client.session_of(wr.stream);
+            std::lock_guard<std::mutex> lock(e2e.mu);
+            auto& [ns, windows] = e2e.by_session[session];
+            ns += wr.queue_ns + wr.run_ns + wr.deliver_ns;
+            ++windows;
+          });
       dsp::RespirationParams params;
       params.breath_hz = 0.14 + 0.05 * i;
       Rng rng(4200 + i);
@@ -126,8 +151,8 @@ int main() {
                   static_cast<unsigned long long>(dev.jobs));
     }
 
-    std::printf("\n  %-8s %-6s %10s %10s %9s %8s\n", "session", "dev",
-                "submitted", "delivered", "win/s", "dropped");
+    std::printf("\n  %-8s %-6s %10s %10s %9s %9s %8s\n", "session", "dev",
+                "submitted", "delivered", "win/s", "e2e ms", "dropped");
     for (const auto& s : p.sessions) {
       // Rate from consecutive pushes: delivered delta over the wall gap.
       double rate = 0.0;
@@ -139,11 +164,22 @@ int main() {
           break;
         }
       }
-      std::printf("  %-8llu %-6u %10llu %10llu %9.1f %8llu\n",
+      // Mean e2e (queue + run + deliver) from the v6 span breakdown.
+      double e2e_ms = 0.0;
+      {
+        std::lock_guard<std::mutex> e2e_lock(e2e.mu);
+        const auto it = e2e.by_session.find(s.id);
+        if (it != e2e.by_session.end() && it->second.second > 0) {
+          e2e_ms = static_cast<double>(it->second.first) /
+                   static_cast<double>(it->second.second) / 1e6;
+        }
+      }
+      std::printf("  %-8llu %-6u %10llu %10llu %9.1f %9.2f %8llu\n",
                   static_cast<unsigned long long>(s.id), s.device,
                   static_cast<unsigned long long>(s.windows_submitted),
                   static_cast<unsigned long long>(s.windows_delivered),
-                  rate, static_cast<unsigned long long>(s.dropped_samples));
+                  rate, e2e_ms,
+                  static_cast<unsigned long long>(s.dropped_samples));
     }
     std::fflush(stdout);
 

@@ -3,8 +3,57 @@
 #include <utility>
 
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vwr2a::gateway {
+
+namespace {
+
+/// Feeds one v6 WINDOW_RESULT span breakdown into the local obs layer:
+/// remote-stage histograms and synthetic "remote.*" spans keyed by
+/// obs::window_id(session, index) -- the same key the server's own spans
+/// use, which is what lets vwr2a_trace merge the two captures with
+/// cross-process flow arrows. The client has no clock sync with the
+/// server, so the span chain is anchored at the frame's receive time and
+/// laid out backward by the reported durations.
+void feed_remote_spans(const WindowResult& wr, std::uint64_t session) {
+  if (wr.queue_ns == 0 && wr.run_ns == 0 && wr.deliver_ns == 0) {
+    return;  // server ran with spans off; nothing to file
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Histogram& queue =
+        obs::Registry::get().histogram("client.remote_queue_ns");
+    static obs::Histogram& run =
+        obs::Registry::get().histogram("client.remote_run_ns");
+    static obs::Histogram& deliver =
+        obs::Registry::get().histogram("client.remote_deliver_ns");
+    queue.record(wr.queue_ns);
+    run.record(wr.run_ns);
+    deliver.record(wr.deliver_ns);
+  }
+  if (!obs::tracing_enabled()) return;
+  const std::uint64_t window = obs::window_id(session, wr.index);
+  const std::uint64_t end = obs::now_ns();
+  const std::uint64_t deliver_b = end - wr.deliver_ns;
+  const std::uint64_t run_b = deliver_b - wr.run_ns;
+  const std::uint64_t queue_b = run_b - wr.queue_ns;
+  obs::complete("remote.queue", window, queue_b, wr.queue_ns, wr.device,
+                wr.place_cycles);
+  obs::TraceEvent run_ev;
+  run_ev.name = "remote.run";
+  run_ev.window = window;
+  run_ev.ts_ns = run_b;
+  run_ev.dur_ns = wr.run_ns;
+  run_ev.sim_begin = wr.sim_begin;
+  run_ev.sim_dur = wr.cycles;
+  run_ev.a1 = wr.device;
+  obs::Tracer::get().emit(run_ev);
+  obs::complete("remote.deliver", window, deliver_b, wr.deliver_ns,
+                wr.device);
+}
+
+} // namespace
 
 Client::Client(std::unique_ptr<Transport> t) : t_(std::move(t)) {
   if (t_ == nullptr) throw HostError("gateway: client needs a transport");
@@ -72,6 +121,7 @@ std::uint32_t Client::open(const StreamOpts& opts, ResultFn on_result,
     const auto& ok = std::get<OpenOk>(reply);
     std::lock_guard<std::mutex> lock(mu_);
     streams_[o.stream].device = ok.device;
+    streams_[o.stream].session = ok.session;
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     streams_.erase(o.stream);
@@ -85,6 +135,13 @@ std::uint32_t Client::device_of(std::uint32_t stream) const {
   const auto it = streams_.find(stream);
   if (it == streams_.end()) throw HostError("gateway: unknown stream");
   return it->second.device;
+}
+
+std::uint64_t Client::session_of(std::uint32_t stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) throw HostError("gateway: unknown stream");
+  return it->second.session;
 }
 
 void Client::push(std::uint32_t stream,
@@ -156,11 +213,18 @@ void Client::reader_loop() {
       while (auto f = dec.next()) {
         if (auto* wr = std::get_if<WindowResult>(&*f)) {
           ResultFn cb;
+          std::uint64_t session = 0;
+          bool known = false;
           {
             std::lock_guard<std::mutex> lock(mu_);
             const auto it = streams_.find(wr->stream);
-            if (it != streams_.end()) cb = it->second.on_result;
+            if (it != streams_.end()) {
+              cb = it->second.on_result;
+              session = it->second.session;
+              known = true;
+            }
           }
+          if (known) feed_remote_spans(*wr, session);
           if (cb) cb(*wr);
           continue;
         }

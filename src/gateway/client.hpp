@@ -71,6 +71,10 @@ class Client {
   /// The device the server soft-pinned `stream` to (from its OPEN_OK).
   std::uint32_t device_of(std::uint32_t stream) const;
 
+  /// The server-side session id of `stream` (from its OPEN_OK): the key a
+  /// v6 span breakdown is filed under (obs::window_id(session, index)).
+  std::uint64_t session_of(std::uint32_t stream) const;
+
   /// Sends one PUSH_SAMPLES frame (blocking only on transport flow
   /// control; results arrive asynchronously on the reader thread).
   void push(std::uint32_t stream, std::span<const std::int32_t> samples);
@@ -114,6 +118,7 @@ class Client {
     ResultFn on_result;
     ErrorFn on_error;
     std::uint32_t device = 0;
+    std::uint64_t session = 0;  ///< server-side session id (OPEN_OK)
   };
 
   mutable std::mutex mu_;  ///< pending_, streams_, next_stream_, closed_

@@ -222,6 +222,11 @@ Frame decode_payload(FrameType type, Reader& r) {
       f.cycles = r.u64();
       f.pj = r.f64();
       f.output = r.samples();
+      f.queue_ns = r.u64();
+      f.run_ns = r.u64();
+      f.deliver_ns = r.u64();
+      f.place_cycles = r.u64();
+      f.sim_begin = r.u64();
       return f;
     }
     case FrameType::kFlushOk: {
@@ -331,6 +336,11 @@ void encode_payload(const Frame& f, std::vector<std::uint8_t>& out) {
           put_u64(out, v.cycles);
           put_f64(out, v.pj);
           put_samples(out, v.output);
+          put_u64(out, v.queue_ns);
+          put_u64(out, v.run_ns);
+          put_u64(out, v.deliver_ns);
+          put_u64(out, v.place_cycles);
+          put_u64(out, v.sim_begin);
         } else if constexpr (std::is_same_v<T, FlushOk>) {
           put_u32(out, v.stream);
           put_u64(out, v.windows_delivered);

@@ -39,7 +39,12 @@ namespace vwr2a::gateway {
 /// traced_rollbacks, batched_launches, jobs_batched, and the per-tier
 /// replayed-cycle / sync-point counters) -- which execution tier the
 /// fleet's accelerator work actually ran on.
-inline constexpr std::uint8_t kProtocolVersion = 5;
+/// v6: WINDOW_RESULT gained the server-side span breakdown (queue_ns,
+/// run_ns, deliver_ns host wall-clock; place_cycles, sim_begin simulated)
+/// -- the cross-wire trace propagation a remote client feeds into its
+/// local flight recorder. All five are 0 unless the server runs with
+/// obs spans enabled.
+inline constexpr std::uint8_t kProtocolVersion = 6;
 /// Hard bound on one frame's payload; larger length prefixes are rejected
 /// before any allocation happens.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
@@ -198,6 +203,16 @@ struct WindowResult {
   std::uint64_t cycles = 0;  ///< per-window service cost (simulated)
   double pj = 0.0;           ///< per-window energy
   std::vector<std::int32_t> output;  ///< kernel output words
+  /// v6 server-side span breakdown, keyed by window_id(session, index)
+  /// client-side. All zero when the server's obs spans are off (the
+  /// fields still travel -- a v6 frame has one layout). Host spans are
+  /// wall-clock ns measured on the server; the two cycle fields are
+  /// simulated device-local clocks, the same timebase as `cycles`.
+  std::uint64_t queue_ns = 0;      ///< pool submit -> device claimed the job
+  std::uint64_t run_ns = 0;        ///< Device::run wall time
+  std::uint64_t deliver_ns = 0;    ///< run end -> WINDOW_RESULT enqueued
+  std::uint64_t place_cycles = 0;  ///< estimated device backlog at placement
+  std::uint64_t sim_begin = 0;     ///< device-local cycle when the run began
 };
 
 struct Error {

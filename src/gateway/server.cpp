@@ -20,8 +20,9 @@ namespace vwr2a::gateway {
 /// plus writer thread (bounded outbound queue -> transport).
 class Server::Connection {
  public:
-  Connection(Server& srv, std::unique_ptr<Transport> t)
-      : srv_(&srv), t_(std::move(t)),
+  Connection(Server& srv, std::unique_ptr<Transport> t,
+             std::uint32_t journal_conn)
+      : srv_(&srv), t_(std::move(t)), journal_conn_(journal_conn),
         bound_(srv.cfg_.writer_queue_frames) {}
 
   void start() {
@@ -122,7 +123,24 @@ class Server::Connection {
     f.cycles = r.job.cost.total_cycles();
     f.pj = r.job.cost.total_pj();
     f.output = r.job.output;
+    // v6 span breakdown: filled only when the pool stamped the job (spans
+    // enabled at run time); all-zero fields otherwise.
+    const runtime::JobResult::Timing& tm = r.job.timing;
+    if (tm.stamped()) {
+      const std::uint64_t now = obs::now_ns();
+      f.queue_ns = tm.run_begin_ns > tm.enq_ns && tm.enq_ns != 0
+                       ? tm.run_begin_ns - tm.enq_ns
+                       : 0;
+      f.run_ns =
+          tm.run_end_ns > tm.run_begin_ns ? tm.run_end_ns - tm.run_begin_ns : 0;
+      f.deliver_ns = now > tm.run_end_ns ? now - tm.run_end_ns : 0;
+      f.place_cycles = tm.place_cycles;
+      f.sim_begin = tm.sim_begin;
+    }
     if (enqueue(std::move(f))) {
+      if (srv_->journal_ != nullptr) {
+        srv_->journal_->result(journal_conn_, stream, r.job.output);
+      }
       srv_->note_result_sent();
       if (obs::metrics_enabled()) {
         static obs::Counter& results =
@@ -149,6 +167,13 @@ class Server::Connection {
         dec.feed(buf.data(), n);
         while (auto f = dec.next()) {
           srv_->note_frame_in();
+          if (srv_->journal_ != nullptr) {
+            // The codec is canonical (strict framing, deterministic field
+            // order), so re-encoding the decoded frame reproduces the
+            // peer's bytes exactly -- and taps whole frames, never a
+            // partial receive chunk.
+            srv_->journal_->frame(journal_conn_, srv_->now_ns(), encode(*f));
+          }
           if (obs::metrics_enabled()) {
             static obs::Counter& frames =
                 obs::Registry::get().counter("gateway.frames_in");
@@ -167,6 +192,9 @@ class Server::Connection {
       send_error(kConnectionStream, ErrorCode::kShutdown, e.what());
     }
     shutdown_streams();
+    if (srv_->journal_ != nullptr) {
+      srv_->journal_->conn_close(journal_conn_, srv_->now_ns());
+    }
     // The stats pusher enqueues frames; it must be gone before the writer
     // is told no more producers exist.
     stop_pusher();
@@ -382,6 +410,7 @@ class Server::Connection {
 
   Server* srv_;
   std::unique_ptr<Transport> t_;
+  std::uint32_t journal_conn_ = 0;  ///< journal connection id (0 when off)
   std::thread reader_;
   std::thread writer_;
 
@@ -419,7 +448,15 @@ stream::StreamServer::Config make_stream_config(
 } // namespace
 
 Server::Server(Config cfg)
-    : cfg_(std::move(cfg)), stream_(make_stream_config(cfg_.stream)) {}
+    : cfg_(std::move(cfg)), stream_(make_stream_config(cfg_.stream)) {
+  if (!cfg_.journal_path.empty()) {
+    journal_ = std::make_unique<obs::Journal>();
+    std::string why;
+    if (!journal_->open(cfg_.journal_path, kProtocolVersion, &why)) {
+      throw HostError("gateway: " + why);
+    }
+  }
+}
 
 Server::~Server() { stop(); }
 
@@ -469,8 +506,10 @@ void Server::serve(std::unique_ptr<Transport> t) {
         std::remove(connections_.begin(), connections_.end(), nullptr),
         connections_.end());
     ++tel_.connections;
+    const std::uint32_t journal_conn =
+        journal_ != nullptr ? journal_->conn_open(now_ns()) : 0;
     connections_.push_back(
-        std::make_unique<Connection>(*this, std::move(t)));
+        std::make_unique<Connection>(*this, std::move(t), journal_conn));
     connections_.back()->start();
   }
   dead.clear();
@@ -497,6 +536,8 @@ void Server::stop() {
   // and join them before any Connection can be destroyed.
   if (stream_.completer() != nullptr) stream_.completer()->stop();
   stream_.pool().wait_idle();
+  // Every producer (readers, delivery lanes) is quiet: seal the journal.
+  if (journal_ != nullptr) journal_->finalize();
 }
 
 bool Server::admit_session(std::uint32_t tenant, const OpenSession& open,

@@ -38,6 +38,7 @@
 
 #include "gateway/protocol.hpp"
 #include "gateway/transport.hpp"
+#include "obs/journal.hpp"
 #include "stream/server.hpp"
 
 namespace vwr2a::gateway {
@@ -76,6 +77,10 @@ class Server {
     /// Monotonic nanosecond clock the rate limiter reads; null = wall
     /// clock (std::chrono::steady_clock). Tests inject a fake.
     std::function<std::uint64_t()> clock_ns;
+    /// When non-empty, records every inbound frame (plus per-stream
+    /// delivered-output digests) to this .vwr2jrn black-box journal,
+    /// written out on stop(). Empty = no journal, zero recording cost.
+    std::string journal_path;
   };
 
   /// Gateway-level counters (frames/results are atomic snapshots).
@@ -110,6 +115,9 @@ class Server {
 
   /// The streaming layer underneath (tests/benches: direct access).
   stream::StreamServer& streams() { return stream_; }
+
+  /// The black-box journal, or null when Config::journal_path is empty.
+  obs::Journal* journal() { return journal_.get(); }
 
   Telemetry telemetry() const;
 
@@ -149,6 +157,7 @@ class Server {
 
   Config cfg_;
   stream::StreamServer stream_;
+  std::unique_ptr<obs::Journal> journal_;  ///< null = journaling off
   std::unique_ptr<Listener> listener_;
   std::thread acceptor_;
 

@@ -266,6 +266,82 @@ void write_chrome_json(const Capture& cap, std::ostream& os) {
      << cap.dropped << ",\"threads\":" << cap.threads << "}}\n";
 }
 
+void write_chrome_json_merged(
+    const std::vector<std::pair<std::string, const Capture*>>& procs,
+    std::ostream& os) {
+  // One shared timebase: all captures came from obs::now_ns on one host
+  // (the loopback/TCP client and server are co-resident in this repo), so
+  // the global minimum rebases every process onto the same t=0.
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const auto& [label, cap] : procs) {
+    for (const Capture::Ev& e : cap->events) t0 = std::min(t0, e.ts_ns);
+  }
+  if (t0 == ~std::uint64_t{0}) t0 = 0;
+  auto us = [&](std::uint64_t ns) {
+    return static_cast<double>(ns - t0) / 1000.0;
+  };
+  auto dus = [](std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    const std::uint32_t pid = static_cast<std::uint32_t>(p + 1);
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":";
+    put_json_string(os, procs[p].first);
+    os << "}}";
+    for (const Capture::Ev& e : procs[p].second->events) {
+      os << ",{\"name\":";
+      put_json_string(os, procs[p].second->name_of(e));
+      os << ",\"ph\":\"" << (e.kind == 1 ? "i" : "X") << "\"";
+      os << ",\"ts\":" << us(e.ts_ns);
+      if (e.kind != 1) os << ",\"dur\":" << dus(e.dur_ns);
+      if (e.kind == 1) os << ",\"s\":\"t\"";
+      os << ",\"pid\":" << pid << ",\"tid\":" << e.tid;
+      os << ",\"args\":{\"window\":" << e.window;
+      os << ",\"a1\":" << e.a1 << ",\"a2\":" << e.a2 << ",\"a3\":" << e.a3;
+      if (e.sim_dur != 0 || e.sim_begin != 0) {
+        os << ",\"sim_begin\":" << e.sim_begin
+           << ",\"sim_cycles\":" << e.sim_dur;
+      }
+      os << "}}";
+    }
+  }
+  // Cross-process flow arrows: one chain per window id over every process'
+  // window-bound complete spans, in timestamp order. A window that appears
+  // in both the client and the server capture gets arrows crossing the
+  // process boundary -- the merge's whole point.
+  struct Site {
+    std::uint32_t pid, tid;
+    std::uint64_t ts_ns;
+  };
+  std::map<std::uint64_t, std::vector<Site>> chains;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    for (const Capture::Ev& e : procs[p].second->events) {
+      if (e.window != 0 && e.kind == 0) {
+        chains[e.window].push_back(
+            {static_cast<std::uint32_t>(p + 1), e.tid, e.ts_ns});
+      }
+    }
+  }
+  for (auto& [window, sites] : chains) {
+    std::sort(sites.begin(), sites.end(),
+              [](const Site& a, const Site& b) { return a.ts_ns < b.ts_ns; });
+    if (sites.size() < 2) continue;
+    for (std::size_t k = 0; k < sites.size(); ++k) {
+      const char* ph = k == 0 ? "s" : (k + 1 == sites.size() ? "f" : "t");
+      os << ",{\"name\":\"window\",\"cat\":\"window\",\"ph\":\"" << ph
+         << "\",\"id\":" << window << ",\"ts\":" << us(sites[k].ts_ns)
+         << ",\"pid\":" << sites[k].pid << ",\"tid\":" << sites[k].tid;
+      if (*ph == 'f') os << ",\"bp\":\"e\"";
+      os << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
 std::vector<WindowChain> analyze_windows(const Capture& cap) {
   std::map<std::uint64_t, WindowChain> by_window;
   for (std::size_t i = 0; i < cap.events.size(); ++i) {
@@ -276,14 +352,19 @@ std::vector<WindowChain> analyze_windows(const Capture& cap) {
     c.events.push_back(i);
     const std::string& n = cap.name_of(e);
     if (n == "window.slice") c.has_slice = true;
-    else if (n == "window.place") c.has_place = true;
-    else if (n == "window.queue") { c.has_queue = true; c.queue_ns += e.dur_ns; }
-    else if (n == "device.run") {
+    else if (n == "window.place") { c.has_place = true; c.place_ns += e.dur_ns; }
+    else if (n == "window.queue" || n == "remote.queue") {
+      c.has_queue = true;
+      c.queue_ns += e.dur_ns;
+    } else if (n == "device.run" || n == "remote.run") {
       c.has_run = true;
       c.run_ns += e.dur_ns;
       c.run_cycles += e.sim_dur;
     } else if (n == "window.complete") c.has_complete = true;
-    else if (n == "window.deliver") c.has_deliver = true;
+    else if (n == "window.deliver" || n == "remote.deliver") {
+      c.has_deliver = true;
+      c.deliver_ns += e.dur_ns;
+    }
   }
   // "push" is not window-bound (one push feeds many windows): credit a
   // chain when a session.push/session.flush span on the slice's thread

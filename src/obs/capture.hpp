@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -59,19 +60,25 @@ bool load_capture(const std::string& path, Capture* out,
 void write_chrome_json(const Capture& cap, std::ostream& os);
 
 /// Per-window lifecycle reconstructed from the propagated window ids.
+/// The synthetic client-side "remote.queue"/"remote.run"/"remote.deliver"
+/// spans a gateway client reconstructs from a v6 WINDOW_RESULT breakdown
+/// feed the same queue/run/deliver accumulators, so a pure client capture
+/// analyzes with the identical per-stage arithmetic.
 struct WindowChain {
   std::uint64_t window = 0;
   std::vector<std::size_t> events;  ///< indices into Capture::events, by ts
   bool has_push = false;     ///< a session.push/flush span encloses the slice
   bool has_slice = false;    ///< window.slice
   bool has_place = false;    ///< window.place
-  bool has_queue = false;    ///< window.queue
-  bool has_run = false;      ///< device.run
+  bool has_queue = false;    ///< window.queue (or remote.queue)
+  bool has_run = false;      ///< device.run (or remote.run)
   bool has_complete = false; ///< window.complete
-  bool has_deliver = false;  ///< window.deliver
+  bool has_deliver = false;  ///< window.deliver (or remote.deliver)
   std::uint32_t distinct_tids = 0;
+  std::uint64_t place_ns = 0;    ///< summed window.place host duration
   std::uint64_t queue_ns = 0;    ///< summed window.queue host duration
   std::uint64_t run_ns = 0;      ///< summed device.run host duration
+  std::uint64_t deliver_ns = 0;  ///< summed window.deliver host duration
   std::uint64_t run_cycles = 0;  ///< summed device.run simulated cycles
   bool complete() const {
     return has_push && has_slice && has_place && has_queue && has_run &&
@@ -81,5 +88,13 @@ struct WindowChain {
 
 /// One chain per distinct non-zero window id, sorted by window id.
 std::vector<WindowChain> analyze_windows(const Capture& cap);
+
+/// Multi-process Chrome trace: each (label, capture) pair becomes one pid
+/// (1, 2, ...) with process_name metadata, and flow arrows chain every
+/// shared window id ACROSS the processes -- the client/server merge view
+/// of one cross-wire window. Labels are free text ("client", "server").
+void write_chrome_json_merged(
+    const std::vector<std::pair<std::string, const Capture*>>& procs,
+    std::ostream& os);
 
 } // namespace vwr2a::obs

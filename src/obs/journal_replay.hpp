@@ -1,0 +1,71 @@
+#pragma once
+// Bit-exact replay of a .vwr2jrn black-box journal against a fresh
+// gateway::Server. The replayer opens one loopback connection per recorded
+// connection and re-sends the recorded frames in global arrival order from
+// a single thread: per-connection frame order and the cross-connection
+// arrival interleave are both preserved at the transport level. Each
+// connection's responses are decoded by a dedicated reader thread that
+// folds every WINDOW_RESULT's output words into a per-stream FNV -- the
+// same digest the recording server wrote into the journal trailer -- and
+// the report compares the two per stream.
+//
+// Why this reproduces: simulation outputs are bit-identical regardless of
+// device count, placement and worker interleave (the repo's determinism
+// invariant, gated by the soak benches), so the replay server does not
+// need the recorded fleet shape -- any fleet produces the recorded output
+// words, in the recorded per-stream window order. What legitimately
+// differs (wall-clock v6 span fields, stats snapshots) is outside the
+// digest by construction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+
+namespace vwr2a::gateway {
+class Server;
+}
+
+namespace vwr2a::obs {
+
+/// Per-stream verdict of one replay.
+struct ReplayStream {
+  std::uint32_t conn = 0;
+  std::uint32_t stream = 0;
+  std::uint64_t expected_windows = 0;
+  std::uint64_t got_windows = 0;
+  std::uint64_t expected_fnv = 0;
+  std::uint64_t got_fnv = 0;
+  bool ok() const {
+    return got_windows == expected_windows && got_fnv == expected_fnv;
+  }
+};
+
+struct ReplayReport {
+  bool ok = false;           ///< every stream reproduced bit-exactly
+  std::string error;         ///< non-empty on a structural failure
+  std::uint64_t connections = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t errors_received = 0;  ///< ERROR frames seen during replay
+  std::vector<ReplayStream> streams;
+};
+
+/// Drives one journal through `server` (which must accept loopback
+/// connections and should be freshly constructed -- replaying into a busy
+/// server mixes digests).
+class JournalReplayer {
+ public:
+  explicit JournalReplayer(gateway::Server& server) : server_(&server) {}
+
+  /// Replays `journal` and gates the per-stream digests. Blocks until all
+  /// expected windows were delivered or `timeout_ms` passed without
+  /// progress.
+  ReplayReport replay(const JournalFile& journal,
+                      std::uint64_t timeout_ms = 120000);
+
+ private:
+  gateway::Server* server_;
+};
+
+} // namespace vwr2a::obs

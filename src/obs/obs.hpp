@@ -18,6 +18,11 @@ namespace vwr2a::obs {
 enum Feature : std::uint32_t {
   kMetrics = 1u << 0,  ///< counters/gauges/histograms record
   kTracing = 1u << 1,  ///< span events are written to the thread rings
+  /// Cross-wire span propagation (protocol v6): the runtime stamps
+  /// JobResult::Timing and the gateway ships the per-window breakdown in
+  /// WINDOW_RESULT. Orthogonal to kTracing so a remote client can get the
+  /// server-side breakdown without the server recording local rings.
+  kSpans = 1u << 2,
 };
 
 namespace detail {
@@ -35,6 +40,12 @@ inline bool tracing_enabled() {
   return (detail::g_flags.load(std::memory_order_relaxed) & kTracing) != 0;
 }
 
+/// True while wire-span propagation is on (v6 WINDOW_RESULT breakdown).
+/// One relaxed load.
+inline bool spans_enabled() {
+  return (detail::g_flags.load(std::memory_order_relaxed) & kSpans) != 0;
+}
+
 inline void set_metrics(bool on) {
   if (on) {
     detail::g_flags.fetch_or(kMetrics, std::memory_order_relaxed);
@@ -49,6 +60,15 @@ inline void set_tracing(bool on) {
     detail::g_flags.fetch_or(kTracing, std::memory_order_relaxed);
   } else {
     detail::g_flags.fetch_and(~std::uint32_t{kTracing},
+                              std::memory_order_relaxed);
+  }
+}
+
+inline void set_spans(bool on) {
+  if (on) {
+    detail::g_flags.fetch_or(kSpans, std::memory_order_relaxed);
+  } else {
+    detail::g_flags.fetch_and(~std::uint32_t{kSpans},
                               std::memory_order_relaxed);
   }
 }

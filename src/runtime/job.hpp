@@ -148,12 +148,26 @@ struct Job {
 
 /// Completed-job report.
 struct JobResult {
+  /// Per-stage host/simulated timing of the job's life in the pool,
+  /// stamped only while obs::spans_enabled() (all-zero otherwise). The
+  /// gateway folds it into the protocol-v6 WINDOW_RESULT span breakdown.
+  /// Observability only: never consulted by scheduling or execution.
+  struct Timing {
+    std::uint64_t enq_ns = 0;        ///< host ns at pool submission
+    std::uint64_t run_begin_ns = 0;  ///< host ns when Device::run started
+    std::uint64_t run_end_ns = 0;    ///< host ns when Device::run returned
+    std::uint64_t place_cycles = 0;  ///< estimated device clock at placement
+    std::uint64_t sim_begin = 0;     ///< device-local cycle at run begin
+    bool stamped() const { return run_end_ns != 0; }
+  };
+
   std::vector<std::int32_t> output;  ///< kernel output words
   soc::Platform::Snapshot cost;      ///< per-job cycle/energy delta
   unsigned device = 0;               ///< device the job ran on
   std::uint64_t seq = 0;             ///< global submission index
   unsigned launches = 0;             ///< kernel launches issued
   std::string tag;
+  Timing timing;                     ///< spans-gated, see above
 };
 
 /// Future side of a submitted job. get() blocks for completion and rethrows

@@ -490,11 +490,14 @@ JobHandle DevicePool::submit(Job job) {
     if (stopping_) throw HostError("DevicePool: submit after shutdown");
     const std::uint64_t seq = next_seq_;
     const unsigned family = static_cast<unsigned>(job.work.index());
-    DeviceState& ds = devices_[route(job, seq)];  // throws before enqueuing
+    const unsigned d = route(job, seq);  // throws before enqueuing
+    DeviceState& ds = devices_[d];
     ++next_seq_;
-    const std::uint64_t enq = obs::tracing_enabled() ? obs::now_ns() : 0;
-    ds.queue.push_back(
-        Pending{std::move(job), std::move(promise), seq, family, enq});
+    const bool spans = obs::spans_enabled();
+    const std::uint64_t enq =
+        obs::tracing_enabled() || spans ? obs::now_ns() : 0;
+    ds.queue.push_back(Pending{std::move(job), std::move(promise), seq, family,
+                               enq, spans ? sched_load_[d] : 0});
     ++inflight_;
   }
   work_cv_.notify_one();
@@ -514,10 +517,13 @@ std::vector<JobHandle> DevicePool::submit_batch(std::vector<Job> jobs) {
       handles.emplace_back(promise.get_future());
       const std::uint64_t seq = next_seq_++;
       const unsigned family = static_cast<unsigned>(job.work.index());
-      DeviceState& ds = devices_[route(job, seq)];
-      const std::uint64_t enq = obs::tracing_enabled() ? obs::now_ns() : 0;
-      ds.queue.push_back(
-          Pending{std::move(job), std::move(promise), seq, family, enq});
+      const unsigned d = route(job, seq);
+      DeviceState& ds = devices_[d];
+      const bool spans = obs::spans_enabled();
+      const std::uint64_t enq =
+          obs::tracing_enabled() || spans ? obs::now_ns() : 0;
+      ds.queue.push_back(Pending{std::move(job), std::move(promise), seq,
+                                 family, enq, spans ? sched_load_[d] : 0});
       ++inflight_;
     }
   }
@@ -657,8 +663,21 @@ void DevicePool::worker_loop() {
                       now > p.enq_ns ? now - p.enq_ns : 0,
                       static_cast<std::uint64_t>(d));
       }
+      // Wire-span breakdown (v6): begin stamps taken just before the run,
+      // end stamp after; sim_begin is the device-local clock going in.
+      const bool spans = obs::spans_enabled();
+      const std::uint64_t run_begin = spans ? obs::now_ns() : 0;
+      const std::uint64_t sim0 =
+          spans ? ds.device->snapshot().total_cycles() : 0;
       try {
         JobResult r = ds.device->run(p.job, p.seq);
+        if (spans) {
+          r.timing.enq_ns = p.enq_ns;
+          r.timing.run_begin_ns = run_begin;
+          r.timing.run_end_ns = obs::now_ns();
+          r.timing.place_cycles = p.place_cycles;
+          r.timing.sim_begin = sim0;
+        }
         const double norm = static_cast<double>(r.cost.total_cycles()) /
                             sched_speed_[static_cast<unsigned>(d)];
         meas[p.family] += static_cast<std::uint64_t>(std::llround(norm));
@@ -729,10 +748,13 @@ void DevicePool::run_group(std::unique_lock<std::mutex>& lock,
   devs.reserve(group.size());
   jobs.reserve(group.size());
   seqs.reserve(group.size());
+  const bool spans = obs::spans_enabled();
+  std::vector<std::uint64_t> sim0(group.size(), 0);
   for (std::size_t i = 0; i < group.size(); ++i) {
     devs.push_back(devices_[group[i]].device.get());
     jobs.push_back(&pending[i].job);
     seqs.push_back(pending[i].seq);
+    if (spans) sim0[i] = devs.back()->snapshot().total_cycles();
     if (pending[i].enq_ns != 0 && obs::tracing_enabled()) {
       const std::uint64_t now = obs::now_ns();
       obs::complete("window.queue", pending[i].job.trace_id, pending[i].enq_ns,
@@ -741,10 +763,12 @@ void DevicePool::run_group(std::unique_lock<std::mutex>& lock,
     }
   }
 
+  const std::uint64_t group_begin = spans ? obs::now_ns() : 0;
   std::vector<JobResult> results;
   std::vector<std::exception_ptr> errors;
   Device::run_fir_group(devs.data(), jobs.data(), seqs.data(), group.size(),
                         results, errors);
+  const std::uint64_t group_end = spans ? obs::now_ns() : 0;
 
   std::uint64_t ok = 0, bad = 0;
   std::array<std::uint64_t, kJobFamilies> meas{};
@@ -754,6 +778,15 @@ void DevicePool::run_group(std::unique_lock<std::mutex>& lock,
       pending[i].promise.set_exception(errors[i]);
       ++bad;
       continue;
+    }
+    if (spans) {
+      // One batched replay runs all lanes: every lane shares the group's
+      // host run window (its own simulated cost is still per-lane exact).
+      results[i].timing.enq_ns = pending[i].enq_ns;
+      results[i].timing.run_begin_ns = group_begin;
+      results[i].timing.run_end_ns = group_end;
+      results[i].timing.place_cycles = pending[i].place_cycles;
+      results[i].timing.sim_begin = sim0[i];
     }
     const double norm = static_cast<double>(results[i].cost.total_cycles()) /
                         sched_speed_[group[i]];

@@ -302,9 +302,14 @@ class DevicePool {
     std::promise<JobResult> promise;
     std::uint64_t seq = 0;
     unsigned family = 0;  ///< Job::work alternative (estimator family)
-    /// Host-ns enqueue stamp for the flight recorder's queue-wait span;
-    /// 0 when tracing was off at submit. Observability only.
+    /// Host-ns enqueue stamp for the flight recorder's queue-wait span and
+    /// the v6 wire breakdown; 0 when both tracing and spans were off at
+    /// submit. Observability only.
     std::uint64_t enq_ns = 0;
+    /// Estimated device-local clock (cycles) the placement charged this
+    /// job's device with, including this job; 0 when spans were off at
+    /// submit. Observability only.
+    std::uint64_t place_cycles = 0;
   };
   struct DeviceState {
     std::unique_ptr<Device> device;

@@ -96,6 +96,11 @@ Frame random_frame(Rng& rng, unsigned i) {
       f.cycles = rng.next_u64();
       f.pj = rng.next_range(-1e9, 1e9);
       f.output = random_samples(rng, 600);
+      f.queue_ns = rng.next_u64();
+      f.run_ns = rng.next_u64();
+      f.deliver_ns = rng.next_u64();
+      f.place_cycles = rng.next_u64();
+      f.sim_begin = rng.next_u64();
       return f;
     }
     case 7:
@@ -205,7 +210,9 @@ bool frames_equal(const Frame& a, const Frame& b) {
         } else if constexpr (std::is_same_v<T, WindowResult>) {
           eq = x.stream == y.stream && x.index == y.index &&
                x.device == y.device && x.cycles == y.cycles && x.pj == y.pj &&
-               x.output == y.output;
+               x.output == y.output && x.queue_ns == y.queue_ns &&
+               x.run_ns == y.run_ns && x.deliver_ns == y.deliver_ns &&
+               x.place_cycles == y.place_cycles && x.sim_begin == y.sim_begin;
         } else if constexpr (std::is_same_v<T, FlushOk>) {
           eq = x.stream == y.stream &&
                x.windows_delivered == y.windows_delivered;

@@ -116,6 +116,96 @@ TEST(ObsMetrics, PrometheusDumpSanitizesAndSummarizes) {
   EXPECT_EQ(dump.find("session.3"), std::string::npos);  // dots sanitized
 }
 
+TEST(ObsMetrics, HistogramQuantileEdgeCases) {
+  ObsScope scope(true, false);
+  // Empty histogram: every quantile is the documented 0, not a crash or a
+  // bucket bound.
+  Histogram& empty = Registry::get().histogram("test.empty");
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+  // Single sample: every quantile collapses to that sample's bucket bound
+  // (exact for small values, never understating for large ones).
+  Histogram& one = Registry::get().histogram("test.single");
+  one.record(5);
+  for (double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(one.quantile(p), 5u) << "p=" << p;
+  }
+  Histogram& big = Registry::get().histogram("test.single_big");
+  big.record(1000);
+  EXPECT_GE(big.quantile(0.5), 1000u);
+  // Reset brings the quantiles back to the empty answer.
+  one.reset();
+  EXPECT_EQ(one.count(), 0u);
+  EXPECT_EQ(one.quantile(0.5), 0u);
+}
+
+TEST(ObsMetrics, PrometheusDumpSurvivesHostileNames) {
+  ObsScope scope(true, false);
+  // Metric names flow in from wire-visible strings (tenant tags, session
+  // labels); everything outside [a-zA-Z0-9_:] must be sanitized and the
+  // dump must stay line-structured (no injected newlines or HELP forgery).
+  Registry::get().counter("evil\nfake_metric 999").add(1);
+  Registry::get().counter("spaced name{label=\"x\"}").add(2);
+  Registry::get().counter("dash-dot.mix-9").add(3);
+  const std::string dump = Registry::get().dump_prometheus();
+  // No raw hostile bytes survive.
+  EXPECT_EQ(dump.find("evil\nfake"), std::string::npos);
+  EXPECT_EQ(dump.find("fake_metric 999 1"), std::string::npos);
+  EXPECT_EQ(dump.find("spaced name"), std::string::npos);
+  EXPECT_EQ(dump.find("{label"), std::string::npos);
+  EXPECT_NE(dump.find("dash_dot_mix_9 3"), std::string::npos);
+  // Every non-comment line is exactly "name[ {...}] value".
+  std::size_t start = 0;
+  while (start < dump.size()) {
+    std::size_t end = dump.find('\n', start);
+    if (end == std::string::npos) end = dump.size();
+    const std::string line = dump.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    for (char ch : line.substr(0, sp)) {
+      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '_' || ch == ':' ||
+                      ch == '{' || ch == '}' || ch == '=' || ch == '"' ||
+                      ch == '.' || ch == ',';
+      EXPECT_TRUE(ok) << "hostile char '" << ch << "' in: " << line;
+    }
+  }
+}
+
+TEST(ObsMetrics, ResetRacingAddStaysInBounds) {
+  ObsScope scope(true, false);
+  // reset() may race concurrent add()s: the contract is no torn counts and
+  // a final value that only reflects post-reset adds that the reset did
+  // not consume -- i.e. somewhere in [0, kAdds]. TSan builds of this test
+  // are the data-race gate; the bounds check is meaningful everywhere.
+  Counter& c = Registry::get().counter("test.reset_race");
+  Histogram& h = Registry::get().histogram("test.reset_race_hist");
+  constexpr std::uint64_t kAdds = 20000;
+  std::thread adder([&c, &h] {
+    for (std::uint64_t i = 0; i < kAdds; ++i) {
+      c.add(1);
+      h.record(i & 1023);
+    }
+  });
+  for (int r = 0; r < 50; ++r) {
+    c.reset();
+    h.reset();
+    EXPECT_LE(c.value(), kAdds);
+    EXPECT_LE(h.count(), kAdds);
+  }
+  adder.join();
+  EXPECT_LE(c.value(), kAdds);
+  EXPECT_LE(h.count(), kAdds);
+  // Quantile on a histogram that was reset mid-stream still answers from
+  // whatever landed after the last reset.
+  const std::uint64_t q = h.quantile(0.5);
+  EXPECT_LE(q, 1023u + 1023u / 8 + 1);
+}
+
 TEST(ObsMetrics, DisabledModeRecordsNothingThroughTheSitePattern) {
   ObsScope scope(false, false);
   // The instrumentation-site pattern: guard, then record. With the guard

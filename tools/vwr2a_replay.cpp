@@ -1,0 +1,155 @@
+// vwr2a_replay: inspect / replay / verify black-box traffic journals
+// (.vwr2jrn, src/obs/journal.hpp).
+//
+//   vwr2a_replay inspect <in.vwr2jrn>
+//                                   print header, record counts and the
+//                                   per-stream delivered-output digests
+//   vwr2a_replay replay <in.vwr2jrn> [--devices N]
+//                                   drive the journal through a fresh
+//                                   gateway server and print what each
+//                                   stream produced
+//   vwr2a_replay verify <in.vwr2jrn> [--devices N]
+//                                   replay and gate bit-identity: every
+//                                   stream's window count and output FNV
+//                                   must match the journal trailer
+//
+// The replay fleet does not need the recorded fleet's shape: outputs are
+// bit-identical regardless of device count and placement (the repo's
+// determinism invariant), which is exactly what verify demonstrates.
+//
+// Exit status: 0 on success, 1 on usage error, 2 when the journal is
+// rejected or the replay diverges.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gateway/server.hpp"
+#include "obs/journal.hpp"
+#include "obs/journal_replay.hpp"
+
+namespace {
+
+using namespace vwr2a;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vwr2a_replay inspect <in.vwr2jrn>\n"
+               "       vwr2a_replay replay <in.vwr2jrn> [--devices N]\n"
+               "       vwr2a_replay verify <in.vwr2jrn> [--devices N]\n");
+  return 1;
+}
+
+int cmd_inspect(const std::string& in) {
+  obs::JournalFile jf;
+  std::string why;
+  if (!obs::load_journal(in, &jf, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
+  std::size_t opens = 0;
+  std::size_t frames = 0;
+  std::size_t closes = 0;
+  std::uint64_t frame_bytes = 0;
+  for (const obs::JournalRecord& r : jf.records) {
+    if (r.kind == obs::JournalRecord::kConnOpen) ++opens;
+    else if (r.kind == obs::JournalRecord::kFrame) {
+      ++frames;
+      frame_bytes += r.bytes.size();
+    } else {
+      ++closes;
+    }
+  }
+  std::printf("%s: protocol v%u, %zu records (%zu conn-open, %zu frames "
+              "[%llu bytes], %zu conn-close), %zu stream digests\n",
+              in.c_str(), jf.protocol, jf.records.size(), opens, frames,
+              static_cast<unsigned long long>(frame_bytes), closes,
+              jf.digests.size());
+  for (const obs::JournalDigest& d : jf.digests) {
+    std::printf("  conn %u stream %u: %llu windows, fnv %016llx\n", d.conn,
+                d.stream, static_cast<unsigned long long>(d.windows),
+                static_cast<unsigned long long>(d.fnv));
+  }
+  return 0;
+}
+
+obs::ReplayReport run_replay(const obs::JournalFile& jf, unsigned devices) {
+  gateway::Server::Config cfg;
+  cfg.stream.pool.devices = devices;
+  gateway::Server server(cfg);
+  obs::JournalReplayer replayer(server);
+  obs::ReplayReport report = replayer.replay(jf);
+  server.stop();
+  return report;
+}
+
+void print_report(const obs::ReplayReport& report, bool with_expectation) {
+  std::printf("replayed %llu frames over %llu connections (%llu errors "
+              "received)\n",
+              static_cast<unsigned long long>(report.frames_sent),
+              static_cast<unsigned long long>(report.connections),
+              static_cast<unsigned long long>(report.errors_received));
+  for (const obs::ReplayStream& s : report.streams) {
+    if (with_expectation) {
+      std::printf("  conn %u stream %u: %llu/%llu windows, fnv %016llx %s\n",
+                  s.conn, s.stream,
+                  static_cast<unsigned long long>(s.got_windows),
+                  static_cast<unsigned long long>(s.expected_windows),
+                  static_cast<unsigned long long>(s.got_fnv),
+                  s.ok() ? "ok" : "MISMATCH");
+    } else {
+      std::printf("  conn %u stream %u: %llu windows, fnv %016llx\n", s.conn,
+                  s.stream, static_cast<unsigned long long>(s.got_windows),
+                  static_cast<unsigned long long>(s.got_fnv));
+    }
+  }
+}
+
+int cmd_replay(const std::string& in, unsigned devices, bool gate) {
+  obs::JournalFile jf;
+  std::string why;
+  if (!obs::load_journal(in, &jf, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
+  const obs::ReplayReport report = run_replay(jf, devices);
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "replay failed: %s\n", report.error.c_str());
+    return 2;
+  }
+  print_report(report, gate);
+  if (gate && !report.ok) {
+    std::fprintf(stderr, "verify failed: replay diverged from the journal "
+                         "trailer digests\n");
+    return 2;
+  }
+  if (gate) {
+    std::printf("verify ok: %zu streams reproduced bit-exactly\n",
+                report.streams.size());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string in = argv[2];
+  unsigned devices = 4;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--devices" && i + 1 < argc) {
+      devices = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (devices == 0) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (cmd == "inspect") {
+    if (argc != 3) return usage();
+    return cmd_inspect(in);
+  }
+  if (cmd == "replay") return cmd_replay(in, devices, /*gate=*/false);
+  if (cmd == "verify") return cmd_replay(in, devices, /*gate=*/true);
+  return usage();
+}

@@ -15,6 +15,18 @@
 //                                   complete (push -> slice -> place ->
 //                                   queue -> run -> complete -> deliver)
 //                                   and crosses >= 3 threads
+//   vwr2a_trace stats <in.vwr2trc>
+//                                   per-stage latency table (place, queue,
+//                                   run, deliver p50/p95/p99) computed via
+//                                   analyze_windows() -- breakdowns without
+//                                   Chrome; works on server captures and on
+//                                   client captures carrying the synthetic
+//                                   remote.* spans of a v6 feed
+//   vwr2a_trace merge <client.vwr2trc> <server.vwr2trc> <out.json>
+//                                   merge a client and a server capture
+//                                   into one multi-process Chrome trace
+//                                   with cross-process flow arrows chaining
+//                                   each window id across the wire
 //
 // Exit status: 0 on success, 1 on usage error, 2 when the file is rejected
 // or verification fails.
@@ -36,7 +48,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: vwr2a_trace convert <in.vwr2trc> <out.json>\n"
                "       vwr2a_trace inspect <in.vwr2trc>\n"
-               "       vwr2a_trace verify <in.vwr2trc>\n");
+               "       vwr2a_trace verify <in.vwr2trc>\n"
+               "       vwr2a_trace stats <in.vwr2trc>\n"
+               "       vwr2a_trace merge <client.vwr2trc> <server.vwr2trc> "
+               "<out.json>\n");
   return 1;
 }
 
@@ -136,6 +151,97 @@ int cmd_verify(const std::string& in) {
   return 0;
 }
 
+int cmd_stats(const std::string& in) {
+  obs::Capture cap;
+  std::string why;
+  if (!obs::load_capture(in, &cap, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
+  const std::vector<obs::WindowChain> chains = obs::analyze_windows(cap);
+  if (chains.empty()) {
+    std::fprintf(stderr, "no traced windows in %s\n", in.c_str());
+    return 2;
+  }
+  struct Stage {
+    const char* name;
+    std::vector<std::uint64_t> ns;
+  };
+  Stage stages[4] = {{"place", {}}, {"queue", {}}, {"run", {}},
+                     {"deliver", {}}};
+  for (const obs::WindowChain& c : chains) {
+    if (c.has_place) stages[0].ns.push_back(c.place_ns);
+    if (c.has_queue) stages[1].ns.push_back(c.queue_ns);
+    if (c.has_run) stages[2].ns.push_back(c.run_ns);
+    if (c.has_deliver) stages[3].ns.push_back(c.deliver_ns);
+  }
+  auto pct = [](std::vector<std::uint64_t>& v, double p) {
+    // v is sorted; nearest-rank percentile.
+    const std::size_t r = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(r, v.size() - 1)];
+  };
+  std::printf("%s: %zu traced windows\n", in.c_str(), chains.size());
+  std::printf("  %-8s %8s %12s %12s %12s\n", "stage", "windows", "p50 us",
+              "p95 us", "p99 us");
+  for (Stage& s : stages) {
+    if (s.ns.empty()) {
+      std::printf("  %-8s %8s %12s %12s %12s\n", s.name, "-", "-", "-", "-");
+      continue;
+    }
+    std::sort(s.ns.begin(), s.ns.end());
+    std::printf("  %-8s %8zu %12.1f %12.1f %12.1f\n", s.name, s.ns.size(),
+                static_cast<double>(pct(s.ns, 0.50)) / 1000.0,
+                static_cast<double>(pct(s.ns, 0.95)) / 1000.0,
+                static_cast<double>(pct(s.ns, 0.99)) / 1000.0);
+  }
+  return 0;
+}
+
+int cmd_merge(const std::string& client, const std::string& server,
+              const std::string& out) {
+  obs::Capture ccap;
+  obs::Capture scap;
+  std::string why;
+  if (!obs::load_capture(client, &ccap, &why)) {
+    std::fprintf(stderr, "%s: %s\n", client.c_str(), why.c_str());
+    return 2;
+  }
+  if (!obs::load_capture(server, &scap, &why)) {
+    std::fprintf(stderr, "%s: %s\n", server.c_str(), why.c_str());
+    return 2;
+  }
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 2;
+  }
+  obs::write_chrome_json_merged({{"client", &ccap}, {"server", &scap}}, os);
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "write failed: %s\n", out.c_str());
+    return 2;
+  }
+  // Count the window ids present on both sides: those get cross-process
+  // arrows; zero shared windows usually means the captures are unrelated.
+  std::map<std::uint64_t, bool> in_client;
+  for (const auto& e : ccap.events) {
+    if (e.window != 0) in_client[e.window] = true;
+  }
+  std::size_t shared = 0;
+  std::map<std::uint64_t, bool> counted;
+  for (const auto& e : scap.events) {
+    if (e.window != 0 && in_client.count(e.window) != 0 &&
+        counted.emplace(e.window, true).second) {
+      ++shared;
+    }
+  }
+  std::printf("wrote %s: %zu client + %zu server events, %zu windows "
+              "chained across the wire\n",
+              out.c_str(), ccap.events.size(), scap.events.size(), shared);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -152,6 +258,14 @@ int main(int argc, char** argv) {
   if (cmd == "verify") {
     if (argc != 3) return usage();
     return cmd_verify(argv[2]);
+  }
+  if (cmd == "stats") {
+    if (argc != 3) return usage();
+    return cmd_stats(argv[2]);
+  }
+  if (cmd == "merge") {
+    if (argc != 5) return usage();
+    return cmd_merge(argv[2], argv[3], argv[4]);
   }
   return usage();
 }
